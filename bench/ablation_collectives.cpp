@@ -1,0 +1,62 @@
+// Design ablation: reduction granularity in update_parameters.
+//
+// The paper's Fig. 5 draws the Allreduce inside the per-class/per-attribute
+// loops — one small reduction per (class, attribute).  The alternative is a
+// single fused Allreduce of the packed statistics buffer.  The fine-grained
+// layout pays one collective latency per term, so it falls behind as the
+// class count and processor count grow; this harness quantifies that.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const auto items = static_cast<std::size_t>(cli.get_int("items", 6000));
+  const auto procs = cli.get_int_list("procs", {2, 4, 8, 10});
+  std::vector<int> clusters;
+  for (const auto j : cli.get_int_list("clusters", {8, 24, 64}))
+    clusters.push_back(static_cast<int>(j));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", 8));
+  const net::Machine machine =
+      net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
+
+  const data::LabeledDataset ld = data::paper_dataset(items, 42);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+
+  std::cout << "# Collective-granularity ablation — " << items
+            << " tuples on " << machine.name
+            << " (per-term = paper Fig. 5 layout)\n";
+  Table table("Seconds per base_cycle: per-term vs fused Allreduce");
+  std::vector<std::string> header = {"procs"};
+  for (const int j : clusters) {
+    header.push_back("J=" + std::to_string(j) + " per-term");
+    header.push_back("J=" + std::to_string(j) + " fused");
+    header.push_back("J=" + std::to_string(j) + " ratio");
+  }
+  table.set_header(header);
+
+  for (const auto p : procs) {
+    mp::World::Config cfg;
+    cfg.num_ranks = static_cast<int>(p);
+    cfg.machine = machine;
+    mp::World world(cfg);
+    std::vector<std::string> row = {std::to_string(p)};
+    for (const int j : clusters) {
+      core::ParallelConfig per_term;
+      per_term.granularity = core::ReduceGranularity::kPerTerm;
+      core::ParallelConfig fused;
+      fused.granularity = core::ReduceGranularity::kFused;
+      const double tp =
+          core::measure_base_cycle(world, model, j, cycles, 42, per_term)
+              .seconds_per_cycle;
+      const double tf =
+          core::measure_base_cycle(world, model, j, cycles, 42, fused)
+              .seconds_per_cycle;
+      row.push_back(format_fixed(tp, 4));
+      row.push_back(format_fixed(tf, 4));
+      row.push_back(format_fixed(tp / tf, 2) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Section 5 comparison: P-AutoClass (both EM phases parallel) versus the
+// Miller & Guo-style MIMD prototype [paper ref. 7] that parallelizes only
+// update_wts.
+//
+// Expected shape: identical at P=1; the wts-only strategy loses ground as P
+// grows because (a) update_parameters stays serial over the whole dataset
+// and (b) the full weight matrix must be allgathered every cycle.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const auto items = static_cast<std::size_t>(cli.get_int("items", 8000));
+  const auto procs = cli.get_int_list("procs", {1, 2, 4, 6, 8, 10});
+  std::vector<int> jlist = {2, 4, 8};
+  if (cli.has("jlist")) {
+    jlist.clear();
+    for (const auto j : cli.get_int_list("jlist", {}))
+      jlist.push_back(static_cast<int>(j));
+  }
+  const net::Machine machine =
+      net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
+
+  const data::LabeledDataset ld = data::paper_dataset(items, 42);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+
+  ac::SearchConfig config;
+  config.start_j_list = jlist;
+  config.max_tries = static_cast<int>(cli.get_int("tries", 3));
+  config.em.max_cycles = static_cast<int>(cli.get_int("cycles", 12));
+  config.em.min_cycles = 2;
+
+  std::cout << "# Strategy ablation — " << items << " tuples on "
+            << machine.name << " (paper Sec. 5)\n";
+  Table table("P-AutoClass (full) vs wts-only parallelization");
+  table.set_header({"procs", "full [s]", "wts-only [s]", "full speedup",
+                    "wts-only speedup", "advantage"});
+
+  double t1_full = 0.0, t1_wts = 0.0;
+  for (const auto p : procs) {
+    mp::World::Config cfg;
+    cfg.num_ranks = static_cast<int>(p);
+    cfg.machine = machine;
+    mp::World world(cfg);
+    core::ParallelConfig full;
+    full.strategy = core::Strategy::kFull;
+    core::ParallelConfig wts;
+    wts.strategy = core::Strategy::kWtsOnly;
+    const double tf =
+        core::run_parallel_search(world, model, config, full)
+            .stats.virtual_time;
+    const double tw =
+        core::run_parallel_search(world, model, config, wts)
+            .stats.virtual_time;
+    if (p == 1) {
+      t1_full = tf;
+      t1_wts = tw;
+    }
+    table.add_row({std::to_string(p), format_fixed(tf, 2),
+                   format_fixed(tw, 2), format_fixed(t1_full / tf, 2),
+                   format_fixed(t1_wts / tw, 2),
+                   format_fixed(tw / tf, 2) + "x"});
+  }
+  table.print(std::cout);
+  return 0;
+}

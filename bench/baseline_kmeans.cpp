@@ -1,0 +1,80 @@
+// Baseline comparison: P-AutoClass vs parallel k-means (the related-work
+// algorithm of the paper's ref. [10]) on the same modeled multicomputer.
+//
+// Two questions: (1) do both SPMD algorithms show the same scaling shape
+// (they share the assign-locally / Allreduce skeleton)?  (2) what does the
+// Bayesian machinery buy in clustering quality on the paper's overlapping
+// mixture, where plain k-means has no way to model differing cluster widths
+// or weights?
+#include "autoclass/report.hpp"
+#include "baseline/kmeans.hpp"
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const auto items = static_cast<std::size_t>(cli.get_int("items", 10000));
+  const auto procs = cli.get_int_list("procs", {1, 2, 4, 8, 10});
+  const auto k = static_cast<int>(cli.get_int("clusters", 5));
+  const net::Machine machine =
+      net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
+
+  const data::LabeledDataset ld = data::paper_dataset(items, 42);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+
+  // Fixed-length runs so times are comparable across P.
+  baseline::KMeansConfig km;
+  km.k = k;
+  km.max_iterations = 25;
+  km.rel_tolerance = 0.0;
+  ac::SearchConfig search;
+  search.start_j_list = {k};
+  search.max_tries = 1;
+  search.em.max_cycles = 25;
+  search.em.min_cycles = 25;
+
+  std::cout << "# P-AutoClass vs parallel k-means — " << items
+            << " tuples, k=J=" << k << " on " << machine.name
+            << " (25 fixed iterations each)\n";
+  Table table("Modeled time and speedup, both algorithms");
+  table.set_header({"procs", "autoclass [s]", "kmeans [s]",
+                    "autoclass speedup", "kmeans speedup"});
+
+  double t1_ac = 0.0, t1_km = 0.0;
+  double ari_ac = 0.0, ari_km = 0.0;
+  for (const auto p : procs) {
+    mp::World::Config cfg;
+    cfg.num_ranks = static_cast<int>(p);
+    cfg.machine = machine;
+    mp::World world(cfg);
+    const core::ParallelOutcome outcome =
+        core::run_parallel_search(world, model, search);
+    mp::RunStats km_stats;
+    const baseline::KMeansResult km_result =
+        baseline::parallel_kmeans(world, ld.dataset, km, &km_stats);
+    const double t_ac = outcome.stats.virtual_time;
+    const double t_km = km_stats.virtual_time;
+    if (p == 1) {
+      t1_ac = t_ac;
+      t1_km = t_km;
+      ari_ac = data::adjusted_rand_index(
+          ld.labels, ac::assign_labels(outcome.search.top()));
+      ari_km = data::adjusted_rand_index(ld.labels, km_result.labels);
+    }
+    table.add_row({std::to_string(p), format_fixed(t_ac, 2),
+                   format_fixed(t_km, 2), format_fixed(t1_ac / t_ac, 2),
+                   format_fixed(t1_km / t_km, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nclustering quality (ARI vs generating mixture): "
+               "P-AutoClass "
+            << format_fixed(ari_ac, 3) << ", k-means "
+            << format_fixed(ari_km, 3)
+            << "\nnotes: both use the same fixed iteration budget and "
+               "k-means is *given* the true k; AutoClass's value is that it "
+               "searches for the class count, models unequal widths/weights, "
+               "and returns soft memberships — at ~3x the per-iteration "
+               "cost (likelihoods vs distances).  k-means scales slightly "
+               "better because its Allreduce payload is smaller.\n";
+  return 0;
+}

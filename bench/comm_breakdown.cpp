@@ -1,0 +1,62 @@
+// Communication breakdown: where the modeled time goes as processors grow.
+//
+// Supports the discussion around the paper's Fig. 7 ("the processors are
+// not effectively used and the communication costs increase"): per
+// processor count, the split of the slowest rank's virtual time into
+// compute / network / idle, plus the Allreduce traffic that P-AutoClass
+// generates per EM cycle.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const auto items = static_cast<std::size_t>(cli.get_int("items", 5000));
+  const auto procs = cli.get_int_list("procs", {1, 2, 4, 8, 10});
+  const auto j = static_cast<int>(cli.get_int("clusters", 16));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", 10));
+  const net::Machine machine =
+      net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
+
+  const data::LabeledDataset ld = data::paper_dataset(items, 42);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+
+  std::cout << "# Communication breakdown — " << items << " tuples, J=" << j
+            << ", " << cycles << " base_cycles on " << machine.name << "\n";
+  Table table("Virtual-time split of the slowest rank");
+  table.set_header({"procs", "total [s]", "compute", "network", "idle",
+                    "allreduces", "allreduce bytes/cycle"});
+
+  for (const auto p : procs) {
+    mp::World::Config cfg;
+    cfg.num_ranks = static_cast<int>(p);
+    cfg.machine = machine;
+    mp::World world(cfg);
+    const auto m = core::measure_base_cycle(world, model, j, cycles, 42);
+    const auto& stats = m.stats;
+    // Slowest rank = the one whose clock defines virtual_time.
+    std::size_t slow = 0;
+    for (std::size_t r = 1; r < stats.rank_finish.size(); ++r)
+      if (stats.rank_finish[r] > stats.rank_finish[slow]) slow = r;
+    const double total = stats.rank_finish[slow];
+    const auto pct = [&](double v) {
+      return format_fixed(total > 0 ? 100.0 * v / total : 0.0, 1) + "%";
+    };
+    const auto allreduce_index =
+        static_cast<std::size_t>(net::CollectiveKind::kAllreduce);
+    const double per_rank_allreduces =
+        static_cast<double>(stats.collective_calls[allreduce_index]) /
+        static_cast<double>(p);
+    // Statistics buffer + weight vector, per cycle, per rank contribution.
+    const std::size_t bytes_per_cycle =
+        (model.stats_per_class() * static_cast<std::size_t>(j) +
+         static_cast<std::size_t>(j) + 1) *
+        sizeof(double);
+    table.add_row({std::to_string(p), format_fixed(total, 3),
+                   pct(stats.rank_compute[slow]), pct(stats.rank_comm[slow]),
+                   pct(stats.rank_idle[slow]),
+                   format_fixed(per_rank_allreduces / cycles, 1) + "/cycle",
+                   std::to_string(bytes_per_cycle)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 6: average elapsed times of P-AutoClass on different numbers of
+// processors, one series per dataset size.
+//
+// The paper plots h.mm.ss elapsed times for 5 000..100 000 tuples on a
+// 10-processor Meiko CS-2.  This harness regenerates the table behind that
+// plot on the modeled CS-2; expect the same shape: times drop with P, and
+// the drop is steeper for larger datasets.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const bench::GridConfig grid = bench::parse_grid(cli);
+  bench::print_grid_banner("Fig. 6 — elapsed times", grid);
+
+  Table table("Fig. 6: elapsed time [h.mm.ss] vs processors");
+  std::vector<std::string> header = {"procs"};
+  for (const auto size : grid.sizes)
+    header.push_back(std::to_string(size) + " tuples");
+  table.set_header(header);
+
+  // Generate each dataset once; reuse it across processor counts.
+  std::vector<data::LabeledDataset> datasets;
+  std::vector<ac::Model> models;
+  datasets.reserve(grid.sizes.size());
+  for (const auto size : grid.sizes)
+    datasets.push_back(
+        data::paper_dataset(static_cast<std::size_t>(size), grid.seed));
+  models.reserve(datasets.size());
+  for (const auto& ds : datasets)
+    models.push_back(ac::Model::default_model(ds.dataset));
+
+  for (const auto procs : grid.procs) {
+    std::vector<std::string> row = {std::to_string(procs)};
+    for (const auto& model : models) {
+      const double mean =
+          bench::mean_elapsed(model, static_cast<int>(procs), grid);
+      row.push_back(format_hms(mean) + " (" + format_fixed(mean, 1) + "s)");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

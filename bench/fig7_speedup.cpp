@@ -1,0 +1,49 @@
+// Figure 7: speedup T1/Tp of P-AutoClass, one series per dataset size.
+//
+// Paper shape to reproduce: near-linear speedup to 10 processors for the
+// largest datasets; small datasets flatten early (the paper quotes ~4
+// effective processors at 5 000 tuples, ~8 at 10 000) because the Allreduce
+// latency stops amortizing over the shrinking per-rank partition.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const bench::GridConfig grid = bench::parse_grid(cli);
+  bench::print_grid_banner("Fig. 7 — speedup", grid);
+
+  Table table("Fig. 7: speedup T1/Tp vs processors");
+  std::vector<std::string> header = {"procs"};
+  for (const auto size : grid.sizes)
+    header.push_back(std::to_string(size) + " tuples");
+  header.push_back("linear");
+  table.set_header(header);
+
+  std::vector<ac::Model> models;
+  std::vector<data::LabeledDataset> datasets;
+  for (const auto size : grid.sizes)
+    datasets.push_back(
+        data::paper_dataset(static_cast<std::size_t>(size), grid.seed));
+  for (const auto& ds : datasets)
+    models.push_back(ac::Model::default_model(ds.dataset));
+
+  // T1 per dataset size (mean over repeats, like the paper).
+  std::vector<double> t1;
+  for (const auto& model : models)
+    t1.push_back(bench::mean_elapsed(model, 1, grid));
+
+  for (const auto procs : grid.procs) {
+    std::vector<std::string> row = {std::to_string(procs)};
+    for (std::size_t s = 0; s < models.size(); ++s) {
+      const double tp =
+          procs == 1 ? t1[s]
+                     : bench::mean_elapsed(models[s],
+                                           static_cast<int>(procs), grid);
+      row.push_back(format_fixed(t1[s] / tp, 2));
+    }
+    row.push_back(format_fixed(static_cast<double>(procs), 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 8: scaleup of the base_cycle — time per iteration with the number
+// of tuples per processor held fixed while processors grow.
+//
+// The paper holds 10 000 tuples/processor, grows from 1 to 10 processors,
+// and asks P-AutoClass to form 8 and 16 clusters; the measured time per
+// base_cycle iteration stays nearly flat between 0.3 and 0.7 seconds.  This
+// harness runs the same protocol at full paper scale by default (it is
+// cheap: only a handful of fixed cycles per point).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const auto tuples_per_proc =
+      static_cast<std::size_t>(cli.get_int("tuples-per-proc", 10000));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", 3));
+  const auto procs = cli.get_int_list("procs", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  std::vector<int> clusters;
+  for (const auto j : cli.get_int_list("clusters", {8, 16}))
+    clusters.push_back(static_cast<int>(j));
+  const net::Machine machine =
+      net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  std::cout << "# Fig. 8 — scaleup: " << tuples_per_proc
+            << " tuples/processor on " << machine.name
+            << " (paper band: 0.3-0.7 s per base_cycle, nearly flat)\n";
+
+  Table table("Fig. 8: seconds per base_cycle iteration vs processors");
+  std::vector<std::string> header = {"procs", "total tuples"};
+  for (const int j : clusters)
+    header.push_back(std::to_string(j) + " clusters");
+  table.set_header(header);
+
+  for (const auto p : procs) {
+    const std::size_t n = tuples_per_proc * static_cast<std::size_t>(p);
+    const data::LabeledDataset ld = data::paper_dataset(n, seed);
+    const ac::Model model = ac::Model::default_model(ld.dataset);
+    mp::World::Config cfg;
+    cfg.num_ranks = static_cast<int>(p);
+    cfg.machine = machine;
+    mp::World world(cfg);
+    std::vector<std::string> row = {std::to_string(p), std::to_string(n)};
+    for (const int j : clusters) {
+      const auto m = core::measure_base_cycle(world, model, j, cycles, seed);
+      row.push_back(format_fixed(m.seconds_per_cycle, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

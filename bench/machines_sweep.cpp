@@ -1,0 +1,66 @@
+// Portability sweep — the paper's Sec. 6 claim: "our algorithm is easily
+// portable to various MIMD distributed-memory parallel computers".
+//
+// Same workload, same code, three modeled machines: the paper's Meiko CS-2,
+// a late-90s Ethernet PC cluster, and a contemporary RDMA cluster.  The
+// table shows where the speedup curve's knee moves: a slower network pulls
+// it left (Ethernet saturates early), a modern fabric pushes it right.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const auto items = static_cast<std::size_t>(cli.get_int("items", 8000));
+  const auto procs = cli.get_int_list("procs", {1, 2, 4, 8, 10});
+  std::vector<int> jlist = {2, 4, 8};
+  if (cli.has("jlist")) {
+    jlist.clear();
+    for (const auto j : cli.get_int_list("jlist", {}))
+      jlist.push_back(static_cast<int>(j));
+  }
+
+  const data::LabeledDataset ld = data::paper_dataset(items, 42);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+
+  ac::SearchConfig config;
+  config.start_j_list = jlist;
+  config.max_tries = static_cast<int>(cli.get_int("tries", 3));
+  config.em.max_cycles = static_cast<int>(cli.get_int("cycles", 12));
+  config.em.min_cycles = 2;
+
+  const std::vector<std::string> machines = {"meiko-cs2", "pentium-cluster",
+                                             "modern-cluster", "ideal"};
+
+  std::cout << "# Machine sweep — " << items
+            << " tuples, same code on four modeled machines (Sec. 6 "
+               "portability claim)\n";
+  Table table("Speedup T1/Tp by machine");
+  std::vector<std::string> header = {"procs"};
+  for (const auto& m : machines) header.push_back(m);
+  table.set_header(header);
+
+  std::vector<double> t1(machines.size(), 0.0);
+  for (const auto p : procs) {
+    std::vector<std::string> row = {std::to_string(p)};
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      mp::World::Config cfg;
+      cfg.num_ranks = static_cast<int>(p);
+      cfg.machine = net::machine_by_name(machines[m]);
+      mp::World world(cfg);
+      const double t =
+          core::run_parallel_search(world, model, config).stats.virtual_time;
+      if (p == 1) t1[m] = t;
+      row.push_back(format_fixed(t1[m] / t, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nshape check: the bus-network pentium-cluster trails the CS-2's "
+         "fat tree; the modern cluster saturates much earlier because its "
+         "cores sped up ~300x while collective latency shrank only ~40x — "
+         "the same (small) dataset that kept a 1996 machine busy is "
+         "communication-bound today.  Rerun with --items 200000 to see the "
+         "modern machine scale.\n";
+  return 0;
+}

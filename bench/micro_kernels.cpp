@@ -1,0 +1,116 @@
+// google-benchmark micro suite: the numeric kernels and runtime primitives
+// that dominate P-AutoClass's host-side cost.  Wall-clock (not virtual)
+// time, for performance-regression tracking of the implementation itself.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "autoclass/em.hpp"
+#include "data/synth.hpp"
+#include "mp/comm.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pac;
+
+void BM_LogSumExp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256ss rng(1);
+  std::vector<double> v(n);
+  for (double& x : v) x = uniform_in(rng, -30.0, 0.0);
+  for (auto _ : state) benchmark::DoNotOptimize(logsumexp(v));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LogSumExp)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KahanSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256ss rng(2);
+  std::vector<double> v(n);
+  for (double& x : v) x = uniform_in(rng, -1.0, 1.0);
+  for (auto _ : state) {
+    KahanSum k;
+    for (const double x : v) k.add(x);
+    benchmark::DoNotOptimize(k.value());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KahanSum)->Arg(1024)->Arg(65536);
+
+void BM_CounterRng(benchmark::State& state) {
+  const CounterRng rng(3);
+  std::uint64_t i = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform(1, i++));
+}
+BENCHMARK(BM_CounterRng);
+
+void BM_Cholesky(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Xoshiro256ss rng(4);
+  std::vector<double> base(d * d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j <= i; ++j)
+      base[i * d + j] = base[j * d + i] = uniform_in(rng, -0.2, 0.2);
+    base[i * d + i] += static_cast<double>(d);
+  }
+  for (auto _ : state) {
+    std::vector<double> a = base;
+    benchmark::DoNotOptimize(spd::cholesky(a, d));
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_NormalLogProb(benchmark::State& state) {
+  const data::LabeledDataset ld = data::paper_dataset(10000, 5);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  const std::vector<double> params = {0.0, 1.0, 0.0};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.term(0).log_prob(i, params));
+    i = (i + 1) % 10000;
+  }
+}
+BENCHMARK(BM_NormalLogProb);
+
+void BM_EmBaseCycle(benchmark::State& state) {
+  // Host throughput of one full base_cycle (sequential), items x classes.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int j = static_cast<int>(state.range(1));
+  const data::LabeledDataset ld = data::paper_dataset(n, 6);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  ac::Reducer identity;
+  ac::EmWorker worker(model, data::ItemRange{0, n}, identity);
+  ac::Classification c(model, static_cast<std::size_t>(j));
+  worker.random_init(c, 7, 0, ac::EmConfig{});
+  for (auto _ : state) {
+    worker.update_parameters(c);
+    benchmark::DoNotOptimize(worker.update_wts(c));
+    worker.update_approximations(c);
+  }
+  state.SetItemsProcessed(state.iterations() * n * j);
+}
+BENCHMARK(BM_EmBaseCycle)->Args({2000, 4})->Args({2000, 16})->Args({10000, 8});
+
+void BM_Allreduce(benchmark::State& state) {
+  // Host-side cost of the deterministic allreduce (4 rank threads).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mp::World::Config cfg;
+  cfg.num_ranks = 4;
+  cfg.machine = net::ideal_machine();
+  mp::World world(cfg);
+  for (auto _ : state) {
+    world.run([n](mp::Comm& comm) {
+      std::vector<double> v(n, 1.0);
+      for (int i = 0; i < 16; ++i)
+        comm.allreduce_inplace<double>(v, mp::ReduceOp::kSum);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * n);
+}
+BENCHMARK(BM_Allreduce)->Arg(16)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Section 3's motivating observation: sequential AutoClass runtime grows
+// linearly with dataset size (the paper extrapolates 14K tuples ~ 3 h to
+// 140K tuples ~ >1 day on a Pentium-class machine).
+//
+// This harness measures modeled sequential elapsed time across dataset
+// sizes and reports the per-tuple rate, which should be constant (linear
+// scaling), plus an extrapolation in the paper's style.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const auto sizes =
+      cli.get_int_list("sizes", {2000, 5000, 10000, 20000, 40000});
+  const auto tries = static_cast<int>(cli.get_int("tries", 2));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", 20));
+  std::vector<int> jlist = {2, 4, 8};
+  if (cli.has("jlist")) {
+    jlist.clear();
+    for (const auto j : cli.get_int_list("jlist", {}))
+      jlist.push_back(static_cast<int>(j));
+  }
+  const net::Machine machine =
+      net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
+
+  std::cout << "# Sequential scaling (paper Sec. 3: time linear in dataset "
+               "size)\n";
+  Table table("Sequential AutoClass elapsed time vs dataset size");
+  table.set_header({"tuples", "elapsed", "seconds", "us/tuple"});
+
+  ac::SearchConfig config;
+  config.start_j_list = jlist;
+  config.max_tries = tries;
+  config.em.max_cycles = cycles;
+  config.em.min_cycles = 2;
+
+  double first_rate = 0.0, last_seconds = 0.0;
+  std::int64_t last_size = 0;
+  for (const auto size : sizes) {
+    const data::LabeledDataset ld =
+        data::paper_dataset(static_cast<std::size_t>(size), 42);
+    const ac::Model model = ac::Model::default_model(ld.dataset);
+    mp::World::Config cfg;
+    cfg.num_ranks = 1;
+    cfg.machine = machine;
+    mp::World world(cfg);
+    const auto outcome = core::run_parallel_search(world, model, config);
+    const double seconds = outcome.stats.virtual_time;
+    const double rate = 1e6 * seconds / static_cast<double>(size);
+    if (first_rate == 0.0) first_rate = rate;
+    last_seconds = seconds;
+    last_size = size;
+    table.add_row({std::to_string(size), format_hms(seconds),
+                   format_fixed(seconds, 1), format_fixed(rate, 1)});
+  }
+  table.print(std::cout);
+
+  // The paper's 10x extrapolation: same protocol, 10x the data.
+  std::cout << "\nlinear extrapolation to " << 10 * last_size
+            << " tuples: " << format_hms(10.0 * last_seconds)
+            << " (paper: 14K tuples > 3 h implies 140K > 1 day with its "
+               "full search protocol)\n";
+  std::cout << "per-tuple rate drift across sizes should be small (linear "
+               "scaling): first "
+            << format_fixed(first_rate, 2) << " us/tuple\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Trace demo: record every communication event of a few base_cycles and
+// print a per-rank timeline summary plus the busiest collective windows.
+// With --csv FILE the raw event log is dumped for offline tools.
+//
+// This is the observability story for the simulator: the same run that
+// produces Fig. 6-8 numbers can explain *where* each rank's time went.
+#include <fstream>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const auto items = static_cast<std::size_t>(cli.get_int("items", 5000));
+  const int procs = static_cast<int>(cli.get_int("procs", 4));
+  const auto j = static_cast<int>(cli.get_int("clusters", 8));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", 2));
+  const net::Machine machine =
+      net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
+
+  const data::LabeledDataset ld = data::paper_dataset(items, 42);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+
+  mp::World::Config cfg;
+  cfg.num_ranks = procs;
+  cfg.machine = machine;
+  cfg.trace = true;
+  mp::World world(cfg);
+  const auto m = core::measure_base_cycle(world, model, j, cycles, 42);
+
+  std::cout << "# Trace of " << cycles << " base_cycles, " << items
+            << " tuples, J=" << j << ", " << procs << " ranks on "
+            << machine.name << "\n";
+  std::cout << "# " << m.stats.trace.size() << " events, virtual time "
+            << format_fixed(m.stats.virtual_time, 4) << " s\n\n";
+
+  // Per-rank summary.
+  Table per_rank("Per-rank communication profile");
+  per_rank.set_header({"rank", "events", "comm [ms]", "idle [ms]",
+                       "finish [s]"});
+  std::vector<std::size_t> event_count(procs, 0);
+  for (const mp::TraceEvent& e : m.stats.trace)
+    ++event_count[e.world_rank];
+  for (int r = 0; r < procs; ++r) {
+    per_rank.add_row({std::to_string(r), std::to_string(event_count[r]),
+                      format_fixed(1e3 * m.stats.rank_comm[r], 2),
+                      format_fixed(1e3 * m.stats.rank_idle[r], 2),
+                      format_fixed(m.stats.rank_finish[r], 4)});
+  }
+  per_rank.print(std::cout);
+
+  // The most expensive collective windows.
+  std::vector<mp::TraceEvent> events = m.stats.trace;
+  std::sort(events.begin(), events.end(),
+            [](const mp::TraceEvent& a, const mp::TraceEvent& b) {
+              return (a.end - a.start) > (b.end - b.start);
+            });
+  std::cout << "\n";
+  Table top("Longest communication events");
+  top.set_header({"rank", "op", "kind", "bytes", "start [ms]", "dur [us]"});
+  for (std::size_t i = 0; i < events.size() && i < 8; ++i) {
+    const mp::TraceEvent& e = events[i];
+    top.add_row({std::to_string(e.world_rank), mp::to_string(e.op),
+                 e.op == mp::TraceEvent::Op::kCollective
+                     ? net::to_string(e.kind)
+                     : "-",
+                 std::to_string(e.bytes), format_fixed(1e3 * e.start, 3),
+                 format_fixed(1e6 * (e.end - e.start), 1)});
+  }
+  top.print(std::cout);
+
+  const std::string csv_path = cli.get_string("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    PAC_REQUIRE_MSG(out.good(), "cannot write '" << csv_path << "'");
+    mp::write_trace_csv(out, m.stats);
+    std::cout << "\nraw events -> " << csv_path << "\n";
+  }
+  return 0;
+}

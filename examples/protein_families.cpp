@@ -1,0 +1,141 @@
+// Protein-family discovery — the paper's second motivating workload:
+// Bayesian classification of protein data took 300-400 hours (Hunter &
+// States, paper ref. [3]).  We synthesize sequence-derived feature vectors
+// (discrete residue classes at conserved positions + real physicochemical
+// summaries) for a few "families", let AutoClass find the families without
+// supervision, and use the influence report to show *which* positions
+// discriminate — the reading a biologist would do.
+//
+//   ./protein_families [--proteins 3000] [--procs 8] [--families 4]
+#include <iostream>
+
+#include "autoclass/report.hpp"
+#include "core/pautoclass.hpp"
+#include "data/synth.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Residue classes: a coarse 6-letter alphabet (hydrophobic, polar, acidic,
+// basic, aromatic, special) — standard for sequence clustering.
+constexpr int kAlphabet = 6;
+constexpr int kPositions = 8;  // conserved alignment columns
+
+struct Family {
+  const char* name;
+  // Preferred residue class per position (one is strongly conserved).
+  int consensus[kPositions];
+  double conservation;  // probability of the consensus class
+  double mass_mean;     // molecular weight summary (kDa)
+  double pi_mean;       // isoelectric point
+};
+
+constexpr Family kFamilies[] = {
+    {"kinase-like", {0, 1, 2, 0, 4, 1, 0, 3}, 0.85, 45.0, 6.2},
+    {"protease-like", {4, 0, 0, 3, 1, 5, 2, 0}, 0.80, 28.0, 5.1},
+    {"globin-like", {1, 3, 0, 0, 0, 2, 4, 1}, 0.90, 16.5, 7.8},
+    {"transporter-like", {2, 2, 5, 1, 3, 0, 1, 4}, 0.75, 62.0, 8.4},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const auto proteins = static_cast<std::size_t>(cli.get_int("proteins", 3000));
+  const int procs = static_cast<int>(cli.get_int("procs", 8));
+  const int families =
+      static_cast<int>(cli.get_int("families", 4));
+  PAC_REQUIRE(families >= 1 && families <= 4);
+
+  // 1. Synthesize the protein feature table.
+  std::vector<data::Attribute> attrs;
+  for (int p = 0; p < kPositions; ++p)
+    attrs.push_back(
+        data::Attribute::discrete("pos" + std::to_string(p), kAlphabet));
+  attrs.push_back(data::Attribute::real("mass_kda", 0.5));
+  attrs.push_back(data::Attribute::real("isoelectric_pt", 0.1));
+  data::Dataset table(data::Schema(attrs), proteins);
+  std::vector<std::int32_t> truth(proteins);
+  Xoshiro256ss rng(77);
+  for (std::size_t i = 0; i < proteins; ++i) {
+    const auto f =
+        static_cast<int>(uniform_index(rng, static_cast<std::uint64_t>(families)));
+    truth[i] = f;
+    const Family& fam = kFamilies[f];
+    for (int p = 0; p < kPositions; ++p) {
+      std::int32_t residue;
+      if (uniform01(rng) < fam.conservation) {
+        residue = fam.consensus[p];
+      } else {
+        residue = static_cast<std::int32_t>(uniform_index(rng, kAlphabet));
+      }
+      table.set_discrete(i, p, residue);
+    }
+    table.set_real(i, kPositions, fam.mass_mean + 3.0 * normal01(rng));
+    table.set_real(i, kPositions + 1, fam.pi_mean + 0.4 * normal01(rng));
+  }
+  // Real data is gappy: drop 5% of entries.
+  data::inject_missing(table, 0.05, 78);
+
+  // 2. Unsupervised family discovery with P-AutoClass.
+  const ac::Model model = ac::Model::default_model(table);
+  ac::SearchConfig search;
+  search.start_j_list = {2, 4, 8};
+  search.max_tries = 4;
+  search.em.max_cycles = 60;
+  mp::World::Config cfg;
+  cfg.num_ranks = procs;
+  cfg.machine = net::meiko_cs2();
+  mp::World world(cfg);
+  const core::ParallelOutcome outcome =
+      core::run_parallel_search(world, model, search);
+  const ac::Classification& best = outcome.search.top();
+
+  // 3. Report: recovered families and their sizes.
+  const auto labels = ac::assign_labels(best);
+  std::cout << "Discovered " << best.num_classes() << " families among "
+            << proteins << " proteins (truth: " << families << ")\n";
+  std::cout << "adjusted Rand index vs true families: "
+            << data::adjusted_rand_index(truth, labels) << "\n";
+  std::cout << "modeled elapsed time on " << procs
+            << "x meiko-cs2: " << format_hms(outcome.stats.virtual_time)
+            << "\n\n";
+
+  // 4. Which features define the families?  Top influence values.
+  Table influence("Most discriminating features (top 10 by influence)");
+  influence.set_header({"class", "feature", "influence (KL vs global)"});
+  const auto report = ac::influence_report(best);
+  for (std::size_t e = 0; e < report.size() && e < 10; ++e) {
+    const auto& entry = report[e];
+    influence.add_row(
+        {std::to_string(entry.class_index),
+         table.schema().at(model.term(entry.term_index).spec().attributes[0])
+             .name,
+         format_fixed(entry.influence, 3)});
+  }
+  influence.print(std::cout);
+
+  // 5. Family profiles: consensus residue class per position.
+  std::cout << "\nRecovered family profiles (argmax residue class per "
+               "position, '.' = weakly conserved):\n";
+  for (std::size_t j = 0; j < best.num_classes(); ++j) {
+    std::cout << "  family " << j << ": ";
+    for (int p = 0; p < kPositions; ++p) {
+      const auto params = best.param_block(j, static_cast<std::size_t>(p));
+      int argmax = 0;
+      for (int l = 1; l < kAlphabet; ++l)
+        if (params[l] > params[argmax]) argmax = l;
+      const double prob = std::exp(params[argmax]);
+      std::cout << (prob > 0.5 ? static_cast<char>('A' + argmax) : '.');
+    }
+    std::cout << "  (share "
+              << format_fixed(best.weight(j) /
+                                  static_cast<double>(proteins),
+                              2)
+              << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Full verification: configure, build, test, and run every bench harness.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && echo "== $b ==" && "$b"
+done
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] && echo "== $e ==" && "$e" >/dev/null && echo ok
+done

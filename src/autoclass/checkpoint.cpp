@@ -1,0 +1,165 @@
+#include "autoclass/checkpoint.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pac::ac {
+
+namespace {
+
+constexpr const char* kClassificationMagic = "pac-classification";
+constexpr const char* kSearchMagic = "pac-search-result";
+constexpr int kVersion = 1;
+
+void write_doubles(std::ostream& out, std::span<const double> values) {
+  out << std::setprecision(17);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out << (i ? " " : "") << values[i];
+  out << "\n";
+}
+
+void read_token(std::istream& in, const char* expected) {
+  std::string token;
+  in >> token;
+  PAC_REQUIRE_MSG(in.good() && token == expected,
+                  "checkpoint parse error: expected '" << expected
+                                                       << "', got '" << token
+                                                       << "'");
+}
+
+template <class T>
+T read_value(std::istream& in, const char* what) {
+  T value{};
+  in >> value;
+  PAC_REQUIRE_MSG(!in.fail(), "checkpoint parse error reading " << what);
+  return value;
+}
+
+void read_doubles(std::istream& in, std::span<double> values,
+                  const char* what) {
+  for (double& v : values) v = read_value<double>(in, what);
+}
+
+}  // namespace
+
+void save_classification(std::ostream& out, const Classification& c) {
+  out << kClassificationMagic << " v" << kVersion << "\n";
+  out << "classes " << c.num_classes() << " params_per_class "
+      << c.model().params_per_class() << "\n";
+  out << "scores " << std::setprecision(17) << c.log_likelihood << " "
+      << c.cs_score << " " << c.bic_score << " " << c.cycles << " "
+      << c.initial_classes << "\n";
+  out << "log_pi ";
+  write_doubles(out, c.log_pis());
+  out << "weights ";
+  write_doubles(out, c.weights());
+  out << "params ";
+  write_doubles(out, c.all_params());
+  out << "end\n";
+}
+
+Classification load_classification(std::istream& in, const Model& model) {
+  read_token(in, kClassificationMagic);
+  read_token(in, "v1");
+  read_token(in, "classes");
+  const auto num_classes = read_value<std::size_t>(in, "class count");
+  read_token(in, "params_per_class");
+  const auto ppc = read_value<std::size_t>(in, "params_per_class");
+  PAC_REQUIRE_MSG(ppc == model.params_per_class(),
+                  "checkpoint was written for a different model structure ("
+                      << ppc << " params/class vs "
+                      << model.params_per_class() << ")");
+  Classification c(model, num_classes);
+  read_token(in, "scores");
+  c.log_likelihood = read_value<double>(in, "log_likelihood");
+  c.cs_score = read_value<double>(in, "cs_score");
+  c.bic_score = read_value<double>(in, "bic_score");
+  c.cycles = read_value<int>(in, "cycles");
+  c.initial_classes = read_value<int>(in, "initial_classes");
+  read_token(in, "log_pi");
+  read_doubles(in, c.mutable_log_pis(), "log_pi");
+  read_token(in, "weights");
+  read_doubles(in, c.mutable_weights(), "weights");
+  read_token(in, "params");
+  read_doubles(in, c.all_params_mutable(), "params");
+  read_token(in, "end");
+  return c;
+}
+
+void save_search_result(std::ostream& out, const SearchResult& result) {
+  out << kSearchMagic << " v" << kVersion << "\n";
+  out << "tries " << result.tries << " duplicates " << result.duplicates
+      << " total_cycles " << result.total_cycles << " best "
+      << result.best.size() << "\n";
+  for (const TryResult& entry : result.best) {
+    out << "try " << entry.try_index << " " << entry.j_requested << " "
+        << (entry.converged ? 1 : 0) << "\n";
+    save_classification(out, entry.classification);
+  }
+  out << "end\n";
+}
+
+SearchResult load_search_result(std::istream& in, const Model& model) {
+  read_token(in, kSearchMagic);
+  read_token(in, "v1");
+  SearchResult result;
+  read_token(in, "tries");
+  result.tries = read_value<int>(in, "tries");
+  read_token(in, "duplicates");
+  result.duplicates = read_value<int>(in, "duplicates");
+  read_token(in, "total_cycles");
+  result.total_cycles = read_value<std::int64_t>(in, "total_cycles");
+  read_token(in, "best");
+  const auto count = read_value<std::size_t>(in, "leaderboard size");
+  for (std::size_t b = 0; b < count; ++b) {
+    read_token(in, "try");
+    const int try_index = read_value<int>(in, "try index");
+    const int j_requested = read_value<int>(in, "j requested");
+    const int converged = read_value<int>(in, "converged flag");
+    TryResult entry{load_classification(in, model)};
+    entry.try_index = try_index;
+    entry.j_requested = j_requested;
+    entry.converged = converged != 0;
+    result.best.push_back(std::move(entry));
+  }
+  read_token(in, "end");
+  return result;
+}
+
+void save_search_result_file(const std::string& path,
+                             const SearchResult& result) {
+  std::ofstream out(path);
+  PAC_REQUIRE_MSG(out.good(), "cannot open '" << path << "' for writing");
+  save_search_result(out, result);
+}
+
+SearchResult load_search_result_file(const std::string& path,
+                                     const Model& model) {
+  std::ifstream in(path);
+  PAC_REQUIRE_MSG(in.good(), "cannot open checkpoint file '" << path << "'");
+  return load_search_result(in, model);
+}
+
+SearchResult resume_search(const Model& model, const SearchConfig& config,
+                           const TryRunner& runner,
+                           const SearchResult& resume_from) {
+  SearchResult state;
+  state.tries = resume_from.tries;
+  state.duplicates = resume_from.duplicates;
+  state.total_cycles = resume_from.total_cycles;
+  for (const TryResult& entry : resume_from.best) {
+    TryResult copy{Classification(entry.classification)};
+    copy.try_index = entry.try_index;
+    copy.j_requested = entry.j_requested;
+    copy.converged = entry.converged;
+    state.best.push_back(std::move(copy));
+  }
+  return run_search_from(model, config, runner, std::move(state));
+}
+
+}  // namespace pac::ac

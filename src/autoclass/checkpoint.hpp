@@ -1,0 +1,43 @@
+// Checkpointing: serialize classifications and search state to ASCII
+// streams (the paper's Fig. 1 step 4 / Fig. 2 "store partial results").
+//
+// AutoClass C persists its search across invocations in .results/.search
+// files; the reproduction does the same with a simple versioned text
+// format.  Values round-trip exactly (printed with 17 significant digits),
+// so a resumed search continues bit-for-bit where the stored one stopped.
+//
+// A Classification only stores parameters, weights, and scores — it is
+// re-bound to a Model (and therefore a Dataset) at load time, which must
+// have the same term structure (checked).
+#pragma once
+
+#include <iosfwd>
+
+#include "autoclass/search.hpp"
+
+namespace pac::ac {
+
+void save_classification(std::ostream& out, const Classification& c);
+
+/// Load one classification and bind it to `model`; throws pac::Error on
+/// format or structure mismatch.
+Classification load_classification(std::istream& in, const Model& model);
+
+void save_search_result(std::ostream& out, const SearchResult& result);
+
+SearchResult load_search_result(std::istream& in, const Model& model);
+
+/// Convenience file variants.
+void save_search_result_file(const std::string& path,
+                             const SearchResult& result);
+SearchResult load_search_result_file(const std::string& path,
+                                     const Model& model);
+
+/// Continue a search from a stored result: the stored leaderboard seeds the
+/// duplicate elimination and the J-selection evidence, and `tries` continue
+/// counting from the stored value (so the same try indices are not rerun).
+SearchResult resume_search(const Model& model, const SearchConfig& config,
+                           const TryRunner& runner,
+                           const SearchResult& resume_from);
+
+}  // namespace pac::ac

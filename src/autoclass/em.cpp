@@ -1,0 +1,310 @@
+#include "autoclass/em.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace pac::ac {
+
+namespace {
+/// Stream ids for the counter-based RNG, one per random purpose, so adding
+/// a purpose never perturbs another purpose's draws.
+constexpr std::uint64_t kInitStream = 0x1A17;
+}  // namespace
+
+void Reducer::gather_weight_matrix(std::span<const double> local,
+                                   std::span<double> full,
+                                   data::ItemRange range, std::size_t j) {
+  PAC_REQUIRE(local.size() == range.size() * j);
+  PAC_REQUIRE(full.size() >= range.end * j);
+  std::copy(local.begin(), local.end(), full.begin() + range.begin * j);
+}
+
+EmWorker::EmWorker(const Model& model, data::ItemRange range,
+                   Reducer& reducer, bool partition_params)
+    : model_(&model),
+      data_(&model.dataset()),
+      range_(range),
+      reducer_(&reducer),
+      partition_params_(partition_params) {
+  PAC_REQUIRE(range.end <= data_->num_items());
+}
+
+void EmWorker::random_init(Classification& c, std::uint64_t seed,
+                           std::uint64_t try_index, const EmConfig& config) {
+  const std::size_t j = c.num_classes();
+  num_classes_ = j;
+  weights_.assign(range_.size() * j, 0.0);
+  if (!partition_params_)
+    full_weights_.assign(data_->num_items() * j, 0.0);
+  scratch_.assign(j, 0.0);
+
+  PAC_REQUIRE(config.init_hard_weight > 0.0 && config.init_hard_weight <= 1.0);
+  const double rest =
+      j > 1 ? (1.0 - config.init_hard_weight) / static_cast<double>(j - 1)
+            : 0.0;
+  const double home = j > 1 ? config.init_hard_weight : 1.0;
+
+  // Seed-item initialization: J random items act as class centres and every
+  // item is (softly) assigned to its nearest seed.  Seeds are drawn from the
+  // *global* index space and distances are pure functions of item pairs, so
+  // the initial weights are identical for every partitioning of the data.
+  // (On a real multicomputer the seed rows would be broadcast; reading them
+  // from the read-only dataset is semantically equivalent.)
+  const CounterRng rng(seed);
+  const std::size_t n = data_->num_items();
+  std::vector<std::size_t> seeds;
+  seeds.reserve(j);
+  std::uint64_t draw = 0;
+  while (seeds.size() < j) {
+    const auto candidate = std::min(
+        n - 1, static_cast<std::size_t>(
+                   rng.uniform(kInitStream + try_index, seeds.size(), draw) *
+                   static_cast<double>(n)));
+    ++draw;
+    // Prefer distinct seeds; give up on distinctness when J approaches n.
+    const bool taken =
+        std::find(seeds.begin(), seeds.end(), candidate) != seeds.end();
+    if (!taken || draw > 16 * j) seeds.push_back(candidate);
+  }
+
+  std::vector<double> wj_and_loglike(j + 1, 0.0);
+  for (std::size_t i = range_.begin; i < range_.end; ++i) {
+    std::size_t home_class = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < j; ++k) {
+      double dist = 0.0;
+      for (std::size_t t = 0; t < model_->num_terms(); ++t)
+        dist += model_->term(t).seed_distance(i, seeds[k]);
+      if (dist < best) {
+        best = dist;
+        home_class = k;
+      }
+    }
+    double* row = weights_.data() + (i - range_.begin) * j;
+    for (std::size_t k = 0; k < j; ++k) row[k] = rest;
+    row[home_class] = home;
+    for (std::size_t k = 0; k < j; ++k) wj_and_loglike[k] += row[k];
+  }
+  reducer_->charge(PhaseWork{Phase::kTryOverhead, range_.size(), j, 0});
+  reducer_->reduce_weights(std::span<double>(wj_and_loglike));
+  std::copy_n(wj_and_loglike.begin(), j, c.mutable_weights().begin());
+  if (!partition_params_) {
+    // The WtsOnly baseline's first M-step scans the whole dataset, so the
+    // initial weights must be assembled globally as well.
+    reducer_->gather_weight_matrix(std::span<const double>(weights_),
+                                   std::span<double>(full_weights_), range_,
+                                   j);
+  }
+  c.log_likelihood = 0.0;
+}
+
+double EmWorker::update_wts(Classification& c) {
+  const std::size_t j = c.num_classes();
+  PAC_CHECK_MSG(j == num_classes_, "call random_init before update_wts");
+  const std::size_t num_terms = model_->num_terms();
+
+  std::vector<double> wj_and_loglike(j + 1, 0.0);
+  KahanSum loglike;
+  for (std::size_t i = range_.begin; i < range_.end; ++i) {
+    double* row = weights_.data() + (i - range_.begin) * j;
+    // log L_ij = log pi_j + sum_t log p(x_i | theta_jt)
+    for (std::size_t k = 0; k < j; ++k) {
+      double lp = c.log_pi(k);
+      for (std::size_t t = 0; t < num_terms; ++t)
+        lp += model_->term(t).log_prob(i, c.param_block(k, t));
+      row[k] = lp;
+    }
+    const double lse = logsumexp(std::span<const double>(row, j));
+    loglike.add(lse);
+    for (std::size_t k = 0; k < j; ++k) {
+      row[k] = std::exp(row[k] - lse);
+      wj_and_loglike[k] += row[k];
+    }
+  }
+  wj_and_loglike[j] = loglike.value();
+
+  reducer_->charge(PhaseWork{Phase::kUpdateWts, range_.size(), j,
+                             model_->covered_attributes()});
+  // Total exchange of the class weight sums and the log-likelihood
+  // (the Allreduce of paper Fig. 4).
+  reducer_->reduce_weights(std::span<double>(wj_and_loglike));
+
+  std::copy_n(wj_and_loglike.begin(), j, c.mutable_weights().begin());
+  c.log_likelihood = wj_and_loglike[j];
+
+  if (!partition_params_) {
+    // WtsOnly baseline: every rank needs the whole weight matrix because it
+    // will recompute the parameters over the entire dataset.
+    reducer_->gather_weight_matrix(
+        std::span<const double>(weights_),
+        std::span<double>(full_weights_), range_, j);
+  }
+  return c.log_likelihood;
+}
+
+void EmWorker::accumulate_statistics(const Classification& c) {
+  const std::size_t j = c.num_classes();
+  const std::size_t spc = model_->stats_per_class();
+  stats_.assign(j * spc, 0.0);
+  const bool full = !partition_params_;
+  const std::size_t begin = full ? 0 : range_.begin;
+  const std::size_t end = full ? data_->num_items() : range_.end;
+  const double* weights =
+      full ? full_weights_.data() : weights_.data();
+  const std::size_t weight_base = full ? 0 : range_.begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double* row = weights + (i - weight_base) * j;
+    for (std::size_t k = 0; k < j; ++k) {
+      const double w = row[k];
+      if (w <= 0.0) continue;
+      double* class_stats = stats_.data() + k * spc;
+      for (std::size_t t = 0; t < model_->num_terms(); ++t)
+        model_->term(t).accumulate(
+            i, w,
+            std::span<double>(class_stats + model_->stats_offset(t),
+                              model_->term(t).stats_size()));
+    }
+  }
+}
+
+void EmWorker::update_parameters(Classification& c) {
+  const std::size_t j = c.num_classes();
+  PAC_CHECK_MSG(j == num_classes_, "call random_init before update_parameters");
+  const std::size_t spc = model_->stats_per_class();
+
+  accumulate_statistics(c);
+  const std::size_t accumulated_items =
+      partition_params_ ? range_.size() : data_->num_items();
+  reducer_->charge(PhaseWork{Phase::kUpdateParams, accumulated_items, j,
+                             model_->covered_attributes()});
+  if (partition_params_) {
+    // Total exchange of the sufficient statistics (paper Fig. 5).
+    reducer_->reduce_statistics(std::span<double>(stats_), j);
+  }
+
+  for (std::size_t k = 0; k < j; ++k) {
+    double* class_stats = stats_.data() + k * spc;
+    for (std::size_t t = 0; t < model_->num_terms(); ++t)
+      model_->term(t).update_params(
+          std::span<const double>(class_stats + model_->stats_offset(t),
+                                  model_->term(t).stats_size()),
+          c.param_block(k, t));
+  }
+  c.update_log_pi_from_weights(static_cast<double>(data_->num_items()));
+}
+
+void EmWorker::update_approximations(Classification& c) {
+  const std::size_t j = c.num_classes();
+  const std::size_t spc = model_->stats_per_class();
+  PAC_CHECK_MSG(stats_.size() == j * spc,
+                "call update_parameters before update_approximations");
+
+  // Cheeseman-Stutz: log p(X|T) ~ log m(X') + log p(X|theta) - log p(X'|theta)
+  // where X' is the fractionally completed data (the statistics).
+  double log_marginal_complete = 0.0;  // log m(X'): closed-form conjugates
+  double loglike_complete = 0.0;       // log p(X'|theta)
+  for (std::size_t k = 0; k < j; ++k) {
+    const double* class_stats = stats_.data() + k * spc;
+    loglike_complete += c.weight(k) * c.log_pi(k);
+    for (std::size_t t = 0; t < model_->num_terms(); ++t) {
+      const std::span<const double> term_stats(
+          class_stats + model_->stats_offset(t),
+          model_->term(t).stats_size());
+      log_marginal_complete += model_->term(t).log_marginal(term_stats);
+      loglike_complete += model_->term(t).log_likelihood_of_stats(
+          term_stats, c.param_block(k, t));
+    }
+  }
+  // Class-weight marginal: Dirichlet-multinomial over the W_j.
+  const double a = model_->config().class_weight_prior;
+  std::vector<double> alpha_posterior(j), alpha_prior(j, a);
+  for (std::size_t k = 0; k < j; ++k)
+    alpha_posterior[k] = a + c.weight(k);
+  log_marginal_complete +=
+      log_multivariate_beta(std::span<const double>(alpha_posterior)) -
+      log_multivariate_beta(std::span<const double>(alpha_prior));
+
+  c.cs_score =
+      log_marginal_complete + c.log_likelihood - loglike_complete;
+  c.bic_score = c.log_likelihood -
+                0.5 * static_cast<double>(model_->free_params(j)) *
+                    std::log(static_cast<double>(data_->num_items()));
+  reducer_->charge(PhaseWork{Phase::kUpdateApprox, 0, j,
+                             model_->covered_attributes()});
+}
+
+ConvergeOutcome EmWorker::converge(Classification& c,
+                                   const EmConfig& config) {
+  PAC_REQUIRE(config.max_cycles >= 1);
+  PAC_REQUIRE(config.sigma_window >= 2);
+  ConvergeOutcome outcome;
+  double previous_score = -std::numeric_limits<double>::infinity();
+  int small_deltas = 0;
+  std::vector<double> recent_deltas;  // ring of the last sigma_window deltas
+  for (int cycle = 0; cycle < config.max_cycles; ++cycle) {
+    update_parameters(c);   // M-step from current weights
+    update_wts(c);          // E-step with the new parameters
+    update_approximations(c);
+    reducer_->charge(PhaseWork{Phase::kCycleOverhead, 0, c.num_classes(), 0});
+    outcome.cycles = cycle + 1;
+    const double delta = std::abs(c.cs_score - previous_score) /
+                         (1.0 + std::abs(c.cs_score));
+    if (cycle + 1 >= config.min_cycles) {
+      if (config.convergence == ConvergenceKind::kRelDelta) {
+        small_deltas = delta < config.rel_delta ? small_deltas + 1 : 0;
+        if (small_deltas >= config.delta_cycles) {
+          outcome.converged = true;
+          break;
+        }
+      } else {
+        recent_deltas.push_back(delta);
+        if (recent_deltas.size() >
+            static_cast<std::size_t>(config.sigma_window))
+          recent_deltas.erase(recent_deltas.begin());
+        if (recent_deltas.size() ==
+            static_cast<std::size_t>(config.sigma_window)) {
+          const auto [lo, hi] =
+              std::minmax_element(recent_deltas.begin(), recent_deltas.end());
+          if (*hi - *lo < config.rel_delta && *hi < 10.0 * config.rel_delta) {
+            outcome.converged = true;
+            break;
+          }
+        }
+      }
+    }
+    previous_score = c.cs_score;
+  }
+  c.cycles = outcome.cycles;
+  return outcome;
+}
+
+Classification EmWorker::prune_and_refit(const Classification& c,
+                                         const EmConfig& config) {
+  if (config.min_class_weight <= 0.0) return c;
+  std::vector<std::size_t> keep;
+  for (std::size_t k = 0; k < c.num_classes(); ++k)
+    if (c.weight(k) >= config.min_class_weight) keep.push_back(k);
+  if (keep.size() == c.num_classes() || keep.empty()) return c;
+
+  Classification pruned =
+      c.filtered(keep, static_cast<double>(data_->num_items()));
+  pruned.initial_classes = c.initial_classes;
+  // Refit: one E-step to rebuild weights for the survivors, then one full
+  // cycle so parameters and scores are consistent.
+  num_classes_ = pruned.num_classes();
+  weights_.assign(range_.size() * num_classes_, 0.0);
+  if (!partition_params_)
+    full_weights_.assign(data_->num_items() * num_classes_, 0.0);
+  update_wts(pruned);
+  update_parameters(pruned);
+  update_wts(pruned);
+  update_approximations(pruned);
+  pruned.cycles = c.cycles + 2;
+  return pruned;
+}
+
+}  // namespace pac::ac

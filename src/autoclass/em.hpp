@@ -1,0 +1,175 @@
+// The AutoClass EM engine: base_cycle = update_wts, update_parameters,
+// update_approximations (paper Figs. 1-3).
+//
+// EmWorker holds one rank's share of the E/M workspaces and runs the cycle
+// over its item partition.  Everything that must become *global* — per-class
+// weight sums, the data log-likelihood, and the per-class sufficient
+// statistics — goes through a Reducer, the seam where the paper's
+// parallelization plugs in:
+//
+//   * the default Reducer is the identity (sequential AutoClass: the
+//     partition is the whole dataset and local sums are global sums);
+//   * src/core's ParallelReducer Allreduces the same buffers across ranks
+//     (paper Figs. 4-5) and charges virtual time for compute + network.
+//
+// Because the initial weights come from a counter-based per-item RNG and the
+// reductions fold in rank order, the EM trajectory is the same whatever the
+// partitioning — the property the equivalence tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "autoclass/classification.hpp"
+#include "data/dataset.hpp"
+
+namespace pac::ac {
+
+/// Convergence test flavours (mirroring AutoClass C's converge functions).
+enum class ConvergenceKind {
+  /// Stop when the relative score delta stays below rel_delta for
+  /// delta_cycles consecutive cycles (AutoClass "converge_search_3" style).
+  kRelDelta,
+  /// Stop when the spread (max - min) of the last sigma_window score
+  /// deltas falls below rel_delta — robust against oscillating deltas
+  /// (AutoClass "converge_search_4" style).
+  kSigmaDelta,
+};
+
+/// Convergence and initialization knobs for one EM try.
+struct EmConfig {
+  int max_cycles = 200;
+  /// Cycles to run before convergence tests begin.
+  int min_cycles = 3;
+  ConvergenceKind convergence = ConvergenceKind::kRelDelta;
+  /// Converge when |score delta| / (1 + |score|) stays below this...
+  double rel_delta = 1e-6;
+  /// ...for this many consecutive cycles (kRelDelta only).
+  int delta_cycles = 2;
+  /// Window width for the kSigmaDelta spread test.
+  int sigma_window = 4;
+  /// Drop classes whose final weight W_j falls below this (AutoClass's
+  /// empty-class absorption); <= 0 disables pruning.
+  double min_class_weight = 1.5;
+  /// Initial membership weight given to the randomly drawn home class
+  /// (the rest is spread uniformly): a "smoothed hard" initialization.
+  double init_hard_weight = 0.9;
+};
+
+/// Cost-charging phases (matching the paper's profile of base_cycle).
+enum class Phase {
+  kUpdateWts,
+  kUpdateParams,
+  kUpdateApprox,
+  kCycleOverhead,
+  kTryOverhead,
+};
+
+/// Work counts reported to the Reducer for virtual-time charging.
+struct PhaseWork {
+  Phase phase = Phase::kUpdateWts;
+  std::size_t items = 0;
+  std::size_t classes = 0;
+  std::size_t attributes = 0;
+};
+
+/// The parallelization seam.  The default implementation is sequential
+/// AutoClass: no reduction partners, no time model.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  /// Make [W_0..W_{J-1}, log_likelihood] global (update_wts, paper Fig. 4).
+  virtual void reduce_weights(std::span<double> weights_and_loglike) {
+    (void)weights_and_loglike;
+  }
+
+  /// Make the J x stats_per_class statistics matrix global
+  /// (update_parameters, paper Fig. 5).
+  virtual void reduce_statistics(std::span<double> stats,
+                                 std::size_t num_classes) {
+    (void)stats;
+    (void)num_classes;
+  }
+
+  /// WtsOnly strategy support: assemble the full N x J weight matrix from
+  /// per-rank blocks.  `local` is this rank's block (range.size() x J rows
+  /// of `full`); the default (sequential) copies it into place.
+  virtual void gather_weight_matrix(std::span<const double> local,
+                                    std::span<double> full,
+                                    data::ItemRange range, std::size_t j);
+
+  /// Charge modeled compute time for a phase (default: no time model).
+  virtual void charge(const PhaseWork& work) { (void)work; }
+};
+
+/// Outcome of converging one classification.
+struct ConvergeOutcome {
+  int cycles = 0;
+  bool converged = false;  // false = stopped at max_cycles
+};
+
+class EmWorker {
+ public:
+  /// `range` is this rank's item partition.  If `partition_params` is false
+  /// (the WtsOnly baseline), update_parameters runs over the *entire*
+  /// dataset using the gathered weight matrix instead of reducing
+  /// statistics.
+  EmWorker(const Model& model, data::ItemRange range, Reducer& reducer,
+           bool partition_params = true);
+
+  const Model& model() const noexcept { return *model_; }
+  data::ItemRange range() const noexcept { return range_; }
+
+  /// Draw the initial membership weights for try `try_index` from the
+  /// counter-based RNG (partition-invariant) and make W_j global.
+  void random_init(Classification& c, std::uint64_t seed,
+                   std::uint64_t try_index, const EmConfig& config);
+
+  /// E-step over the local partition; fills the local weight matrix, the
+  /// global class weights W_j, and the global observed log-likelihood
+  /// (returned and stored in c.log_likelihood).
+  double update_wts(Classification& c);
+
+  /// M-step: accumulate local statistics, make them global, and recompute
+  /// every class's parameters and mixing weight.
+  void update_parameters(Classification& c);
+
+  /// Score bookkeeping: Cheeseman-Stutz and BIC scores from the current
+  /// global statistics (cheap; paper Sec. 3 measures it as negligible).
+  void update_approximations(Classification& c);
+
+  /// init + cycle to convergence (the "new classification try" of Fig. 2).
+  ConvergeOutcome converge(Classification& c, const EmConfig& config);
+
+  /// Drop classes below the weight floor and refit once (returns the input
+  /// unchanged when nothing is pruned).
+  Classification prune_and_refit(const Classification& c,
+                                 const EmConfig& config);
+
+  /// Local block of membership weights (range.size() x J, row-major) from
+  /// the last update_wts / random_init.
+  std::span<const double> local_weights() const noexcept { return weights_; }
+
+  /// Global statistics matrix (J x stats_per_class) from the last
+  /// update_parameters / random_init.
+  std::span<const double> statistics() const noexcept { return stats_; }
+
+ private:
+  void accumulate_statistics(const Classification& c);
+
+  const Model* model_;
+  const data::Dataset* data_;
+  data::ItemRange range_;
+  Reducer* reducer_;
+  bool partition_params_;
+
+  std::size_t num_classes_ = 0;
+  std::vector<double> weights_;      // local items x J
+  std::vector<double> full_weights_; // all items x J (WtsOnly only)
+  std::vector<double> stats_;        // J x stats_per_class
+  std::vector<double> scratch_;      // per-item log-likelihood row
+};
+
+}  // namespace pac::ac

@@ -1,0 +1,63 @@
+// Reporting utilities: hard assignments, membership probabilities, and the
+// attribute-influence report (AutoClass's "influ-o-text" output).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "autoclass/classification.hpp"
+
+namespace pac::ac {
+
+/// Hard class labels: argmax_j of the posterior membership of each item.
+std::vector<std::int32_t> assign_labels(const Classification& c);
+
+/// Posterior membership probabilities of one item (sums to 1).
+std::vector<double> membership(const Classification& c, std::size_t item);
+
+/// One row of the influence report: how strongly a term (attribute or
+/// block) separates class j from the global population (KL divergence).
+struct InfluenceEntry {
+  std::size_t class_index = 0;
+  std::size_t term_index = 0;
+  double influence = 0.0;
+};
+
+/// Influence values for every (class, term), descending by influence.
+std::vector<InfluenceEntry> influence_report(const Classification& c);
+
+/// Print the classification summary and influence report (the part of
+/// AutoClass's report files a user reads first).
+void print_report(std::ostream& os, const Classification& c);
+
+/// AutoClass-style case report: one line per item with its best and
+/// second-best class and their membership probabilities.  `max_items`
+/// truncates the listing (0 = all items).
+void write_case_report(std::ostream& os, const Classification& c,
+                       std::size_t max_items = 0);
+
+/// Classification quality diagnostic from the paper's Sec. 2: the mean of
+/// each item's maximum membership probability.  ~1 means well-separated
+/// classes; ~1/J means meaningless overlap.
+double mean_max_membership(const Classification& c);
+
+// ---- prediction (AutoClass's "predict" mode): apply a trained
+//      classification to data that was not used for training ----
+
+/// Posterior membership of one item of a foreign dataset (must share the
+/// training schema).  Sums to 1.
+std::vector<double> predict_membership(const Classification& c,
+                                       const data::Dataset& foreign,
+                                       std::size_t item);
+
+/// Hard labels for every item of a foreign dataset.
+std::vector<std::int32_t> predict_labels(const Classification& c,
+                                         const data::Dataset& foreign);
+
+/// Per-item observed log-likelihood under the classification: a held-out
+/// score for comparing classifications on fresh data.
+double predict_log_likelihood(const Classification& c,
+                              const data::Dataset& foreign);
+
+}  // namespace pac::ac

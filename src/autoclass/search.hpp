@@ -1,0 +1,96 @@
+// Model-level search: the paper's BIG_LOOP (Fig. 2).
+//
+// The loop repeatedly (1) selects a class count J from start_j_list — and,
+// once the list is exhausted, from a log-normal fitted to the Js of the best
+// classifications found so far, as AutoClass does — (2) runs a "new
+// classification try" (random init + EM to convergence + empty-class
+// pruning), (3) eliminates duplicates of already-stored classifications, and
+// (4) keeps the best few by score.
+//
+// The loop body is pure, deterministic logic over TryResult values, so it is
+// shared verbatim by the sequential and the SPMD-parallel drivers: every
+// rank replays the identical search decisions (the control flow in
+// P-AutoClass is fully replicated; only the EM inside a try is distributed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "autoclass/em.hpp"
+
+namespace pac::ac {
+
+enum class ScoreKind {
+  kCheesemanStutz,  // AutoClass's marginal approximation (default)
+  kBic,             // Laplace/BIC-style penalized likelihood
+};
+
+struct SearchConfig {
+  /// The paper's experiment grid: start_j_list = 2, 4, 8, 16, 24, 50, 64.
+  std::vector<int> start_j_list = {2, 4, 8, 16, 24, 50, 64};
+  /// Total classification tries (the paper repeats each run 10 times).
+  int max_tries = 10;
+  /// Early stop (the BIG_LOOP's "check the stopping conditions", paper
+  /// Fig. 1): give up after this many consecutive tries that neither enter
+  /// the leaderboard's top spot nor improve the best score.  0 disables.
+  int patience = 0;
+  /// Stop once the accumulated *modeled* EM cycles exceed this budget
+  /// (proxy for AutoClass's wall-clock stopping rule).  0 disables.
+  std::int64_t max_total_cycles = 0;
+  /// Best classifications kept (AutoClass stores a short leaderboard).
+  int keep_best = 3;
+  ScoreKind score = ScoreKind::kCheesemanStutz;
+  std::uint64_t seed = 1234;
+  /// Duplicate-elimination tolerances (see Classification::is_duplicate_of).
+  double duplicate_score_tolerance = 1e-4;
+  double duplicate_weight_tolerance = 5e-3;
+  EmConfig em;
+};
+
+struct TryResult {
+  Classification classification;
+  int try_index = 0;
+  int j_requested = 0;
+  bool converged = false;
+  bool duplicate = false;  // filled by the search loop
+};
+
+struct SearchResult {
+  /// Best non-duplicate classifications, descending by score.
+  std::vector<TryResult> best;
+  int tries = 0;
+  int duplicates = 0;
+  std::int64_t total_cycles = 0;
+
+  const Classification& top() const;
+  double top_score(ScoreKind kind) const;
+};
+
+/// Runs one try: must initialize, converge, and prune a J-class
+/// classification.  The sequential and parallel drivers supply this.
+using TryRunner = std::function<TryResult(int try_index, int j)>;
+
+/// The shared BIG_LOOP.  `model` is only used for scoring metadata.
+SearchResult run_search(const Model& model, const SearchConfig& config,
+                        const TryRunner& runner);
+
+/// BIG_LOOP continuation: runs tries `state.tries .. max_tries-1`, seeding
+/// duplicate elimination and J selection with the leaderboard in `state`.
+/// run_search is this with an empty state; checkpoint.hpp's resume_search
+/// loads the state from disk.
+SearchResult run_search_from(const Model& model, const SearchConfig& config,
+                             const TryRunner& runner, SearchResult state);
+
+/// Convenience sequential driver: whole dataset, identity Reducer.
+SearchResult sequential_search(const Model& model, const SearchConfig& config);
+
+/// The J the search would pick for try `t` given the Js of the current best
+/// classifications (exposed for tests; deterministic in (config.seed, t)).
+int select_j(const SearchConfig& config, int try_index,
+             const std::vector<int>& best_js);
+
+double score_of(const Classification& c, ScoreKind kind);
+
+}  // namespace pac::ac

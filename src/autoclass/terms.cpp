@@ -1,0 +1,783 @@
+// Concrete model terms: single_normal, single_multinomial, multi_normal.
+//
+// Notation per class j (weights w_i are the E-step membership weights):
+//   sw   = sum_i w_i                (over items with known values)
+//   swx  = sum_i w_i x_i
+//   swx2 = sum_i w_i x_i^2
+//
+// MAP updates use empirical-Bayes conjugate priors centred on the global
+// column statistics; the same priors give closed-form marginal likelihoods
+// for the Cheeseman-Stutz score:
+//   normal       — normal-inverse-gamma (NIG)
+//   multinomial  — Dirichlet (Perks: alpha_l = scale / L)
+//   multi normal — normal-inverse-Wishart (NIW), diagonal prior scatter
+//
+// Real densities carry a + log(error) correction per observed value: the
+// probability of a measured value is the density integrated over the
+// attribute's measurement-error interval, which makes log-likelihoods
+// dimensionless and comparable across unit choices (AutoClass does the
+// same).
+#include "autoclass/terms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace pac::ac::detail {
+
+namespace {
+
+// ---------------------------------------------------------------- normal --
+
+class SingleNormalTerm final : public Term {
+ public:
+  SingleNormalTerm(TermSpec spec, const data::Dataset& data,
+                   const ModelConfig& config)
+      : Term(std::move(spec)) {
+    PAC_REQUIRE(spec_.attributes.size() == 1);
+    const std::size_t a = spec_.attributes[0];
+    const auto& attr = data.schema().at(a);
+    PAC_REQUIRE_MSG(attr.kind == data::AttributeKind::kReal,
+                    "single_normal needs a real attribute");
+    column_ = data.real_column(a);
+    error_ = attr.rel_error;
+    const auto stats = data.real_stats(a);
+    PAC_REQUIRE_MSG(stats.known > 0, "attribute '" << attr.name
+                                                   << "' has no known values");
+    prior_mean_ = stats.mean;
+    // Floor the prior variance so constant columns stay well-posed.
+    prior_var_ = std::max(stats.variance, sq(error_));
+    sigma_min_ = std::max(error_, 1e-9 * (stats.max - stats.min));
+    mean_strength_ = config.mean_strength;
+    var_strength_ = config.variance_strength;
+    param_size_ = 3;  // mean, sigma, log_sigma
+    stats_size_ = 3;  // sw, swx, swx2
+    free_params_ = 2;
+    name_ = attr.name;
+  }
+
+  double log_prob(std::size_t item,
+                  std::span<const double> params) const override {
+    const double x = column_[item];
+    if (data::is_missing_real(x)) return 0.0;
+    const double z = (x - params[0]) / params[1];
+    return -0.5 * (kLog2Pi + z * z) - params[2] + std::log(error_);
+  }
+
+  void accumulate(std::size_t item, double w,
+                  std::span<double> stats) const override {
+    const double x = column_[item];
+    if (data::is_missing_real(x)) return;
+    stats[0] += w;
+    stats[1] += w * x;
+    stats[2] += w * x * x;
+  }
+
+  void update_params(std::span<const double> stats,
+                     std::span<double> params) const override {
+    const double sw = stats[0];
+    const double tau = mean_strength_;
+    const double nu = var_strength_;
+    // Posterior mean: weighted mean shrunk toward the prior mean.
+    const double mean = (stats[1] + tau * prior_mean_) / (sw + tau);
+    // Scatter about the weighted mean, regularized toward the global var.
+    double scatter = 0.0;
+    if (sw > 0.0) {
+      const double wmean = stats[1] / sw;
+      scatter = std::max(0.0, stats[2] - sw * wmean * wmean);
+    }
+    const double var = (scatter + nu * prior_var_) / (sw + nu);
+    const double sigma = std::max(std::sqrt(var), sigma_min_);
+    params[0] = mean;
+    params[1] = sigma;
+    params[2] = std::log(sigma);
+  }
+
+  double log_marginal(std::span<const double> stats) const override {
+    const double sw = stats[0];
+    if (sw <= 0.0) return 0.0;
+    // Normal-inverse-gamma marginal with kappa0 = mean_strength,
+    // alpha0 = var_strength / 2 + 1/2, beta0 = var_strength * prior_var / 2.
+    const double kappa0 = mean_strength_;
+    const double alpha0 = 0.5 * var_strength_ + 0.5;
+    const double beta0 = 0.5 * var_strength_ * prior_var_;
+    const double xbar = stats[1] / sw;
+    const double scatter = std::max(0.0, stats[2] - sw * xbar * xbar);
+    const double kappan = kappa0 + sw;
+    const double alphan = alpha0 + 0.5 * sw;
+    const double betan = beta0 + 0.5 * scatter +
+                         0.5 * kappa0 * sw * sq(xbar - prior_mean_) / kappan;
+    return log_gamma(alphan) - log_gamma(alpha0) + alpha0 * std::log(beta0) -
+           alphan * std::log(betan) + 0.5 * (std::log(kappa0) - std::log(kappan)) -
+           0.5 * sw * std::log(2.0 * kPi) + sw * std::log(error_);
+  }
+
+  double log_likelihood_of_stats(
+      std::span<const double> stats,
+      std::span<const double> params) const override {
+    const double sw = stats[0];
+    if (sw <= 0.0) return 0.0;
+    const double mean = params[0];
+    const double sigma = params[1];
+    // sum_i w_i log N(x_i | mean, sigma) from the three moments.
+    const double ss =
+        stats[2] - 2.0 * mean * stats[1] + sw * mean * mean;
+    return -0.5 * sw * kLog2Pi - sw * params[2] - 0.5 * ss / (sigma * sigma) +
+           sw * std::log(error_);
+  }
+
+  double influence(std::span<const double> params) const override {
+    // KL( N(mean, sigma^2) || N(prior_mean, prior_var) ).
+    const double var1 = sq(params[1]);
+    return 0.5 * (std::log(prior_var_ / var1) +
+                  (var1 + sq(params[0] - prior_mean_)) / prior_var_ - 1.0);
+  }
+
+  std::string describe(std::span<const double> params) const override {
+    std::ostringstream os;
+    os << name_ << " ~ N(" << params[0] << ", sd=" << params[1] << ")";
+    return os.str();
+  }
+
+  double seed_distance(std::size_t item, std::size_t seed_item) const override {
+    const double a = column_[item];
+    const double b = column_[seed_item];
+    if (data::is_missing_real(a) || data::is_missing_real(b)) return 0.5;
+    return sq(a - b) / prior_var_;
+  }
+
+  double log_prob_foreign(const data::Dataset& foreign, std::size_t item,
+                          std::span<const double> params) const override {
+    const double x = foreign.real_value(item, spec_.attributes[0]);
+    if (data::is_missing_real(x)) return 0.0;
+    const double z = (x - params[0]) / params[1];
+    return -0.5 * (kLog2Pi + z * z) - params[2] + std::log(error_);
+  }
+
+ private:
+  std::span<const double> column_;
+  std::string name_;
+  double error_ = 1e-2;
+  double prior_mean_ = 0.0;
+  double prior_var_ = 1.0;
+  double sigma_min_ = 1e-9;
+  double mean_strength_ = 1.0;
+  double var_strength_ = 1.0;
+};
+
+// ----------------------------------------------------------- multinomial --
+
+class SingleMultinomialTerm final : public Term {
+ public:
+  SingleMultinomialTerm(TermSpec spec, const data::Dataset& data,
+                        const ModelConfig& config)
+      : Term(std::move(spec)) {
+    PAC_REQUIRE(spec_.attributes.size() == 1);
+    const std::size_t a = spec_.attributes[0];
+    const auto& attr = data.schema().at(a);
+    PAC_REQUIRE_MSG(attr.kind == data::AttributeKind::kDiscrete,
+                    "single_multinomial needs a discrete attribute");
+    column_ = data.discrete_column(a);
+    missing_as_value_ = config.missing_as_extra_value;
+    num_values_ = static_cast<std::size_t>(attr.num_values) +
+                  (missing_as_value_ ? 1 : 0);
+    alpha_ = config.dirichlet_scale / static_cast<double>(num_values_);
+    // Global frequencies under the same prior, for influence values.
+    global_log_theta_.assign(num_values_, 0.0);
+    std::vector<double> counts(num_values_, 0.0);
+    double total = 0.0;
+    for (const std::int32_t v : column_) {
+      if (v == data::kMissingDiscrete) {
+        if (missing_as_value_) {
+          counts.back() += 1.0;
+          total += 1.0;
+        }
+        continue;
+      }
+      counts[static_cast<std::size_t>(v)] += 1.0;
+      total += 1.0;
+    }
+    const double denom = total + alpha_ * static_cast<double>(num_values_);
+    for (std::size_t l = 0; l < num_values_; ++l)
+      global_log_theta_[l] = std::log((counts[l] + alpha_) / denom);
+    param_size_ = num_values_;  // log theta_l
+    stats_size_ = num_values_;  // fractional counts
+    free_params_ = num_values_ - 1;
+    name_ = attr.name;
+  }
+
+  double log_prob(std::size_t item,
+                  std::span<const double> params) const override {
+    const std::int32_t v = column_[item];
+    if (v == data::kMissingDiscrete) {
+      return missing_as_value_ ? params[num_values_ - 1] : 0.0;
+    }
+    return params[static_cast<std::size_t>(v)];
+  }
+
+  void accumulate(std::size_t item, double w,
+                  std::span<double> stats) const override {
+    const std::int32_t v = column_[item];
+    if (v == data::kMissingDiscrete) {
+      if (missing_as_value_) stats[num_values_ - 1] += w;
+      return;
+    }
+    stats[static_cast<std::size_t>(v)] += w;
+  }
+
+  void update_params(std::span<const double> stats,
+                     std::span<double> params) const override {
+    double total = 0.0;
+    for (std::size_t l = 0; l < num_values_; ++l) total += stats[l];
+    const double denom = total + alpha_ * static_cast<double>(num_values_);
+    for (std::size_t l = 0; l < num_values_; ++l)
+      params[l] = std::log((stats[l] + alpha_) / denom);
+  }
+
+  double log_marginal(std::span<const double> stats) const override {
+    // Dirichlet-multinomial: log B(alpha + c) - log B(alpha).
+    double lg_posterior = 0.0, sum_posterior = 0.0;
+    for (std::size_t l = 0; l < num_values_; ++l) {
+      lg_posterior += log_gamma(alpha_ + stats[l]);
+      sum_posterior += alpha_ + stats[l];
+    }
+    const double n = static_cast<double>(num_values_);
+    const double lg_prior = n * log_gamma(alpha_);
+    const double sum_prior = alpha_ * n;
+    return (lg_posterior - log_gamma(sum_posterior)) -
+           (lg_prior - log_gamma(sum_prior));
+  }
+
+  double log_likelihood_of_stats(
+      std::span<const double> stats,
+      std::span<const double> params) const override {
+    double ll = 0.0;
+    for (std::size_t l = 0; l < num_values_; ++l) ll += stats[l] * params[l];
+    return ll;
+  }
+
+  double influence(std::span<const double> params) const override {
+    // KL( class || global ) over the symbol distribution.
+    double kl = 0.0;
+    for (std::size_t l = 0; l < num_values_; ++l)
+      kl += std::exp(params[l]) * (params[l] - global_log_theta_[l]);
+    return std::max(0.0, kl);
+  }
+
+  std::string describe(std::span<const double> params) const override {
+    std::ostringstream os;
+    os << name_ << " ~ Cat(";
+    for (std::size_t l = 0; l < num_values_; ++l)
+      os << (l ? ", " : "") << std::exp(params[l]);
+    os << ")";
+    return os.str();
+  }
+
+  double seed_distance(std::size_t item, std::size_t seed_item) const override {
+    const std::int32_t a = column_[item];
+    const std::int32_t b = column_[seed_item];
+    if (a == data::kMissingDiscrete || b == data::kMissingDiscrete) return 0.5;
+    return a == b ? 0.0 : 1.0;
+  }
+
+  double log_prob_foreign(const data::Dataset& foreign, std::size_t item,
+                          std::span<const double> params) const override {
+    const std::int32_t v =
+        foreign.discrete_value(item, spec_.attributes[0]);
+    if (v == data::kMissingDiscrete) {
+      return missing_as_value_ ? params[num_values_ - 1] : 0.0;
+    }
+    PAC_REQUIRE_MSG(static_cast<std::size_t>(v) <
+                        num_values_ - (missing_as_value_ ? 1 : 0),
+                    "foreign discrete value out of the training range");
+    return params[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  std::span<const std::int32_t> column_;
+  std::string name_;
+  std::size_t num_values_ = 0;
+  double alpha_ = 1.0;
+  bool missing_as_value_ = false;
+  std::vector<double> global_log_theta_;
+};
+
+// ---------------------------------------------------------- multi normal --
+
+/// log of the multivariate gamma function Gamma_d(x).
+double log_multigamma(std::size_t d, double x) {
+  double s = 0.25 * static_cast<double>(d) * static_cast<double>(d - 1) *
+             std::log(kPi);
+  for (std::size_t i = 0; i < d; ++i)
+    s += log_gamma(x - 0.5 * static_cast<double>(i));
+  return s;
+}
+
+class MultiNormalTerm final : public Term {
+ public:
+  MultiNormalTerm(TermSpec spec, const data::Dataset& data,
+                  const ModelConfig& config)
+      : Term(std::move(spec)) {
+    const std::size_t d = spec_.attributes.size();
+    PAC_REQUIRE_MSG(d >= 2, "multi_normal blocks need >= 2 attributes");
+    columns_.reserve(d);
+    double log_error_sum = 0.0;
+    for (const std::size_t a : spec_.attributes) {
+      const auto& attr = data.schema().at(a);
+      PAC_REQUIRE_MSG(attr.kind == data::AttributeKind::kReal,
+                      "multi_normal needs real attributes");
+      PAC_REQUIRE_MSG(data.missing_count(a) == 0,
+                      "multi_normal does not support missing values "
+                      "(attribute '"
+                          << attr.name << "')");
+      columns_.push_back(data.real_column(a));
+      const auto stats = data.real_stats(a);
+      prior_mean_.push_back(stats.mean);
+      prior_var_.push_back(std::max(stats.variance, sq(attr.rel_error)));
+      log_error_sum += std::log(attr.rel_error);
+      names_.push_back(attr.name);
+    }
+    dim_ = d;
+    log_error_sum_ = log_error_sum;
+    mean_strength_ = config.mean_strength;
+    dof0_ = static_cast<double>(d) - 1.0 + config.wishart_extra_dof;
+    // Prior scale matrix: dof0 * diag(global variances), so the prior mode
+    // of the covariance is near the global diagonal covariance.
+    param_size_ = d + d * d + 1;      // mean | cholesky(Sigma) | log det
+    stats_size_ = 1 + d + d * d;      // sw | swx | swxx
+    free_params_ = d + d * (d + 1) / 2;
+  }
+
+  double log_prob(std::size_t item,
+                  std::span<const double> params) const override {
+    const std::size_t d = dim_;
+    double diff_stack[32];
+    PAC_CHECK(d <= 32);
+    std::span<double> diff(diff_stack, d);
+    for (std::size_t k = 0; k < d; ++k)
+      diff[k] = columns_[k][item] - params[k];
+    const std::span<const double> chol(params.data() + d, d * d);
+    const double logdet = params[d + d * d];
+    const double maha = spd::mahalanobis2(chol, d, diff);
+    return -0.5 * (static_cast<double>(d) * kLog2Pi + logdet + maha) +
+           log_error_sum_;
+  }
+
+  void accumulate(std::size_t item, double w,
+                  std::span<double> stats) const override {
+    const std::size_t d = dim_;
+    stats[0] += w;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double xk = columns_[k][item];
+      stats[1 + k] += w * xk;
+      for (std::size_t l = 0; l <= k; ++l)
+        stats[1 + d + k * d + l] += w * xk * columns_[l][item];
+    }
+  }
+
+  void update_params(std::span<const double> stats,
+                     std::span<double> params) const override {
+    const std::size_t d = dim_;
+    const double sw = stats[0];
+    const double tau = mean_strength_;
+    // Posterior mean.
+    for (std::size_t k = 0; k < d; ++k)
+      params[k] = (stats[1 + k] + tau * prior_mean_[k]) / (sw + tau);
+    // Scatter about the weighted mean (lower triangle accumulated).
+    std::vector<double> sigma(d * d, 0.0);
+    const double denom = sw + dof0_ + static_cast<double>(d) + 1.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double mk = sw > 0.0 ? stats[1 + k] / sw : prior_mean_[k];
+      for (std::size_t l = 0; l <= k; ++l) {
+        const double ml = sw > 0.0 ? stats[1 + l] / sw : prior_mean_[l];
+        double s = stats[1 + d + k * d + l] - sw * mk * ml;
+        if (k == l) s += dof0_ * prior_var_[k];  // prior scale (diagonal)
+        sigma[k * d + l] = s / denom;
+        sigma[l * d + k] = sigma[k * d + l];
+      }
+    }
+    // Factor; if numerically non-PD, load the diagonal until it is.
+    std::vector<double> chol = sigma;
+    double jitter = 1e-10;
+    while (!spd::cholesky(std::span<double>(chol), d)) {
+      chol = sigma;
+      for (std::size_t k = 0; k < d; ++k)
+        chol[k * d + k] += jitter * prior_var_[k];
+      jitter *= 10.0;
+      PAC_CHECK_MSG(jitter < 1e6, "covariance is irreparably singular");
+    }
+    // Zero the (unused) strict upper triangle so params are canonical.
+    for (std::size_t k = 0; k < d; ++k)
+      for (std::size_t l = k + 1; l < d; ++l) chol[k * d + l] = 0.0;
+    std::copy(chol.begin(), chol.end(), params.begin() + d);
+    params[d + d * d] = spd::log_det_from_cholesky(chol, d);
+  }
+
+  double log_marginal(std::span<const double> stats) const override {
+    const std::size_t d = dim_;
+    const double sw = stats[0];
+    if (sw <= 0.0) return 0.0;
+    // Normal-inverse-Wishart marginal with kappa0 = mean_strength,
+    // nu0 = d + wishart_extra_dof - 1, Lambda0 = dof0 * diag(prior_var).
+    const double kappa0 = mean_strength_;
+    const double nu0 = dof0_ + static_cast<double>(d);
+    const double kappan = kappa0 + sw;
+    const double nun = nu0 + sw;
+    // Lambda_n = Lambda0 + S + kappa0*sw/kappan (xbar-mu0)(xbar-mu0)^T.
+    std::vector<double> lambda(d * d, 0.0);
+    std::vector<double> xbar(d);
+    for (std::size_t k = 0; k < d; ++k) xbar[k] = stats[1 + k] / sw;
+    const double shrink = kappa0 * sw / kappan;
+    for (std::size_t k = 0; k < d; ++k) {
+      for (std::size_t l = 0; l <= k; ++l) {
+        double s = stats[1 + d + k * d + l] - sw * xbar[k] * xbar[l];
+        s += shrink * (xbar[k] - prior_mean_[k]) * (xbar[l] - prior_mean_[l]);
+        if (k == l) s += dof0_ * prior_var_[k];
+        lambda[k * d + l] = s;
+        lambda[l * d + k] = s;
+      }
+    }
+    double logdet_lambda0 = 0.0;
+    for (std::size_t k = 0; k < d; ++k)
+      logdet_lambda0 += std::log(dof0_ * prior_var_[k]);
+    std::vector<double> chol = lambda;
+    PAC_CHECK_MSG(spd::cholesky(std::span<double>(chol), d),
+                  "posterior scale matrix not PD");
+    const double logdet_lambdan = spd::log_det_from_cholesky(chol, d);
+    const double dd = static_cast<double>(d);
+    return -0.5 * sw * dd * std::log(kPi) +
+           log_multigamma(d, 0.5 * nun) - log_multigamma(d, 0.5 * nu0) +
+           0.5 * nu0 * logdet_lambda0 - 0.5 * nun * logdet_lambdan +
+           0.5 * dd * (std::log(kappa0) - std::log(kappan)) +
+           sw * log_error_sum_;
+  }
+
+  double log_likelihood_of_stats(
+      std::span<const double> stats,
+      std::span<const double> params) const override {
+    const std::size_t d = dim_;
+    const double sw = stats[0];
+    if (sw <= 0.0) return 0.0;
+    // sum_i w_i log N(x_i | mu, Sigma)
+    //   = -sw/2 (d log 2pi + log|Sigma|) - 1/2 tr(Sigma^-1 M)
+    // with M = swxx - mu swx^T - swx mu^T + sw mu mu^T.
+    const std::span<const double> chol(params.data() + d, d * d);
+    const double logdet = params[d + d * d];
+    std::vector<double> m(d * d);
+    for (std::size_t k = 0; k < d; ++k)
+      for (std::size_t l = 0; l < d; ++l) {
+        const double swxx = stats[1 + d + (k >= l ? k * d + l : l * d + k)];
+        m[k * d + l] = swxx - params[k] * stats[1 + l] -
+                       params[l] * stats[1 + k] +
+                       sw * params[k] * params[l];
+      }
+    // tr(Sigma^-1 M): solve L Y = M, L^T Z = Y, trace Z — or use
+    // tr(Sigma^-1 M) = sum_k e_k^T Sigma^-1 M e_k via column solves.
+    double trace = 0.0;
+    std::vector<double> col(d);
+    for (std::size_t c = 0; c < d; ++c) {
+      for (std::size_t r = 0; r < d; ++r) col[r] = m[r * d + c];
+      // y = L^{-1} col ; z = L^{-T} y ; trace += z[c]
+      spd::forward_solve(chol, d, std::span<double>(col));
+      // backward solve with L^T
+      for (std::size_t r = d; r-- > 0;) {
+        double v = col[r];
+        for (std::size_t k = r + 1; k < d; ++k)
+          v -= chol[k * d + r] * col[k];
+        col[r] = v / chol[r * d + r];
+      }
+      trace += col[c];
+    }
+    return -0.5 * sw * (static_cast<double>(d) * kLog2Pi + logdet) -
+           0.5 * trace + sw * log_error_sum_;
+  }
+
+  double influence(std::span<const double> params) const override {
+    // KL( N(mu, Sigma) || N(mu0, diag(prior_var)) ).
+    const std::size_t d = dim_;
+    const std::span<const double> chol(params.data() + d, d * d);
+    const double logdet1 = params[d + d * d];
+    double logdet0 = 0.0, trace = 0.0, maha = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      logdet0 += std::log(prior_var_[k]);
+      // Sigma_kk = sum_l L_kl^2.
+      double skk = 0.0;
+      for (std::size_t l = 0; l <= k; ++l) skk += sq(chol[k * d + l]);
+      trace += skk / prior_var_[k];
+      maha += sq(params[k] - prior_mean_[k]) / prior_var_[k];
+    }
+    return std::max(
+        0.0, 0.5 * (trace + maha - static_cast<double>(d) + logdet0 - logdet1));
+  }
+
+  std::string describe(std::span<const double> params) const override {
+    std::ostringstream os;
+    os << "block(";
+    for (std::size_t k = 0; k < dim_; ++k)
+      os << (k ? "," : "") << names_[k];
+    os << ") ~ MVN(mean=[";
+    for (std::size_t k = 0; k < dim_; ++k)
+      os << (k ? "," : "") << params[k];
+    os << "])";
+    return os.str();
+  }
+
+  double seed_distance(std::size_t item, std::size_t seed_item) const override {
+    double d2 = 0.0;
+    for (std::size_t k = 0; k < dim_; ++k)
+      d2 += sq(columns_[k][item] - columns_[k][seed_item]) / prior_var_[k];
+    return d2;
+  }
+
+  double log_prob_foreign(const data::Dataset& foreign, std::size_t item,
+                          std::span<const double> params) const override {
+    const std::size_t d = dim_;
+    double diff_stack[32];
+    PAC_CHECK(d <= 32);
+    std::span<double> diff(diff_stack, d);
+    for (std::size_t k = 0; k < d; ++k) {
+      const double x = foreign.real_value(item, spec_.attributes[k]);
+      PAC_REQUIRE_MSG(!data::is_missing_real(x),
+                      "multi_normal prediction needs complete rows");
+      diff[k] = x - params[k];
+    }
+    const std::span<const double> chol(params.data() + d, d * d);
+    const double logdet = params[d + d * d];
+    const double maha = spd::mahalanobis2(chol, d, diff);
+    return -0.5 * (static_cast<double>(d) * kLog2Pi + logdet + maha) +
+           log_error_sum_;
+  }
+
+ private:
+  std::vector<std::span<const double>> columns_;
+  std::vector<std::string> names_;
+  std::vector<double> prior_mean_;
+  std::vector<double> prior_var_;
+  std::size_t dim_ = 0;
+  double log_error_sum_ = 0.0;
+  double mean_strength_ = 1.0;
+  double dof0_ = 3.0;
+};
+
+// ------------------------------------------------------------ log-normal --
+
+/// Log-normal model for strictly positive reals (AutoClass's scalar model
+/// for quantities like mass or intensity): log(x) is modeled as a normal.
+/// The attribute's `rel_error` is interpreted *relatively* (constant error
+/// in log space), so the density correction is + log(rel_error) and the
+/// Jacobian contributes - log(x) per observation.  Sufficient statistics
+/// are the weighted moments of log(x): [sw, swl, swl2].
+class SingleLognormalTerm final : public Term {
+ public:
+  SingleLognormalTerm(TermSpec spec, const data::Dataset& data,
+                      const ModelConfig& config)
+      : Term(std::move(spec)) {
+    PAC_REQUIRE(spec_.attributes.size() == 1);
+    const std::size_t a = spec_.attributes[0];
+    const auto& attr = data.schema().at(a);
+    PAC_REQUIRE_MSG(attr.kind == data::AttributeKind::kReal,
+                    "single_lognormal needs a real attribute");
+    const auto raw = data.real_column(a);
+    log_column_.resize(raw.size());
+    WeightedMoments moments;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (data::is_missing_real(raw[i])) {
+        log_column_[i] = data::missing_real();
+        continue;
+      }
+      PAC_REQUIRE_MSG(raw[i] > 0.0,
+                      "single_lognormal needs strictly positive values; '"
+                          << attr.name << "' has " << raw[i]);
+      log_column_[i] = std::log(raw[i]);
+      moments.add(log_column_[i], 1.0);
+    }
+    PAC_REQUIRE_MSG(moments.weight() > 0.0,
+                    "attribute '" << attr.name << "' has no known values");
+    rel_error_ = attr.rel_error;
+    prior_mean_ = moments.mean();
+    prior_var_ = std::max(moments.variance(), sq(rel_error_));
+    sigma_min_ = std::max(rel_error_, 1e-12);
+    mean_strength_ = config.mean_strength;
+    var_strength_ = config.variance_strength;
+    param_size_ = 3;  // mean, sigma, log_sigma (of log x)
+    stats_size_ = 3;  // sw, swl, swl2
+    free_params_ = 2;
+    name_ = attr.name;
+  }
+
+  double log_prob(std::size_t item,
+                  std::span<const double> params) const override {
+    const double lx = log_column_[item];
+    if (data::is_missing_real(lx)) return 0.0;
+    const double z = (lx - params[0]) / params[1];
+    // Density of x: N(log x | m, s) / x; relative-error correction.
+    return -0.5 * (kLog2Pi + z * z) - params[2] - lx + std::log(rel_error_);
+  }
+
+  void accumulate(std::size_t item, double w,
+                  std::span<double> stats) const override {
+    const double lx = log_column_[item];
+    if (data::is_missing_real(lx)) return;
+    stats[0] += w;
+    stats[1] += w * lx;
+    stats[2] += w * lx * lx;
+  }
+
+  void update_params(std::span<const double> stats,
+                     std::span<double> params) const override {
+    const double sw = stats[0];
+    const double mean = (stats[1] + mean_strength_ * prior_mean_) /
+                        (sw + mean_strength_);
+    double scatter = 0.0;
+    if (sw > 0.0) {
+      const double wmean = stats[1] / sw;
+      scatter = std::max(0.0, stats[2] - sw * wmean * wmean);
+    }
+    const double var =
+        (scatter + var_strength_ * prior_var_) / (sw + var_strength_);
+    const double sigma = std::max(std::sqrt(var), sigma_min_);
+    params[0] = mean;
+    params[1] = sigma;
+    params[2] = std::log(sigma);
+  }
+
+  double log_marginal(std::span<const double> stats) const override {
+    const double sw = stats[0];
+    if (sw <= 0.0) return 0.0;
+    const double kappa0 = mean_strength_;
+    const double alpha0 = 0.5 * var_strength_ + 0.5;
+    const double beta0 = 0.5 * var_strength_ * prior_var_;
+    const double xbar = stats[1] / sw;
+    const double scatter = std::max(0.0, stats[2] - sw * xbar * xbar);
+    const double kappan = kappa0 + sw;
+    const double alphan = alpha0 + 0.5 * sw;
+    const double betan = beta0 + 0.5 * scatter +
+                         0.5 * kappa0 * sw * sq(xbar - prior_mean_) / kappan;
+    // NIG marginal over log x, plus the Jacobian term -sum w log x = -swl
+    // and the relative-error correction.
+    return log_gamma(alphan) - log_gamma(alpha0) + alpha0 * std::log(beta0) -
+           alphan * std::log(betan) +
+           0.5 * (std::log(kappa0) - std::log(kappan)) -
+           0.5 * sw * std::log(2.0 * kPi) - stats[1] +
+           sw * std::log(rel_error_);
+  }
+
+  double log_likelihood_of_stats(
+      std::span<const double> stats,
+      std::span<const double> params) const override {
+    const double sw = stats[0];
+    if (sw <= 0.0) return 0.0;
+    const double mean = params[0];
+    const double sigma = params[1];
+    const double ss = stats[2] - 2.0 * mean * stats[1] + sw * mean * mean;
+    return -0.5 * sw * kLog2Pi - sw * params[2] -
+           0.5 * ss / (sigma * sigma) - stats[1] +
+           sw * std::log(rel_error_);
+  }
+
+  double influence(std::span<const double> params) const override {
+    const double var1 = sq(params[1]);
+    return 0.5 * (std::log(prior_var_ / var1) +
+                  (var1 + sq(params[0] - prior_mean_)) / prior_var_ - 1.0);
+  }
+
+  std::string describe(std::span<const double> params) const override {
+    std::ostringstream os;
+    os << name_ << " ~ logN(" << params[0] << ", sd=" << params[1] << ")";
+    return os.str();
+  }
+
+  double seed_distance(std::size_t item, std::size_t seed_item) const override {
+    const double a = log_column_[item];
+    const double b = log_column_[seed_item];
+    if (data::is_missing_real(a) || data::is_missing_real(b)) return 0.5;
+    return sq(a - b) / prior_var_;
+  }
+
+  double log_prob_foreign(const data::Dataset& foreign, std::size_t item,
+                          std::span<const double> params) const override {
+    const double x = foreign.real_value(item, spec_.attributes[0]);
+    if (data::is_missing_real(x)) return 0.0;
+    PAC_REQUIRE_MSG(x > 0.0, "single_lognormal needs positive values");
+    const double lx = std::log(x);
+    const double z = (lx - params[0]) / params[1];
+    return -0.5 * (kLog2Pi + z * z) - params[2] - lx + std::log(rel_error_);
+  }
+
+ private:
+  std::vector<double> log_column_;
+  std::string name_;
+  double rel_error_ = 1e-2;
+  double prior_mean_ = 0.0;
+  double prior_var_ = 1.0;
+  double sigma_min_ = 1e-12;
+  double mean_strength_ = 1.0;
+  double var_strength_ = 1.0;
+};
+
+// ----------------------------------------------------------------- ignore --
+
+/// AutoClass's "ignore" model term: the covered attributes are excluded
+/// from the classification entirely.  Zero parameters, zero statistics,
+/// zero likelihood contribution.
+class IgnoreTerm final : public Term {
+ public:
+  IgnoreTerm(TermSpec spec, const data::Dataset& data, const ModelConfig&)
+      : Term(std::move(spec)) {
+    for (const std::size_t a : spec_.attributes)
+      PAC_REQUIRE(a < data.num_attributes());
+    param_size_ = 0;
+    stats_size_ = 0;
+    free_params_ = 0;
+  }
+
+  double log_prob(std::size_t, std::span<const double>) const override {
+    return 0.0;
+  }
+  void accumulate(std::size_t, double, std::span<double>) const override {}
+  void update_params(std::span<const double>,
+                     std::span<double>) const override {}
+  double log_marginal(std::span<const double>) const override { return 0.0; }
+  double log_likelihood_of_stats(std::span<const double>,
+                                 std::span<const double>) const override {
+    return 0.0;
+  }
+  double influence(std::span<const double>) const override { return 0.0; }
+  std::string describe(std::span<const double>) const override {
+    return "(ignored)";
+  }
+  double seed_distance(std::size_t, std::size_t) const override {
+    return 0.0;
+  }
+  double log_prob_foreign(const data::Dataset&, std::size_t,
+                          std::span<const double>) const override {
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Term> make_term(TermSpec spec, const data::Dataset& data,
+                                const ModelConfig& config) {
+  switch (spec.kind) {
+    case TermKind::kSingleNormal:
+      return std::make_unique<SingleNormalTerm>(std::move(spec), data, config);
+    case TermKind::kSingleMultinomial:
+      return std::make_unique<SingleMultinomialTerm>(std::move(spec), data,
+                                                     config);
+    case TermKind::kMultiNormal:
+      return std::make_unique<MultiNormalTerm>(std::move(spec), data, config);
+    case TermKind::kSingleLognormal:
+      return std::make_unique<SingleLognormalTerm>(std::move(spec), data,
+                                                   config);
+    case TermKind::kIgnore:
+      return std::make_unique<IgnoreTerm>(std::move(spec), data, config);
+  }
+  PAC_REQUIRE_MSG(false, "unknown term kind");
+  return nullptr;
+}
+
+}  // namespace pac::ac::detail

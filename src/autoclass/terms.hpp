@@ -1,0 +1,15 @@
+// Internal factory for concrete model terms (see model.hpp for the Term
+// contract).  Split from model.cpp so the math of each family stays in one
+// reviewable unit.
+#pragma once
+
+#include <memory>
+
+#include "autoclass/model.hpp"
+
+namespace pac::ac::detail {
+
+std::unique_ptr<Term> make_term(TermSpec spec, const data::Dataset& data,
+                                const ModelConfig& config);
+
+}  // namespace pac::ac::detail

@@ -1,0 +1,186 @@
+#include "baseline/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pac::baseline {
+
+namespace {
+
+constexpr std::uint64_t kSeedStream = 0x4B4D;  // "KM"
+
+/// Indices of the dataset's real attributes.
+std::vector<std::size_t> real_attributes(const data::Dataset& dataset) {
+  std::vector<std::size_t> attrs;
+  for (std::size_t a = 0; a < dataset.num_attributes(); ++a)
+    if (dataset.schema().at(a).kind == data::AttributeKind::kReal)
+      attrs.push_back(a);
+  PAC_REQUIRE_MSG(!attrs.empty(), "k-means needs at least one real attribute");
+  return attrs;
+}
+
+/// Squared distance of item i to a centroid, averaged over known dims and
+/// rescaled to d dims so missing values neither attract nor repel.
+double distance2(const data::Dataset& dataset,
+                 const std::vector<std::size_t>& attrs, std::size_t item,
+                 const double* centroid) {
+  double sum = 0.0;
+  std::size_t known = 0;
+  for (std::size_t c = 0; c < attrs.size(); ++c) {
+    const double x = dataset.real_value(item, attrs[c]);
+    if (data::is_missing_real(x)) continue;
+    const double diff = x - centroid[c];
+    sum += diff * diff;
+    ++known;
+  }
+  if (known == 0) return 0.0;
+  return sum * static_cast<double>(attrs.size()) /
+         static_cast<double>(known);
+}
+
+/// Partition-invariant seeding: k distinct random items become centroids
+/// (missing dims fall back to the column mean).
+std::vector<double> seed_centroids(const data::Dataset& dataset,
+                                   const std::vector<std::size_t>& attrs,
+                                   const KMeansConfig& config) {
+  const std::size_t n = dataset.num_items();
+  const std::size_t d = attrs.size();
+  const auto k = static_cast<std::size_t>(config.k);
+  const CounterRng rng(config.seed);
+  std::vector<std::size_t> seeds;
+  std::uint64_t draw = 0;
+  while (seeds.size() < k) {
+    const auto candidate = std::min(
+        n - 1,
+        static_cast<std::size_t>(rng.uniform(kSeedStream, seeds.size(), draw) *
+                                 static_cast<double>(n)));
+    ++draw;
+    const bool taken =
+        std::find(seeds.begin(), seeds.end(), candidate) != seeds.end();
+    if (!taken || draw > 16 * k) seeds.push_back(candidate);
+  }
+  std::vector<double> centroids(k * d);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double x = dataset.real_value(seeds[j], attrs[c]);
+      centroids[j * d + c] =
+          data::is_missing_real(x) ? dataset.real_stats(attrs[c]).mean : x;
+    }
+  }
+  return centroids;
+}
+
+/// One rank's share of the Lloyd iteration loop.  `reduce` makes the
+/// [sums | counts | inertia] buffer global (identity when sequential).
+template <class ReduceFn, class ChargeFn>
+KMeansResult lloyd(const data::Dataset& dataset, const KMeansConfig& config,
+                   data::ItemRange range, const ReduceFn& reduce,
+                   const ChargeFn& charge) {
+  PAC_REQUIRE(config.k >= 1);
+  PAC_REQUIRE(config.max_iterations >= 1);
+  PAC_REQUIRE_MSG(static_cast<std::size_t>(config.k) <= dataset.num_items(),
+                  "more clusters than items");
+  const auto attrs = real_attributes(dataset);
+  const std::size_t d = attrs.size();
+  const auto k = static_cast<std::size_t>(config.k);
+
+  KMeansResult result;
+  result.centroids = seed_centroids(dataset, attrs, config);
+  std::vector<std::int32_t> local_labels(range.size(), 0);
+  // Buffer layout: k*d sums | k counts | 1 inertia.
+  std::vector<double> buffer(k * d + k + 1);
+  double previous_inertia = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    std::fill(buffer.begin(), buffer.end(), 0.0);
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      std::size_t best = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < k; ++j) {
+        const double d2 =
+            distance2(dataset, attrs, i, result.centroids.data() + j * d);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = j;
+        }
+      }
+      local_labels[i - range.begin] = static_cast<std::int32_t>(best);
+      for (std::size_t c = 0; c < d; ++c) {
+        const double x = dataset.real_value(i, attrs[c]);
+        if (!data::is_missing_real(x)) buffer[best * d + c] += x;
+      }
+      buffer[k * d + best] += 1.0;
+      buffer[k * d + k] += best_d2;
+    }
+    charge(range.size(), k, d);
+    reduce(buffer);
+
+    // New centroids (empty clusters keep their previous position).
+    for (std::size_t j = 0; j < k; ++j) {
+      const double count = buffer[k * d + j];
+      if (count <= 0.0) continue;
+      for (std::size_t c = 0; c < d; ++c)
+        result.centroids[j * d + c] = buffer[j * d + c] / count;
+    }
+    result.inertia = buffer[k * d + k];
+    result.iterations = iter + 1;
+    const double delta = std::abs(previous_inertia - result.inertia);
+    if (delta <= config.rel_tolerance * (1.0 + result.inertia)) {
+      result.converged = true;
+      break;
+    }
+    previous_inertia = result.inertia;
+  }
+  result.labels.assign(local_labels.begin(), local_labels.end());
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const data::Dataset& dataset, const KMeansConfig& config) {
+  return lloyd(
+      dataset, config, data::ItemRange{0, dataset.num_items()},
+      [](std::vector<double>&) {}, [](std::size_t, std::size_t, std::size_t) {});
+}
+
+KMeansResult parallel_kmeans(mp::World& world, const data::Dataset& dataset,
+                             const KMeansConfig& config,
+                             mp::RunStats* stats) {
+  std::optional<KMeansResult> rank0;
+  std::vector<std::vector<std::int32_t>> label_blocks(world.num_ranks());
+  std::mutex mutex;
+  mp::RunStats run = world.run([&](mp::Comm& comm) {
+    const data::ItemRange range = data::block_partition(
+        dataset.num_items(), comm.size(), comm.rank());
+    KMeansResult local = lloyd(
+        dataset, config, range,
+        [&](std::vector<double>& buffer) {
+          comm.allreduce_inplace<double>(buffer, mp::ReduceOp::kSum);
+        },
+        [&](std::size_t items, std::size_t k, std::size_t d) {
+          // Distance evaluations dominate: items x k x d multiply-adds,
+          // charged with the same per-op constant as the EM E-step.
+          comm.charge(static_cast<double>(items) * static_cast<double>(k) *
+                      static_cast<double>(d) *
+                      comm.costs().wts_per_item_class_attr);
+        });
+    std::lock_guard<std::mutex> lock(mutex);
+    label_blocks[comm.rank()] = std::move(local.labels);
+    if (comm.rank() == 0) rank0 = std::move(local);
+  });
+  PAC_CHECK(rank0.has_value());
+  KMeansResult result = std::move(*rank0);
+  result.labels.clear();
+  for (auto& block : label_blocks)
+    result.labels.insert(result.labels.end(), block.begin(), block.end());
+  if (stats) *stats = std::move(run);
+  return result;
+}
+
+}  // namespace pac::baseline

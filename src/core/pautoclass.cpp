@@ -1,0 +1,231 @@
+#include "core/pautoclass.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace pac::core {
+
+const char* to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kFull: return "full";
+    case Strategy::kWtsOnly: return "wts-only";
+  }
+  return "?";
+}
+
+const char* to_string(ReduceGranularity g) noexcept {
+  switch (g) {
+    case ReduceGranularity::kPerTerm: return "per-term";
+    case ReduceGranularity::kFused: return "fused";
+  }
+  return "?";
+}
+
+ParallelReducer::ParallelReducer(mp::Comm& comm, const ac::Model& model,
+                                 const ParallelConfig& config)
+    : comm_(&comm), model_(&model), config_(config) {}
+
+void ParallelReducer::reduce_weights(std::span<double> weights_and_loglike) {
+  // One Allreduce of [W_0..W_{J-1}, logL] — paper Fig. 4.
+  comm_->allreduce_inplace(weights_and_loglike, mp::ReduceOp::kSum);
+}
+
+void ParallelReducer::reduce_statistics(std::span<double> stats,
+                                        std::size_t num_classes) {
+  const std::size_t spc = model_->stats_per_class();
+  PAC_CHECK(stats.size() == num_classes * spc);
+  if (config_.granularity == ReduceGranularity::kFused) {
+    comm_->allreduce_inplace(stats, mp::ReduceOp::kSum);
+    return;
+  }
+  // Per-term: one Allreduce per (class, term), mirroring the placement of
+  // the Allreduce inside the class/attribute loops of paper Fig. 5.
+  for (std::size_t j = 0; j < num_classes; ++j) {
+    double* class_stats = stats.data() + j * spc;
+    for (std::size_t t = 0; t < model_->num_terms(); ++t) {
+      comm_->allreduce_inplace(
+          std::span<double>(class_stats + model_->stats_offset(t),
+                            model_->term(t).stats_size()),
+          mp::ReduceOp::kSum);
+    }
+  }
+}
+
+void ParallelReducer::gather_weight_matrix(std::span<const double> local,
+                                           std::span<double> full,
+                                           data::ItemRange range,
+                                           std::size_t j) {
+  const int p = comm_->size();
+  const std::size_t n = full.size() / j;
+  PAC_CHECK(full.size() == n * j);
+  PAC_CHECK(local.size() == range.size() * j);
+  if (p == 1) {
+    std::copy(local.begin(), local.end(), full.begin());
+    return;
+  }
+  // Blocks differ by at most one row; pad to the widest and Allgather.
+  const std::size_t pad_rows = data::block_partition(n, p, 0).size();
+  std::vector<double> padded(pad_rows * j, 0.0);
+  std::copy(local.begin(), local.end(), padded.begin());
+  std::vector<double> gathered(static_cast<std::size_t>(p) * pad_rows * j);
+  comm_->allgather<double>(padded, std::span<double>(gathered));
+  for (int r = 0; r < p; ++r) {
+    const data::ItemRange rr = data::block_partition(n, p, r);
+    std::copy_n(gathered.begin() + static_cast<std::size_t>(r) * pad_rows * j,
+                rr.size() * j, full.begin() + rr.begin * j);
+  }
+}
+
+void ParallelReducer::charge(const ac::PhaseWork& work) {
+  if (!config_.charge_costs) return;
+  const net::CostBook& costs = comm_->costs();
+  const auto items = static_cast<double>(work.items);
+  const auto classes = static_cast<double>(work.classes);
+  const auto attrs = static_cast<double>(work.attributes);
+  double seconds = 0.0;
+  double* bucket = &profile_.overhead;
+  switch (work.phase) {
+    case ac::Phase::kUpdateWts:
+      seconds = items * (classes * attrs * costs.wts_per_item_class_attr +
+                         costs.wts_per_item);
+      bucket = &profile_.wts;
+      break;
+    case ac::Phase::kUpdateParams:
+      // Accumulation over local items + the replicated MAP update.
+      seconds = items * classes * attrs * costs.params_per_item_class_attr +
+                classes * attrs * costs.params_update_per_class_attr;
+      bucket = &profile_.params;
+      break;
+    case ac::Phase::kUpdateApprox:
+      seconds = classes * costs.approx_per_class;
+      bucket = &profile_.approx;
+      break;
+    case ac::Phase::kCycleOverhead:
+      seconds = costs.per_cycle_overhead;
+      break;
+    case ac::Phase::kTryOverhead:
+      seconds = costs.per_try_overhead + items * costs.wts_per_item;
+      break;
+  }
+  comm_->charge(seconds);
+  *bucket += seconds;
+}
+
+namespace {
+
+/// Partition selection: the paper's equal-size block split, or the skewed
+/// variant for the load-imbalance ablation.
+data::ItemRange partition_for(const ac::Model& model, const mp::Comm& comm,
+                              const ParallelConfig& parallel) {
+  const std::size_t n = model.dataset().num_items();
+  if (parallel.partition_skew == 1.0)
+    return data::block_partition(n, comm.size(), comm.rank());
+  PAC_REQUIRE_MSG(parallel.strategy == Strategy::kFull,
+                  "partition_skew requires the Full strategy");
+  return data::skewed_partition(n, comm.size(), comm.rank(),
+                                parallel.partition_skew);
+}
+
+/// The per-try body shared by both entry points.
+ac::TryResult run_try(ac::EmWorker& worker, const ac::Model& model,
+                      const ac::SearchConfig& config, int try_index, int j) {
+  ac::TryResult out{
+      ac::Classification(model, static_cast<std::size_t>(j))};
+  worker.random_init(out.classification, config.seed,
+                     static_cast<std::uint64_t>(try_index), config.em);
+  const ac::ConvergeOutcome outcome =
+      worker.converge(out.classification, config.em);
+  out.converged = outcome.converged;
+  out.classification = worker.prune_and_refit(out.classification, config.em);
+  return out;
+}
+
+}  // namespace
+
+ParallelOutcome run_parallel_search(mp::World& world, const ac::Model& model,
+                                    const ac::SearchConfig& config,
+                                    const ParallelConfig& parallel,
+                                    const ac::SearchResult* resume) {
+  std::optional<ac::SearchResult> rank0_result;
+  std::optional<PhaseProfile> rank0_profile;
+  std::mutex result_mutex;
+
+  mp::RunStats stats = world.run([&](mp::Comm& comm) {
+    ParallelReducer reducer(comm, model, parallel);
+    const data::ItemRange range = partition_for(model, comm, parallel);
+    ac::EmWorker worker(model, range, reducer,
+                        parallel.strategy == Strategy::kFull);
+    const ac::TryRunner runner = [&](int try_index, int j) {
+      return run_try(worker, model, config, try_index, j);
+    };
+    // The search loop runs replicated: every rank makes identical decisions
+    // because every input to a decision is a globally reduced value.  A
+    // resumed state is copied per rank so each replica owns its mutable
+    // leaderboard.
+    ac::SearchResult seed;
+    if (resume) {
+      seed.tries = resume->tries;
+      seed.duplicates = resume->duplicates;
+      seed.total_cycles = resume->total_cycles;
+      for (const ac::TryResult& entry : resume->best)
+        seed.best.push_back(ac::TryResult{entry.classification,
+                                          entry.try_index, entry.j_requested,
+                                          entry.converged, entry.duplicate});
+    }
+    ac::SearchResult result =
+        ac::run_search_from(model, config, runner, std::move(seed));
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      rank0_result = std::move(result);
+      rank0_profile = reducer.profile();
+    }
+  });
+
+  PAC_CHECK(rank0_result.has_value());
+  ParallelOutcome outcome{std::move(*rank0_result), std::move(stats),
+                          *rank0_profile};
+  return outcome;
+}
+
+BaseCycleMeasurement measure_base_cycle(mp::World& world,
+                                        const ac::Model& model, int j,
+                                        int cycles, std::uint64_t seed,
+                                        const ParallelConfig& parallel) {
+  PAC_REQUIRE(j >= 1 && cycles >= 1);
+  std::optional<PhaseProfile> rank0_profile;
+  std::mutex result_mutex;
+  ac::EmConfig em;
+
+  mp::RunStats stats = world.run([&](mp::Comm& comm) {
+    ParallelReducer reducer(comm, model, parallel);
+    const data::ItemRange range = partition_for(model, comm, parallel);
+    ac::EmWorker worker(model, range, reducer,
+                        parallel.strategy == Strategy::kFull);
+    ac::Classification c(model, static_cast<std::size_t>(j));
+    worker.random_init(c, seed, 0, em);
+    const double start = comm.now();
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      worker.update_parameters(c);
+      worker.update_wts(c);
+      worker.update_approximations(c);
+    }
+    (void)start;
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      rank0_profile = reducer.profile();
+    }
+  });
+
+  BaseCycleMeasurement out;
+  out.stats = std::move(stats);
+  out.profile = *rank0_profile;
+  // Exclude the try-overhead of random_init from the per-cycle figure by
+  // charging it against the whole run: init cost is one-off and small.
+  out.seconds_per_cycle = out.stats.virtual_time / static_cast<double>(cycles);
+  return out;
+}
+
+}  // namespace pac::core

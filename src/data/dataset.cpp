@@ -1,0 +1,191 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace pac::data {
+
+Dataset::Dataset(Schema schema, std::size_t num_items)
+    : schema_(std::move(schema)), num_items_(num_items) {
+  columns_.reserve(schema_.size());
+  for (const Attribute& a : schema_.attributes()) {
+    if (a.kind == AttributeKind::kReal) {
+      columns_.emplace_back(std::vector<double>(num_items, missing_real()));
+    } else {
+      columns_.emplace_back(
+          std::vector<std::int32_t>(num_items, kMissingDiscrete));
+    }
+  }
+}
+
+void Dataset::check_real(std::size_t item, std::size_t attr) const {
+  PAC_REQUIRE_MSG(item < num_items_, "item " << item << " out of range");
+  PAC_REQUIRE_MSG(attr < schema_.size(), "attr " << attr << " out of range");
+  PAC_REQUIRE_MSG(schema_.at(attr).kind == AttributeKind::kReal,
+                  "attribute " << attr << " ('" << schema_.at(attr).name
+                               << "') is not real");
+}
+
+void Dataset::check_discrete(std::size_t item, std::size_t attr) const {
+  PAC_REQUIRE_MSG(item < num_items_, "item " << item << " out of range");
+  PAC_REQUIRE_MSG(attr < schema_.size(), "attr " << attr << " out of range");
+  PAC_REQUIRE_MSG(schema_.at(attr).kind == AttributeKind::kDiscrete,
+                  "attribute " << attr << " ('" << schema_.at(attr).name
+                               << "') is not discrete");
+}
+
+double Dataset::real_value(std::size_t item, std::size_t attr) const {
+  check_real(item, attr);
+  return std::get<std::vector<double>>(columns_[attr])[item];
+}
+
+std::int32_t Dataset::discrete_value(std::size_t item,
+                                     std::size_t attr) const {
+  check_discrete(item, attr);
+  return std::get<std::vector<std::int32_t>>(columns_[attr])[item];
+}
+
+bool Dataset::is_missing(std::size_t item, std::size_t attr) const {
+  PAC_REQUIRE(item < num_items_ && attr < schema_.size());
+  if (schema_.at(attr).kind == AttributeKind::kReal)
+    return is_missing_real(
+        std::get<std::vector<double>>(columns_[attr])[item]);
+  return std::get<std::vector<std::int32_t>>(columns_[attr])[item] ==
+         kMissingDiscrete;
+}
+
+void Dataset::set_real(std::size_t item, std::size_t attr, double value) {
+  check_real(item, attr);
+  std::get<std::vector<double>>(columns_[attr])[item] = value;
+}
+
+void Dataset::set_discrete(std::size_t item, std::size_t attr,
+                           std::int32_t value) {
+  check_discrete(item, attr);
+  PAC_REQUIRE_MSG(value >= 0 && value < schema_.at(attr).num_values,
+                  "discrete value " << value << " out of range for '"
+                                    << schema_.at(attr).name << "' with "
+                                    << schema_.at(attr).num_values
+                                    << " values");
+  std::get<std::vector<std::int32_t>>(columns_[attr])[item] = value;
+}
+
+void Dataset::set_missing(std::size_t item, std::size_t attr) {
+  PAC_REQUIRE(item < num_items_ && attr < schema_.size());
+  if (schema_.at(attr).kind == AttributeKind::kReal) {
+    std::get<std::vector<double>>(columns_[attr])[item] = missing_real();
+  } else {
+    std::get<std::vector<std::int32_t>>(columns_[attr])[item] =
+        kMissingDiscrete;
+  }
+}
+
+std::span<const double> Dataset::real_column(std::size_t attr) const {
+  PAC_REQUIRE(attr < schema_.size());
+  PAC_REQUIRE(schema_.at(attr).kind == AttributeKind::kReal);
+  return std::get<std::vector<double>>(columns_[attr]);
+}
+
+std::span<const std::int32_t> Dataset::discrete_column(
+    std::size_t attr) const {
+  PAC_REQUIRE(attr < schema_.size());
+  PAC_REQUIRE(schema_.at(attr).kind == AttributeKind::kDiscrete);
+  return std::get<std::vector<std::int32_t>>(columns_[attr]);
+}
+
+Dataset::RealStats Dataset::real_stats(std::size_t attr) const {
+  const auto column = real_column(attr);
+  RealStats s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  WeightedMoments moments;
+  for (double v : column) {
+    if (is_missing_real(v)) continue;
+    moments.add(v, 1.0);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    ++s.known;
+  }
+  if (s.known == 0) {
+    s.min = s.max = 0.0;
+    return s;
+  }
+  s.mean = moments.mean();
+  s.variance = moments.variance();
+  return s;
+}
+
+std::vector<double> Dataset::discrete_frequencies(std::size_t attr) const {
+  const auto column = discrete_column(attr);
+  const int l = schema_.at(attr).num_values;
+  std::vector<double> freq(l, 0.0);
+  std::size_t known = 0;
+  for (std::int32_t v : column) {
+    if (v == kMissingDiscrete) continue;
+    freq[v] += 1.0;
+    ++known;
+  }
+  if (known == 0) {
+    std::fill(freq.begin(), freq.end(), 1.0 / static_cast<double>(l));
+    return freq;
+  }
+  for (double& f : freq) f /= static_cast<double>(known);
+  return freq;
+}
+
+std::size_t Dataset::missing_count(std::size_t attr) const {
+  PAC_REQUIRE(attr < schema_.size());
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < num_items_; ++i)
+    if (is_missing(i, attr)) ++n;
+  return n;
+}
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  PAC_REQUIRE(begin <= end && end <= num_items_);
+  Dataset out(schema_, end - begin);
+  for (std::size_t a = 0; a < schema_.size(); ++a) {
+    if (schema_.at(a).kind == AttributeKind::kReal) {
+      const auto& src = std::get<std::vector<double>>(columns_[a]);
+      auto& dst = std::get<std::vector<double>>(out.columns_[a]);
+      std::copy(src.begin() + begin, src.begin() + end, dst.begin());
+    } else {
+      const auto& src = std::get<std::vector<std::int32_t>>(columns_[a]);
+      auto& dst = std::get<std::vector<std::int32_t>>(out.columns_[a]);
+      std::copy(src.begin() + begin, src.begin() + end, dst.begin());
+    }
+  }
+  return out;
+}
+
+ItemRange block_partition(std::size_t n, int p, int rank) {
+  PAC_REQUIRE(p >= 1);
+  PAC_REQUIRE(rank >= 0 && rank < p);
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t extra = n % static_cast<std::size_t>(p);
+  const auto r = static_cast<std::size_t>(rank);
+  const std::size_t begin = r * base + std::min(r, extra);
+  const std::size_t size = base + (r < extra ? 1 : 0);
+  return ItemRange{begin, begin + size};
+}
+
+int cyclic_owner(std::size_t item, int p) noexcept {
+  return static_cast<int>(item % static_cast<std::size_t>(p));
+}
+
+ItemRange skewed_partition(std::size_t n, int p, int rank, double skew) {
+  PAC_REQUIRE(p >= 1);
+  PAC_REQUIRE(rank >= 0 && rank < p);
+  PAC_REQUIRE_MSG(skew >= 1.0, "skew must be >= 1 (1 = balanced)");
+  if (p == 1) return ItemRange{0, n};
+  const double average = static_cast<double>(n) / static_cast<double>(p);
+  const std::size_t first =
+      std::min(n, static_cast<std::size_t>(skew * average));
+  if (rank == 0) return ItemRange{0, first};
+  const ItemRange rest = block_partition(n - first, p - 1, rank - 1);
+  return ItemRange{first + rest.begin, first + rest.end};
+}
+
+}  // namespace pac::data

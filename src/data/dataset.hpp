@@ -1,0 +1,116 @@
+// Column-major typed dataset storage.
+//
+// Real columns are vectors of double (NaN encodes a missing value); discrete
+// columns are vectors of int32_t in [0, num_values) (kMissingDiscrete encodes
+// missing).  Column-major layout keeps the per-attribute EM inner loops
+// contiguous, which is where nearly all cycles go (paper Sec. 3: base_cycle
+// is 99.5 % of the runtime).
+//
+// A Dataset is immutable once built in the clustering path; SPMD ranks hold a
+// shared const reference and each touches only its own partition's rows —
+// semantically identical to every node holding just its chunk, since access
+// is read-only (DESIGN.md, substitutions).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "data/schema.hpp"
+
+namespace pac::data {
+
+inline constexpr std::int32_t kMissingDiscrete = -1;
+
+inline double missing_real() noexcept {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+inline bool is_missing_real(double v) noexcept { return std::isnan(v); }
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Allocate `num_items` rows of `schema`, all values missing.
+  Dataset(Schema schema, std::size_t num_items);
+
+  const Schema& schema() const noexcept { return schema_; }
+  std::size_t num_items() const noexcept { return num_items_; }
+  std::size_t num_attributes() const noexcept { return schema_.size(); }
+
+  // ---- element access ----
+
+  double real_value(std::size_t item, std::size_t attr) const;
+  std::int32_t discrete_value(std::size_t item, std::size_t attr) const;
+  bool is_missing(std::size_t item, std::size_t attr) const;
+
+  void set_real(std::size_t item, std::size_t attr, double value);
+  void set_discrete(std::size_t item, std::size_t attr, std::int32_t value);
+  void set_missing(std::size_t item, std::size_t attr);
+
+  /// Whole real column (NaN = missing); attr must be a real attribute.
+  std::span<const double> real_column(std::size_t attr) const;
+  /// Whole discrete column (kMissingDiscrete = missing).
+  std::span<const std::int32_t> discrete_column(std::size_t attr) const;
+
+  // ---- statistics used for empirical-Bayes priors ----
+
+  struct RealStats {
+    double mean = 0.0;
+    double variance = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::size_t known = 0;
+  };
+
+  /// Mean/variance/range of a real column over known values.
+  RealStats real_stats(std::size_t attr) const;
+
+  /// Global relative frequency of each symbol of a discrete column
+  /// (normalized over known values; uniform if all missing).
+  std::vector<double> discrete_frequencies(std::size_t attr) const;
+
+  /// Count of missing entries in a column.
+  std::size_t missing_count(std::size_t attr) const;
+
+  /// Copy rows [begin, end) into a new Dataset (used by tests and tools).
+  Dataset slice(std::size_t begin, std::size_t end) const;
+
+ private:
+  void check_real(std::size_t item, std::size_t attr) const;
+  void check_discrete(std::size_t item, std::size_t attr) const;
+
+  Schema schema_;
+  std::size_t num_items_ = 0;
+  // One entry per attribute; the variant alternative matches the kind.
+  std::vector<std::variant<std::vector<double>, std::vector<std::int32_t>>>
+      columns_;
+};
+
+/// Half-open range of item indices owned by one rank.
+struct ItemRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin >= end; }
+};
+
+/// Contiguous block partition of n items over p ranks: the first (n % p)
+/// ranks get one extra item, matching the paper's equal-size split
+/// ("each processor executes the same code on data of equal size", Sec. 3).
+ItemRange block_partition(std::size_t n, int p, int rank);
+
+/// Cyclic partition ownership: item i belongs to rank i % p.  Provided for
+/// ablations; P-AutoClass itself uses block partitioning.
+int cyclic_owner(std::size_t item, int p) noexcept;
+
+/// Deliberately unbalanced block partition for the load-imbalance ablation:
+/// rank 0's share is `skew` times the average (capped at the whole set) and
+/// the remainder is split evenly.  skew == 1 reduces to block_partition.
+ItemRange skewed_partition(std::size_t n, int p, int rank, double skew);
+
+}  // namespace pac::data

@@ -1,0 +1,75 @@
+#include "data/schema.hpp"
+
+#include "util/error.hpp"
+
+namespace pac::data {
+
+Attribute Attribute::real(std::string name, double rel_error) {
+  PAC_REQUIRE(rel_error > 0.0);
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = AttributeKind::kReal;
+  a.rel_error = rel_error;
+  return a;
+}
+
+Attribute Attribute::discrete(std::string name, int num_values) {
+  PAC_REQUIRE_MSG(num_values >= 2,
+                  "discrete attribute needs >= 2 values, got " << num_values);
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = AttributeKind::kDiscrete;
+  a.num_values = num_values;
+  return a;
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  for (const auto& a : attributes_) {
+    PAC_REQUIRE_MSG(!a.name.empty(), "attribute names must be non-empty");
+    if (a.kind == AttributeKind::kDiscrete) PAC_REQUIRE(a.num_values >= 2);
+    if (a.kind == AttributeKind::kReal) PAC_REQUIRE(a.rel_error > 0.0);
+  }
+}
+
+const Attribute& Schema::at(std::size_t index) const {
+  PAC_REQUIRE_MSG(index < attributes_.size(),
+                  "attribute index " << index << " out of range (schema has "
+                                     << attributes_.size() << ")");
+  return attributes_[index];
+}
+
+std::size_t Schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i)
+    if (attributes_[i].name == name) return i;
+  PAC_REQUIRE_MSG(false, "no attribute named '" << name << "'");
+  return 0;
+}
+
+std::size_t Schema::num_real() const noexcept {
+  std::size_t n = 0;
+  for (const auto& a : attributes_)
+    if (a.kind == AttributeKind::kReal) ++n;
+  return n;
+}
+
+std::size_t Schema::num_discrete() const noexcept {
+  std::size_t n = 0;
+  for (const auto& a : attributes_)
+    if (a.kind == AttributeKind::kDiscrete) ++n;
+  return n;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    const Attribute& a = attributes_[i];
+    const Attribute& b = other.attributes_[i];
+    if (a.name != b.name || a.kind != b.kind ||
+        a.num_values != b.num_values || a.rel_error != b.rel_error)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace pac::data

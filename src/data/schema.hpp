@@ -1,0 +1,57 @@
+// Attribute schema for datasets, mirroring AutoClass C's .hd2 header model.
+//
+// AutoClass distinguishes real-valued attributes (with a measurement error
+// used as a variance floor) from discrete attributes (with a fixed number of
+// symbolic values).  A Schema is an ordered list of such attribute
+// declarations; a Dataset stores columns conforming to its Schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pac::data {
+
+enum class AttributeKind : std::uint8_t {
+  kReal,      // continuous scalar (AutoClass "real location/scalar")
+  kDiscrete,  // categorical with num_values symbols (AutoClass "discrete")
+};
+
+struct Attribute {
+  std::string name;
+  AttributeKind kind = AttributeKind::kReal;
+  /// Discrete only: number of distinct symbolic values (>= 2).
+  int num_values = 0;
+  /// Real only: absolute measurement error; the model terms use it as a
+  /// standard-deviation floor so variances cannot collapse onto a point.
+  double rel_error = 1e-2;
+
+  static Attribute real(std::string name, double rel_error = 1e-2);
+  static Attribute discrete(std::string name, int num_values);
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  std::size_t size() const noexcept { return attributes_.size(); }
+  bool empty() const noexcept { return attributes_.empty(); }
+  const Attribute& at(std::size_t index) const;
+  const std::vector<Attribute>& attributes() const noexcept {
+    return attributes_;
+  }
+
+  /// Index of the attribute named `name`; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  std::size_t num_real() const noexcept;
+  std::size_t num_discrete() const noexcept;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace pac::data

@@ -1,0 +1,96 @@
+#include "data/transform.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pac::data {
+
+namespace {
+
+/// Copy row `src_row` of `src` into row `dst_row` of `dst`.
+void copy_row(const Dataset& src, std::size_t src_row, Dataset& dst,
+              std::size_t dst_row) {
+  for (std::size_t a = 0; a < src.num_attributes(); ++a) {
+    if (src.is_missing(src_row, a)) continue;
+    if (src.schema().at(a).kind == AttributeKind::kReal) {
+      dst.set_real(dst_row, a, src.real_value(src_row, a));
+    } else {
+      dst.set_discrete(dst_row, a, src.discrete_value(src_row, a));
+    }
+  }
+}
+
+}  // namespace
+
+SplitResult split_dataset(const Dataset& dataset, double test_fraction,
+                          std::uint64_t seed) {
+  PAC_REQUIRE(test_fraction >= 0.0 && test_fraction <= 1.0);
+  const std::size_t n = dataset.num_items();
+  std::vector<std::size_t> train_rows, test_rows;
+  const CounterRng rng(seed ^ 0x7E57u);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform(0xB1F7, i) < test_fraction) {
+      test_rows.push_back(i);
+    } else {
+      train_rows.push_back(i);
+    }
+  }
+  SplitResult out{Dataset(dataset.schema(), train_rows.size()),
+                  Dataset(dataset.schema(), test_rows.size()),
+                  std::move(train_rows), std::move(test_rows)};
+  for (std::size_t r = 0; r < out.train_index.size(); ++r)
+    copy_row(dataset, out.train_index[r], out.train, r);
+  for (std::size_t r = 0; r < out.test_index.size(); ++r)
+    copy_row(dataset, out.test_index[r], out.test, r);
+  return out;
+}
+
+Dataset standardize(const Dataset& dataset, Standardization* out) {
+  const std::size_t k = dataset.num_attributes();
+  Standardization params;
+  params.mean.assign(k, 0.0);
+  params.sd.assign(k, 1.0);
+  for (std::size_t a = 0; a < k; ++a) {
+    if (dataset.schema().at(a).kind != AttributeKind::kReal) continue;
+    const auto stats = dataset.real_stats(a);
+    params.mean[a] = stats.mean;
+    params.sd[a] = stats.variance > 0.0 ? std::sqrt(stats.variance) : 1.0;
+  }
+  Dataset result = apply_standardization(dataset, params);
+  if (out) *out = std::move(params);
+  return result;
+}
+
+Dataset apply_standardization(const Dataset& dataset,
+                              const Standardization& params) {
+  PAC_REQUIRE(params.mean.size() == dataset.num_attributes());
+  PAC_REQUIRE(params.sd.size() == dataset.num_attributes());
+  // Rebuild the schema with rescaled attribute errors.
+  std::vector<Attribute> attributes;
+  for (std::size_t a = 0; a < dataset.num_attributes(); ++a) {
+    Attribute attr = dataset.schema().at(a);
+    if (attr.kind == AttributeKind::kReal) {
+      PAC_REQUIRE_MSG(params.sd[a] > 0.0, "standardization sd must be > 0");
+      attr.rel_error /= params.sd[a];
+    }
+    attributes.push_back(std::move(attr));
+  }
+  Dataset result(Schema(std::move(attributes)), dataset.num_items());
+  for (std::size_t i = 0; i < dataset.num_items(); ++i) {
+    for (std::size_t a = 0; a < dataset.num_attributes(); ++a) {
+      if (dataset.is_missing(i, a)) continue;
+      if (dataset.schema().at(a).kind == AttributeKind::kReal) {
+        result.set_real(
+            i, a,
+            (dataset.real_value(i, a) - params.mean[a]) / params.sd[a]);
+      } else {
+        result.set_discrete(i, a, dataset.discrete_value(i, a));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pac::data

@@ -1,0 +1,48 @@
+// Dataset transformations: train/test splitting and standardization.
+//
+// These are the pre-processing steps a data-mining user applies around the
+// clustering core: hold out rows for validating a classification on unseen
+// data (together with ac::predict_labels), and z-score real columns so the
+// default measurement errors are on a comparable scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace pac::data {
+
+/// A reproducible train/test row split.
+struct SplitResult {
+  Dataset train;
+  Dataset test;
+  /// Original row index of each train/test row (for label bookkeeping).
+  std::vector<std::size_t> train_index;
+  std::vector<std::size_t> test_index;
+};
+
+/// Randomly assign each row to test with probability `test_fraction`.
+/// Deterministic in `seed`; preserves row order within each side.
+SplitResult split_dataset(const Dataset& dataset, double test_fraction,
+                          std::uint64_t seed);
+
+/// Per-attribute standardization parameters for the real columns (discrete
+/// columns are untouched; entries for them are mean 0 / sd 1).
+struct Standardization {
+  std::vector<double> mean;
+  std::vector<double> sd;
+};
+
+/// Z-score every real column: x -> (x - mean) / sd over known values.
+/// Constant columns get sd 1 (no-op scaling).  The attribute errors in the
+/// schema are rescaled by 1/sd so likelihood corrections stay consistent.
+/// If `out` is non-null it receives the applied parameters.
+Dataset standardize(const Dataset& dataset, Standardization* out = nullptr);
+
+/// Apply a previously computed standardization to another dataset with the
+/// same schema (e.g. the test split).
+Dataset apply_standardization(const Dataset& dataset,
+                              const Standardization& params);
+
+}  // namespace pac::data

@@ -1,0 +1,269 @@
+#include "mp/comm.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace pac::mp {
+
+const char* to_string(TraceEvent::Op op) noexcept {
+  switch (op) {
+    case TraceEvent::Op::kCollective: return "collective";
+    case TraceEvent::Op::kSend: return "send";
+    case TraceEvent::Op::kRecv: return "recv";
+  }
+  return "?";
+}
+
+void write_trace_csv(std::ostream& os, const RunStats& stats) {
+  os << "rank,op,kind,bytes,start,end\n";
+  for (const TraceEvent& e : stats.trace) {
+    os << e.world_rank << ',' << to_string(e.op) << ','
+       << (e.op == TraceEvent::Op::kCollective ? net::to_string(e.kind) : "-")
+       << ',' << e.bytes << ',' << e.start << ',' << e.end << '\n';
+  }
+}
+
+namespace detail {
+
+RunContext::RunContext(int world_size)
+    : world_engine(world_size), ranks(world_size) {
+  for (int r = 0; r < world_size; ++r) ranks[r].world_rank = r;
+}
+
+std::pair<int, std::shared_ptr<CollectiveEngine>> RunContext::engine_for(
+    int parent_context, int seq, int color, int group_size) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  const auto key = std::make_tuple(parent_context, seq, color);
+  auto it = registry.find(key);
+  if (it == registry.end()) {
+    const int context = next_context.fetch_add(1);
+    it = registry
+             .emplace(key, std::make_pair(
+                               context,
+                               std::make_shared<CollectiveEngine>(group_size)))
+             .first;
+  }
+  PAC_CHECK(it->second.second->size() == group_size);
+  return it->second;
+}
+
+void RunContext::abort_all() {
+  world_engine.abort();
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  for (auto& [key, entry] : registry) entry.second->abort();
+}
+
+}  // namespace detail
+
+double RunStats::max_compute() const {
+  double m = 0.0;
+  for (double v : rank_compute) m = std::max(m, v);
+  return m;
+}
+
+double RunStats::max_comm() const {
+  double m = 0.0;
+  for (double v : rank_comm) m = std::max(m, v);
+  return m;
+}
+
+void Comm::run_collective(net::CollectiveKind kind, std::size_t bytes,
+                          const void* in, void* out, const FoldFn& fold) {
+  const double cost =
+      network_->collective_time(kind, bytes, static_cast<int>(group_.size()));
+  const double arrival = state_->clock;
+  const double done =
+      engine_->run(group_rank_, in, out, arrival, cost, fold);
+  state_->comm_time += cost;
+  const double wait = done - arrival - cost;
+  if (wait > 0.0) state_->idle_time += wait;
+  state_->clock = done;
+  ++state_->collectives;
+  const auto kind_index = static_cast<std::size_t>(kind);
+  ++state_->collective_calls[kind_index];
+  state_->collective_seconds[kind_index] += cost;
+  if (trace_) {
+    state_->trace.push_back(TraceEvent{state_->world_rank,
+                                       TraceEvent::Op::kCollective, kind,
+                                       bytes, arrival, done});
+  }
+}
+
+void Comm::deliver(int dest_group_rank, int tag, const void* bytes,
+                   std::size_t nbytes) {
+  // Charge the sender-side software overhead before the message departs.
+  const double overhead = network_->send_overhead();
+  state_->clock += overhead;
+  state_->comm_time += overhead;
+  Message msg;
+  msg.context = context_;
+  msg.source = state_->world_rank;
+  msg.tag = tag;
+  msg.send_time = state_->clock;
+  msg.payload.resize(nbytes);
+  if (nbytes > 0) std::memcpy(msg.payload.data(), bytes, nbytes);
+  ++state_->messages_sent;
+  state_->bytes_sent += nbytes;
+  if (trace_) {
+    state_->trace.push_back(
+        TraceEvent{state_->world_rank, TraceEvent::Op::kSend,
+                   net::CollectiveKind::kBarrier, nbytes,
+                   state_->clock - overhead, state_->clock});
+  }
+  world_->mailbox(group_[dest_group_rank]).push(std::move(msg));
+}
+
+Status Comm::absorb(Message&& msg, void* buffer, std::size_t capacity) {
+  PAC_REQUIRE_MSG(msg.payload.size() <= capacity,
+                  "recv buffer too small: " << capacity
+                                            << " bytes < message of "
+                                            << msg.payload.size());
+  const double recv_start = state_->clock;
+  if (!msg.payload.empty())
+    std::memcpy(buffer, msg.payload.data(), msg.payload.size());
+  // Advance virtual time: the message is available at send_time + transfer.
+  int group_source = 0;
+  for (std::size_t r = 0; r < group_.size(); ++r)
+    if (group_[r] == msg.source) group_source = static_cast<int>(r);
+  const double transfer = network_->pt2pt_time(
+      msg.payload.size(), group_source, group_rank_, size());
+  const double available = msg.send_time + transfer;
+  if (available > state_->clock) {
+    state_->idle_time += available - state_->clock;
+    state_->clock = available;
+  }
+  state_->comm_time += transfer;
+  if (trace_) {
+    state_->trace.push_back(
+        TraceEvent{state_->world_rank, TraceEvent::Op::kRecv,
+                   net::CollectiveKind::kBarrier, msg.payload.size(),
+                   recv_start, state_->clock});
+  }
+  Status st;
+  st.source = group_source;
+  st.tag = msg.tag;
+  st.bytes = msg.payload.size();
+  return st;
+}
+
+Status Comm::recv_bytes(int source, int tag, void* buffer,
+                        std::size_t capacity) {
+  const int world_source = source == kAnySource ? kAnySource : group_[source];
+  Message msg =
+      world_->mailbox(state_->world_rank).pop(context_, world_source, tag);
+  return absorb(std::move(msg), buffer, capacity);
+}
+
+void Comm::wait(Request& request) {
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE_MSG(request.kind_ != Request::Kind::kNone,
+                  "wait on a default-constructed Request");
+  if (request.done_) return;
+  request.status_ =
+      recv_bytes(request.source_, request.tag_, request.buffer_,
+                 request.capacity_);
+  request.done_ = true;
+}
+
+bool Comm::test(Request& request) {
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE_MSG(request.kind_ != Request::Kind::kNone,
+                  "test on a default-constructed Request");
+  if (request.done_) return true;
+  const int world_source = request.source_ == kAnySource
+                               ? kAnySource
+                               : group_[request.source_];
+  Message msg;
+  if (!world_->mailbox(state_->world_rank)
+           .try_pop(context_, world_source, request.tag_, msg))
+    return false;
+  request.status_ =
+      absorb(std::move(msg), request.buffer_, request.capacity_);
+  request.done_ = true;
+  return true;
+}
+
+Status Comm::probe(int source, int tag) {
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE(source == kAnySource || (source >= 0 && source < size()));
+  const int world_source = source == kAnySource ? kAnySource : group_[source];
+  int matched_source = 0, matched_tag = 0;
+  std::size_t matched_bytes = 0;
+  world_->mailbox(state_->world_rank)
+      .peek(context_, world_source, tag, matched_source, matched_tag,
+            matched_bytes);
+  Status st;
+  for (std::size_t r = 0; r < group_.size(); ++r)
+    if (group_[r] == matched_source) st.source = static_cast<int>(r);
+  st.tag = matched_tag;
+  st.bytes = matched_bytes;
+  return st;
+}
+
+bool Comm::iprobe(int source, int tag, Status& status) {
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE(source == kAnySource || (source >= 0 && source < size()));
+  const int world_source = source == kAnySource ? kAnySource : group_[source];
+  int matched_source = 0, matched_tag = 0;
+  std::size_t matched_bytes = 0;
+  if (!world_->mailbox(state_->world_rank)
+           .try_peek(context_, world_source, tag, matched_source,
+                     matched_tag, matched_bytes))
+    return false;
+  for (std::size_t r = 0; r < group_.size(); ++r)
+    if (group_[r] == matched_source) status.source = static_cast<int>(r);
+  status.tag = matched_tag;
+  status.bytes = matched_bytes;
+  return true;
+}
+
+void Comm::barrier() {
+  PAC_REQUIRE(valid());
+  run_collective(net::CollectiveKind::kBarrier, 0, nullptr, nullptr, FoldFn{});
+}
+
+Comm Comm::split(int color, int key) {
+  PAC_REQUIRE(valid());
+  // Exchange (color, key) so every rank can compute every group.
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  std::vector<Entry> all(group_.size());
+  const Entry mine{color, key, group_rank_};
+  allgather<Entry>(std::span<const Entry>(&mine, 1), std::span<Entry>(all));
+
+  const int seq = split_seq_++;
+  if (color < 0) return Comm{};  // this rank opts out
+
+  std::vector<Entry> members;
+  for (const Entry& e : all)
+    if (e.color == color) members.push_back(e);
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+
+  Comm sub;
+  sub.world_ = world_;
+  sub.run_ = run_;
+  sub.state_ = state_;
+  sub.network_ = network_;
+  sub.costs_ = costs_;
+  sub.kahan_ = kahan_;
+  sub.trace_ = trace_;
+  sub.group_.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    sub.group_.push_back(group_[members[i].rank]);
+    if (members[i].rank == group_rank_)
+      sub.group_rank_ = static_cast<int>(i);
+  }
+  auto [context, engine] = run_->engine_for(
+      context_, seq, color, static_cast<int>(members.size()));
+  sub.context_ = context;
+  sub.engine_owner_ = engine;
+  sub.engine_ = engine.get();
+  return sub;
+}
+
+}  // namespace pac::mp

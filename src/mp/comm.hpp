@@ -1,0 +1,662 @@
+// minimpi: an MPI-flavoured message-passing runtime with ranks-as-threads
+// and modeled (virtual) time.
+//
+// A World owns P ranks.  World::run(fn) executes fn(Comm&) on every rank
+// concurrently — SPMD, exactly like `mpirun -np P`.  Ranks communicate only
+// through their Comm:
+//
+//   * tagged point-to-point send/recv with MPI matching semantics,
+//   * deterministic collectives (Barrier, Bcast, Reduce, Allreduce, Gather,
+//     Allgather, Scatter, Scan, Alltoall) that combine contributions in rank
+//     order, and
+//   * communicator splitting (Comm::split) for subgroup algorithms.
+//
+// Each rank carries a virtual clock.  Compute sections advance it through
+// Comm::charge() using the Machine's cost book; communication advances it by
+// the Machine's network model.  Collectives synchronize clocks the way a real
+// blocking collective does: everyone leaves at max(arrivals) + network cost.
+// RunStats reports per-rank compute/communication/idle breakdowns — that is
+// the data from which the paper's Figures 6-8 are rebuilt.
+//
+// Thread-safety contract: a Comm belongs to its rank's thread.  A rank must
+// never touch another rank's Comm or data; all sharing is via messages.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "mp/engine.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/status.hpp"
+#include "net/machine.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace pac::mp {
+
+using net::kNumCollectiveKinds;
+
+class World;
+class Comm;
+
+/// Handle for a nonblocking operation (isend/irecv).  Sends complete
+/// immediately (minimpi buffers); receives complete in wait()/test() when a
+/// matching message has arrived.  A Request must be completed (wait/test
+/// returning true) before its buffer is reused.
+class Request {
+ public:
+  Request() = default;
+  bool done() const noexcept { return done_; }
+  /// Valid once done(): source/tag/bytes of the matched message.
+  const Status& status() const noexcept { return status_; }
+
+ private:
+  friend class Comm;
+  enum class Kind { kNone, kSend, kRecv };
+  Kind kind_ = Kind::kNone;
+  void* buffer_ = nullptr;
+  std::size_t capacity_ = 0;
+  int source_ = kAnySource;
+  int tag_ = kAnyTag;
+  bool done_ = false;
+  Status status_;
+};
+
+/// One timed communication event (collected when World::Config::trace is
+/// set).  Times are virtual seconds on the modeled machine.
+struct TraceEvent {
+  enum class Op : std::uint8_t { kCollective, kSend, kRecv };
+  int world_rank = 0;
+  Op op = Op::kCollective;
+  net::CollectiveKind kind = net::CollectiveKind::kBarrier;  // collectives
+  std::size_t bytes = 0;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+const char* to_string(TraceEvent::Op op) noexcept;
+
+namespace detail {
+
+/// Per-rank mutable state shared by all communicators of that rank.
+struct RankState {
+  int world_rank = 0;
+  double clock = 0.0;         // virtual seconds
+  double compute_time = 0.0;  // sum of charge() calls
+  double comm_time = 0.0;     // modeled network time
+  double idle_time = 0.0;     // waiting on slower ranks in collectives
+  std::uint64_t collectives = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Per-CollectiveKind call counts and modeled time (indexed by the enum).
+  std::array<std::uint64_t, kNumCollectiveKinds> collective_calls{};
+  std::array<double, kNumCollectiveKinds> collective_seconds{};
+  /// Event log; populated only when the World was configured with trace.
+  std::vector<TraceEvent> trace;
+};
+
+/// Per-run shared state: the collective-engine registry for split comms.
+struct RunContext {
+  explicit RunContext(int world_size);
+
+  CollectiveEngine world_engine;
+  std::vector<RankState> ranks;
+
+  // Registry of engines for split communicators, keyed by
+  // (parent context, split sequence, color).
+  std::mutex registry_mutex;
+  std::map<std::tuple<int, int, int>, std::pair<int, std::shared_ptr<CollectiveEngine>>>
+      registry;
+  std::atomic<int> next_context{1};
+
+  std::pair<int, std::shared_ptr<CollectiveEngine>> engine_for(
+      int parent_context, int seq, int color, int group_size);
+
+  void abort_all();
+};
+
+template <class T>
+T apply_op(ReduceOp op, T a, T b) noexcept {
+  switch (op) {
+    case ReduceOp::kSum: return static_cast<T>(a + b);
+    case ReduceOp::kMin: return b < a ? b : a;
+    case ReduceOp::kMax: return a < b ? b : a;
+    case ReduceOp::kProd: return static_cast<T>(a * b);
+  }
+  return a;
+}
+
+}  // namespace detail
+
+/// Per-run statistics, the raw material for speedup/scaleup tables.
+struct RunStats {
+  int num_ranks = 0;
+  /// Virtual completion time of the run: max over ranks of the final clock.
+  double virtual_time = 0.0;
+  /// Host wall-clock seconds spent executing the run.
+  double wall_seconds = 0.0;
+  std::vector<double> rank_finish;
+  std::vector<double> rank_compute;
+  std::vector<double> rank_comm;
+  std::vector<double> rank_idle;
+  std::uint64_t total_collectives = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  /// Aggregate per-kind collective counts / modeled seconds across ranks
+  /// (indexed by net::CollectiveKind).
+  std::array<std::uint64_t, kNumCollectiveKinds> collective_calls{};
+  std::array<double, kNumCollectiveKinds> collective_seconds{};
+  /// Merged event log (all ranks, ordered by start time); empty unless the
+  /// World was configured with trace = true.
+  std::vector<TraceEvent> trace;
+
+  double max_compute() const;
+  double max_comm() const;
+};
+
+/// Dump a trace as CSV (rank, op, kind, bytes, start, end) for offline
+/// timeline tools.
+void write_trace_csv(std::ostream& os, const RunStats& stats);
+
+/// The communicator handed to SPMD code.  Copyable handles share rank state.
+class Comm {
+ public:
+  /// Rank within this communicator's group.
+  int rank() const noexcept { return group_rank_; }
+  /// Number of ranks in this communicator's group.
+  int size() const noexcept { return static_cast<int>(group_.size()); }
+  /// World rank of this rank (stable across splits).
+  int world_rank() const noexcept { return state_->world_rank; }
+
+  /// Current virtual time of this rank (seconds).
+  double now() const noexcept { return state_->clock; }
+  /// Advance the virtual clock by a modeled compute duration.
+  void charge(double seconds) {
+    PAC_REQUIRE(seconds >= 0.0);
+    state_->clock += seconds;
+    state_->compute_time += seconds;
+  }
+
+  const net::NetworkModel& network() const noexcept { return *network_; }
+  const net::CostBook& costs() const noexcept { return *costs_; }
+
+  // ---- point-to-point ----
+
+  /// Send `data` to group rank `dest` under `tag`.  Blocking-buffered: the
+  /// payload is copied out, so the call returns immediately.
+  template <class T>
+  void send(int dest, int tag, std::span<const T> data);
+
+  /// Convenience: send one trivially-copyable value.
+  template <class T>
+  void send_value(int dest, int tag, const T& value) {
+    send<T>(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Receive into `buffer` from group rank `source` (or kAnySource) under
+  /// `tag` (or kAnyTag).  The matched payload must fit in `buffer`.
+  template <class T>
+  Status recv(int source, int tag, std::span<T> buffer);
+
+  /// Convenience: receive one value.
+  template <class T>
+  T recv_value(int source, int tag, Status* status = nullptr) {
+    T v{};
+    Status st = recv<T>(source, tag, std::span<T>(&v, 1));
+    if (status) *status = st;
+    return v;
+  }
+
+  /// Nonblocking send: identical to send (minimpi sends are buffered), but
+  /// returns a completed Request for symmetry with MPI code.
+  template <class T>
+  Request isend(int dest, int tag, std::span<const T> data) {
+    send<T>(dest, tag, data);
+    Request req;
+    req.kind_ = Request::Kind::kSend;
+    req.done_ = true;
+    return req;
+  }
+
+  /// Nonblocking receive: posts the (source, tag, buffer) triple; the
+  /// message is matched and copied in wait()/test().
+  template <class T>
+  Request irecv(int source, int tag, std::span<T> buffer) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PAC_REQUIRE(valid());
+    PAC_REQUIRE(source == kAnySource || (source >= 0 && source < size()));
+    Request req;
+    req.kind_ = Request::Kind::kRecv;
+    req.buffer_ = buffer.data();
+    req.capacity_ = buffer.size_bytes();
+    req.source_ = source;
+    req.tag_ = tag;
+    return req;
+  }
+
+  /// Block until `request` completes.
+  void wait(Request& request);
+
+  /// Nonblocking completion test; true if the request is (now) complete.
+  bool test(Request& request);
+
+  /// Wait for every request in the span.
+  void wait_all(std::span<Request> requests) {
+    for (Request& r : requests) wait(r);
+  }
+
+  /// Block until a matching message is available without receiving it;
+  /// returns its source/tag/size (MPI_Probe).  The caller can then size a
+  /// buffer and recv with the exact envelope.
+  Status probe(int source, int tag);
+
+  /// Non-blocking probe (MPI_Iprobe); true if a matching message is queued.
+  bool iprobe(int source, int tag, Status& status);
+
+  /// Combined exchange, deadlock-free for symmetric neighbour patterns.
+  template <class T>
+  Status sendrecv(int dest, int send_tag, std::span<const T> send_data,
+                  int source, int recv_tag, std::span<T> recv_buffer) {
+    send<T>(dest, send_tag, send_data);
+    return recv<T>(source, recv_tag, recv_buffer);
+  }
+
+  // ---- collectives (must be called by every rank of the group, with
+  //      matching arguments, in the same order) ----
+
+  void barrier();
+
+  /// Replicate `data` from `root` to all ranks (in place).
+  template <class T>
+  void broadcast(std::span<T> data, int root);
+
+  /// Elementwise reduction into `out` at `root` (other ranks may pass an
+  /// empty span).  Deterministic: folds rank 0, 1, ..., P-1.
+  template <class T>
+  void reduce(std::span<const T> in, std::span<T> out, ReduceOp op, int root);
+
+  /// Reduction delivered to every rank (the workhorse of P-AutoClass).
+  template <class T>
+  void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op);
+
+  /// In-place allreduce (input and output alias).
+  template <class T>
+  void allreduce_inplace(std::span<T> io, ReduceOp op) {
+    allreduce<T>(std::span<const T>(io.data(), io.size()), io, op);
+  }
+
+  /// Scalar allreduce convenience.
+  double allreduce_scalar(double value, ReduceOp op = ReduceOp::kSum) {
+    double out = 0.0;
+    allreduce<double>(std::span<const double>(&value, 1),
+                      std::span<double>(&out, 1), op);
+    return out;
+  }
+
+  /// Concatenate every rank's `in` block at `root` (out size = P * in size).
+  template <class T>
+  void gather(std::span<const T> in, std::span<T> out, int root);
+
+  /// Concatenate every rank's block on every rank.
+  template <class T>
+  void allgather(std::span<const T> in, std::span<T> out);
+
+  /// Convenience: allgather a single value per rank.
+  template <class T>
+  std::vector<T> allgather_value(const T& value) {
+    std::vector<T> out(group_.size());
+    allgather<T>(std::span<const T>(&value, 1), std::span<T>(out));
+    return out;
+  }
+
+  /// Distribute contiguous blocks of `in` at `root` (in size = P * out size).
+  template <class T>
+  void scatter(std::span<const T> in, std::span<T> out, int root);
+
+  /// Inclusive prefix reduction: out on rank r = fold(in_0 .. in_r).
+  template <class T>
+  void scan(std::span<const T> in, std::span<T> out, ReduceOp op);
+
+  /// Personalized exchange: block s of rank r's `in` lands as block r of
+  /// rank s's `out`; both spans have size P * block.
+  template <class T>
+  void alltoall(std::span<const T> in, std::span<T> out, std::size_t block);
+
+  /// Elementwise reduction of P*block inputs followed by a scatter: rank r
+  /// receives block r of the reduced vector (MPI_Reduce_scatter_block).
+  template <class T>
+  void reduce_scatter(std::span<const T> in, std::span<T> out, ReduceOp op);
+
+  /// Exclusive prefix reduction: rank 0's output is untouched; rank r > 0
+  /// gets fold(in_0 .. in_{r-1}) (MPI_Exscan).
+  template <class T>
+  void exscan(std::span<const T> in, std::span<T> out, ReduceOp op);
+
+  /// Partition the group by `color` (ranks with equal color form a new
+  /// communicator, ordered by (key, rank)).  A negative color yields an
+  /// invalid Comm (valid() == false) for that rank.
+  Comm split(int color, int key);
+
+  /// False for the result of split() with negative color.
+  bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class World;
+
+  Comm() = default;
+
+  /// Type-erased collective: charges time and runs the fold via the engine.
+  void run_collective(net::CollectiveKind kind, std::size_t bytes,
+                      const void* in, void* out, const FoldFn& fold);
+
+  void deliver(int dest_group_rank, int tag, const void* bytes,
+               std::size_t nbytes);
+
+  /// Blocking type-erased receive core (shared by recv and wait).
+  Status recv_bytes(int source, int tag, void* buffer, std::size_t capacity);
+
+  /// Copy a matched message into `buffer`, advance the virtual clock by the
+  /// modeled transfer, and build the Status.
+  Status absorb(Message&& msg, void* buffer, std::size_t capacity);
+
+  World* world_ = nullptr;
+  detail::RunContext* run_ = nullptr;
+  detail::RankState* state_ = nullptr;
+  CollectiveEngine* engine_ = nullptr;
+  std::shared_ptr<CollectiveEngine> engine_owner_;  // for split comms
+  const net::NetworkModel* network_ = nullptr;
+  const net::CostBook* costs_ = nullptr;
+  std::vector<int> group_;  // group rank -> world rank
+  int group_rank_ = 0;
+  int context_ = 0;
+  int split_seq_ = 0;  // per-comm counter for deterministic split keys
+  bool kahan_ = false;
+  bool trace_ = false;
+};
+
+/// A modeled multicomputer running SPMD jobs.
+class World {
+ public:
+  struct Config {
+    int num_ranks = 1;
+    net::Machine machine = net::ideal_machine();
+    /// Use compensated summation in floating-point sum reductions.
+    bool kahan_reductions = false;
+    /// Record a TraceEvent per communication operation into RunStats.
+    bool trace = false;
+  };
+
+  explicit World(Config config);
+
+  /// Run `fn` as rank 0..P-1 concurrently; blocks until all finish.
+  /// If any rank throws, the world is aborted and the first error rethrown.
+  RunStats run(const std::function<void(Comm&)>& fn);
+
+  const Config& config() const noexcept { return config_; }
+  int num_ranks() const noexcept { return config_.num_ranks; }
+
+ private:
+  friend class Comm;
+
+  Mailbox& mailbox(int world_rank) { return *mailboxes_[world_rank]; }
+
+  Config config_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+// ---- template implementations ----
+
+template <class T>
+void Comm::send(int dest, int tag, std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "minimpi transfers raw bytes; T must be trivially copyable");
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE_MSG(dest >= 0 && dest < size(), "send dest out of range");
+  PAC_REQUIRE(tag >= 0);
+  deliver(dest, tag, data.data(), data.size_bytes());
+}
+
+template <class T>
+Status Comm::recv(int source, int tag, std::span<T> buffer) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "minimpi transfers raw bytes; T must be trivially copyable");
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE_MSG(source == kAnySource || (source >= 0 && source < size()),
+                  "recv source out of range");
+  return recv_bytes(source, tag, buffer.data(), buffer.size_bytes());
+}
+
+template <class T>
+void Comm::broadcast(std::span<T> data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE(root >= 0 && root < size());
+  const std::size_t n = data.size();
+  const int p = size();
+  auto fold = [n, root, p](std::span<const CollectiveSlot> slots) {
+    const void* src = slots[root].in;
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      std::memcpy(slots[r].out, src, n * sizeof(T));
+    }
+  };
+  run_collective(net::CollectiveKind::kBcast, n * sizeof(T), data.data(),
+                 data.data(), fold);
+}
+
+template <class T>
+void Comm::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
+                  int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE(root >= 0 && root < size());
+  if (rank() == root) PAC_REQUIRE(out.size() == in.size());
+  const std::size_t n = in.size();
+  const int p = size();
+  auto fold = [n, op, root, p](std::span<const CollectiveSlot> slots) {
+    std::vector<T> tmp(n);
+    std::memcpy(tmp.data(), slots[0].in, n * sizeof(T));
+    for (int r = 1; r < p; ++r) {
+      const T* src = static_cast<const T*>(slots[r].in);
+      for (std::size_t i = 0; i < n; ++i)
+        tmp[i] = detail::apply_op(op, tmp[i], src[i]);
+    }
+    std::memcpy(slots[root].out, tmp.data(), n * sizeof(T));
+  };
+  run_collective(net::CollectiveKind::kReduce, n * sizeof(T), in.data(),
+                 rank() == root ? out.data() : nullptr, fold);
+}
+
+template <class T>
+void Comm::allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE(out.size() == in.size());
+  const std::size_t n = in.size();
+  const int p = size();
+  const bool kahan =
+      kahan_ && op == ReduceOp::kSum && std::is_same_v<T, double>;
+  auto fold = [n, op, p, kahan](std::span<const CollectiveSlot> slots) {
+    std::vector<T> tmp(n);
+    if (kahan) {
+      // Compensated rank-ordered fold (double sums only).
+      for (std::size_t i = 0; i < n; ++i) {
+        KahanSum k;
+        for (int r = 0; r < p; ++r)
+          k.add(static_cast<double>(static_cast<const T*>(slots[r].in)[i]));
+        tmp[i] = static_cast<T>(k.value());
+      }
+    } else {
+      std::memcpy(tmp.data(), slots[0].in, n * sizeof(T));
+      for (int r = 1; r < p; ++r) {
+        const T* src = static_cast<const T*>(slots[r].in);
+        for (std::size_t i = 0; i < n; ++i)
+          tmp[i] = detail::apply_op(op, tmp[i], src[i]);
+      }
+    }
+    for (int r = 0; r < p; ++r)
+      std::memcpy(slots[r].out, tmp.data(), n * sizeof(T));
+  };
+  run_collective(net::CollectiveKind::kAllreduce, n * sizeof(T), in.data(),
+                 out.data(), fold);
+}
+
+template <class T>
+void Comm::gather(std::span<const T> in, std::span<T> out, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE(root >= 0 && root < size());
+  const std::size_t n = in.size();
+  const int p = size();
+  if (rank() == root)
+    PAC_REQUIRE(out.size() == n * static_cast<std::size_t>(p));
+  auto fold = [n, root, p](std::span<const CollectiveSlot> slots) {
+    T* dst = static_cast<T*>(slots[root].out);
+    for (int r = 0; r < p; ++r)
+      std::memcpy(dst + static_cast<std::size_t>(r) * n, slots[r].in,
+                  n * sizeof(T));
+  };
+  run_collective(net::CollectiveKind::kGather, n * sizeof(T), in.data(),
+                 rank() == root ? out.data() : nullptr, fold);
+}
+
+template <class T>
+void Comm::allgather(std::span<const T> in, std::span<T> out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  const std::size_t n = in.size();
+  const int p = size();
+  PAC_REQUIRE(out.size() == n * static_cast<std::size_t>(p));
+  auto fold = [n, p](std::span<const CollectiveSlot> slots) {
+    for (int d = 0; d < p; ++d) {
+      T* dst = static_cast<T*>(slots[d].out);
+      for (int r = 0; r < p; ++r)
+        std::memcpy(dst + static_cast<std::size_t>(r) * n, slots[r].in,
+                    n * sizeof(T));
+    }
+  };
+  run_collective(net::CollectiveKind::kAllgather, n * sizeof(T), in.data(),
+                 out.data(), fold);
+}
+
+template <class T>
+void Comm::scatter(std::span<const T> in, std::span<T> out, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE(root >= 0 && root < size());
+  const std::size_t n = out.size();
+  const int p = size();
+  if (rank() == root)
+    PAC_REQUIRE(in.size() == n * static_cast<std::size_t>(p));
+  auto fold = [n, root, p](std::span<const CollectiveSlot> slots) {
+    const T* src = static_cast<const T*>(slots[root].in);
+    for (int r = 0; r < p; ++r)
+      std::memcpy(slots[r].out, src + static_cast<std::size_t>(r) * n,
+                  n * sizeof(T));
+  };
+  run_collective(net::CollectiveKind::kScatter, n * sizeof(T),
+                 rank() == root ? in.data() : nullptr, out.data(), fold);
+}
+
+template <class T>
+void Comm::scan(std::span<const T> in, std::span<T> out, ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE(out.size() == in.size());
+  const std::size_t n = in.size();
+  const int p = size();
+  auto fold = [n, op, p](std::span<const CollectiveSlot> slots) {
+    std::vector<T> running(n);
+    std::memcpy(running.data(), slots[0].in, n * sizeof(T));
+    std::memcpy(slots[0].out, running.data(), n * sizeof(T));
+    for (int r = 1; r < p; ++r) {
+      const T* src = static_cast<const T*>(slots[r].in);
+      for (std::size_t i = 0; i < n; ++i)
+        running[i] = detail::apply_op(op, running[i], src[i]);
+      std::memcpy(slots[r].out, running.data(), n * sizeof(T));
+    }
+  };
+  run_collective(net::CollectiveKind::kScan, n * sizeof(T), in.data(),
+                 out.data(), fold);
+}
+
+template <class T>
+void Comm::alltoall(std::span<const T> in, std::span<T> out,
+                    std::size_t block) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  const int p = size();
+  PAC_REQUIRE(in.size() == block * static_cast<std::size_t>(p));
+  PAC_REQUIRE(out.size() == block * static_cast<std::size_t>(p));
+  auto fold = [block, p](std::span<const CollectiveSlot> slots) {
+    for (int d = 0; d < p; ++d) {
+      T* dst = static_cast<T*>(slots[d].out);
+      for (int s = 0; s < p; ++s) {
+        const T* src = static_cast<const T*>(slots[s].in);
+        std::memcpy(dst + static_cast<std::size_t>(s) * block,
+                    src + static_cast<std::size_t>(d) * block,
+                    block * sizeof(T));
+      }
+    }
+  };
+  run_collective(net::CollectiveKind::kAlltoall, block * sizeof(T), in.data(),
+                 out.data(), fold);
+}
+
+template <class T>
+void Comm::reduce_scatter(std::span<const T> in, std::span<T> out,
+                          ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  const int p = size();
+  const std::size_t block = out.size();
+  PAC_REQUIRE(in.size() == block * static_cast<std::size_t>(p));
+  auto fold = [block, op, p](std::span<const CollectiveSlot> slots) {
+    std::vector<T> tmp(block * static_cast<std::size_t>(p));
+    std::memcpy(tmp.data(), slots[0].in, tmp.size() * sizeof(T));
+    for (int r = 1; r < p; ++r) {
+      const T* src = static_cast<const T*>(slots[r].in);
+      for (std::size_t i = 0; i < tmp.size(); ++i)
+        tmp[i] = detail::apply_op(op, tmp[i], src[i]);
+    }
+    for (int r = 0; r < p; ++r)
+      std::memcpy(slots[r].out, tmp.data() + static_cast<std::size_t>(r) * block,
+                  block * sizeof(T));
+  };
+  run_collective(net::CollectiveKind::kReduceScatter, block * sizeof(T),
+                 in.data(), out.data(), fold);
+}
+
+template <class T>
+void Comm::exscan(std::span<const T> in, std::span<T> out, ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PAC_REQUIRE(valid());
+  PAC_REQUIRE(out.size() == in.size());
+  const std::size_t n = in.size();
+  const int p = size();
+  auto fold = [n, op, p](std::span<const CollectiveSlot> slots) {
+    std::vector<T> running(n), contribution(n);
+    std::memcpy(running.data(), slots[0].in, n * sizeof(T));
+    // Rank 0's output is left untouched by MPI_Exscan semantics.
+    for (int r = 1; r < p; ++r) {
+      // Read the contribution before writing: in/out may alias in-place.
+      std::memcpy(contribution.data(), slots[r].in, n * sizeof(T));
+      std::memcpy(slots[r].out, running.data(), n * sizeof(T));
+      for (std::size_t i = 0; i < n; ++i)
+        running[i] = detail::apply_op(op, running[i], contribution[i]);
+    }
+  };
+  run_collective(net::CollectiveKind::kExscan, n * sizeof(T), in.data(),
+                 out.data(), fold);
+}
+
+}  // namespace pac::mp

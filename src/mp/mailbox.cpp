@@ -1,0 +1,96 @@
+#include "mp/mailbox.hpp"
+
+#include <algorithm>
+
+namespace pac::mp {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int context, int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (aborted_) throw Aborted{};
+    const auto it = std::find_if(queue_.begin(), queue_.end(),
+                                 [&](const Message& m) {
+                                   return matches(m, context, source, tag);
+                                 });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::try_pop(int context, int source, int tag, Message& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (aborted_) throw Aborted{};
+  const auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [&](const Message& m) { return matches(m, context, source, tag); });
+  if (it == queue_.end()) return false;
+  out = std::move(*it);
+  queue_.erase(it);
+  return true;
+}
+
+void Mailbox::peek(int context, int source, int tag, int& matched_source,
+                   int& matched_tag, std::size_t& matched_bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (aborted_) throw Aborted{};
+    const auto it = std::find_if(queue_.begin(), queue_.end(),
+                                 [&](const Message& m) {
+                                   return matches(m, context, source, tag);
+                                 });
+    if (it != queue_.end()) {
+      matched_source = it->source;
+      matched_tag = it->tag;
+      matched_bytes = it->payload.size();
+      return;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::try_peek(int context, int source, int tag, int& matched_source,
+                       int& matched_tag, std::size_t& matched_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (aborted_) throw Aborted{};
+  const auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [&](const Message& m) { return matches(m, context, source, tag); });
+  if (it == queue_.end()) return false;
+  matched_source = it->source;
+  matched_tag = it->tag;
+  matched_bytes = it->payload.size();
+  return true;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.clear();
+  aborted_ = false;
+}
+
+}  // namespace pac::mp

@@ -1,0 +1,75 @@
+// Per-rank message queue for minimpi point-to-point communication.
+//
+// A Mailbox is the receive side of one rank: senders push tagged payloads,
+// the owner blocks in pop() until a matching message arrives.  Matching
+// follows MPI semantics: (context, source, tag) with wildcards, and
+// non-overtaking order between any fixed (source, tag) pair — pop always
+// takes the earliest match in arrival order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "mp/status.hpp"
+
+namespace pac::mp {
+
+/// One in-flight message.  `send_time` is the sender's virtual clock at the
+/// moment the message left (after the send-overhead charge); the receiver
+/// uses it to advance its own clock by the modeled transfer time.
+struct Message {
+  int context = 0;
+  int source = 0;
+  int tag = 0;
+  double send_time = 0.0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  /// Deliver a message (called from the sender's thread).
+  void push(Message msg);
+
+  /// Block until a message matching (context, source, tag) is available and
+  /// remove it.  Wildcards: source == kAnySource, tag == kAnyTag.
+  /// Throws Aborted if the world is torn down while waiting.
+  Message pop(int context, int source, int tag);
+
+  /// Non-blocking variant; returns false if no match is queued.
+  bool try_pop(int context, int source, int tag, Message& out);
+
+  /// Blocking match *without* consuming: fills source/tag/size of the
+  /// earliest matching message.  Throws Aborted on teardown.
+  void peek(int context, int source, int tag, int& matched_source,
+            int& matched_tag, std::size_t& matched_bytes);
+
+  /// Non-blocking peek; returns false if no match is queued.
+  bool try_peek(int context, int source, int tag, int& matched_source,
+                int& matched_tag, std::size_t& matched_bytes);
+
+  /// Number of queued messages (diagnostics / leak checks).
+  std::size_t pending() const;
+
+  /// Wake all waiters with Aborted.
+  void abort();
+
+  /// Clear queue and abort flag (between World runs).
+  void reset();
+
+ private:
+  bool matches(const Message& m, int context, int source, int tag) const {
+    return m.context == context &&
+           (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace pac::mp

@@ -1,0 +1,33 @@
+// Shared vocabulary types for the minimpi message-passing runtime.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+
+namespace pac::mp {
+
+/// Wildcard source for recv (matches any sender), like MPI_ANY_SOURCE.
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for recv, like MPI_ANY_TAG.
+inline constexpr int kAnyTag = -1;
+
+/// Result of a receive: who sent it, under which tag, and how many bytes.
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// Built-in reduction operators for the fast arithmetic paths.
+enum class ReduceOp { kSum, kMin, kMax, kProd };
+
+/// Thrown inside rank threads when the world is torn down because another
+/// rank failed.  The World swallows these and rethrows the original error.
+class Aborted : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "minimpi world aborted (another rank failed)";
+  }
+};
+
+}  // namespace pac::mp

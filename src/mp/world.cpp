@@ -1,0 +1,112 @@
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "mp/comm.hpp"
+#include "util/log.hpp"
+
+namespace pac::mp {
+
+World::World(Config config) : config_(std::move(config)) {
+  PAC_REQUIRE_MSG(config_.num_ranks >= 1 && config_.num_ranks <= 4096,
+                  "num_ranks must be in [1, 4096], got "
+                      << config_.num_ranks);
+  PAC_REQUIRE(config_.machine.network != nullptr);
+  mailboxes_.reserve(config_.num_ranks);
+  for (int r = 0; r < config_.num_ranks; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+RunStats World::run(const std::function<void(Comm&)>& fn) {
+  PAC_REQUIRE(fn != nullptr);
+  const int p = config_.num_ranks;
+  detail::RunContext context(p);
+  for (auto& box : mailboxes_) box->reset();
+
+  std::vector<std::exception_ptr> errors(p);
+  std::vector<char> aborted(p, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto body = [&](int rank) {
+    Comm comm;
+    comm.world_ = this;
+    comm.run_ = &context;
+    comm.state_ = &context.ranks[rank];
+    comm.engine_ = &context.world_engine;
+    comm.network_ = config_.machine.network.get();
+    comm.costs_ = &config_.machine.costs;
+    comm.kahan_ = config_.kahan_reductions;
+    comm.trace_ = config_.trace;
+    comm.group_.resize(p);
+    for (int r = 0; r < p; ++r) comm.group_[r] = r;
+    comm.group_rank_ = rank;
+    comm.context_ = 0;
+    try {
+      fn(comm);
+    } catch (const Aborted&) {
+      aborted[rank] = 1;
+    } catch (...) {
+      errors[rank] = std::current_exception();
+      context.abort_all();
+      for (auto& box : mailboxes_) box->abort();
+    }
+  };
+
+  if (p == 1) {
+    body(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(p);
+    for (int r = 0; r < p; ++r) threads.emplace_back(body, r);
+    for (auto& t : threads) t.join();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  for (int r = 0; r < p; ++r)
+    if (errors[r]) std::rethrow_exception(errors[r]);
+
+  RunStats stats;
+  stats.num_ranks = p;
+  stats.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  stats.rank_finish.resize(p);
+  stats.rank_compute.resize(p);
+  stats.rank_comm.resize(p);
+  stats.rank_idle.resize(p);
+  for (int r = 0; r < p; ++r) {
+    const auto& rs = context.ranks[r];
+    stats.rank_finish[r] = rs.clock;
+    stats.rank_compute[r] = rs.compute_time;
+    stats.rank_comm[r] = rs.comm_time;
+    stats.rank_idle[r] = rs.idle_time;
+    stats.virtual_time = std::max(stats.virtual_time, rs.clock);
+    stats.total_collectives += rs.collectives;
+    stats.total_messages += rs.messages_sent;
+    stats.total_bytes += rs.bytes_sent;
+    for (std::size_t k = 0; k < rs.collective_calls.size(); ++k) {
+      stats.collective_calls[k] += rs.collective_calls[k];
+      stats.collective_seconds[k] += rs.collective_seconds[k];
+    }
+  }
+  if (config_.trace) {
+    for (auto& rs : context.ranks) {
+      stats.trace.insert(stats.trace.end(), rs.trace.begin(),
+                         rs.trace.end());
+      rs.trace.clear();
+    }
+    std::stable_sort(stats.trace.begin(), stats.trace.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.start < b.start;
+                     });
+  }
+  // Leaked (never received) messages indicate a protocol bug in user code.
+  for (int r = 0; r < p; ++r) {
+    if (mailboxes_[r]->pending() > 0) {
+      PAC_LOG_WARN << "rank " << r << " finished with "
+                   << mailboxes_[r]->pending() << " undelivered message(s)";
+    }
+  }
+  return stats;
+}
+
+}  // namespace pac::mp

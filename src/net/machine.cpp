@@ -1,0 +1,100 @@
+#include "net/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace pac::net {
+
+Machine meiko_cs2() {
+  // 50 MB/s per direction (paper Sec. 4); ~80 us end-to-end MPI latency and
+  // ~8 us send overhead are representative of mid-90s MPI ports on the CS-2.
+  LinkParams link;
+  link.latency = 80e-6;
+  link.byte_time = 1.0 / 50e6;
+  link.send_overhead = 8e-6;
+  Machine m;
+  m.name = "meiko-cs2";
+  m.network = std::make_shared<FatTreeNetwork>(link, /*arity=*/4,
+                                               /*per_hop_latency=*/2e-6);
+  m.costs = CostBook{};  // calibrated to Fig. 8; see header.
+  m.max_procs = 10;
+  return m;
+}
+
+Machine pentium_cluster() {
+  // Switched fast Ethernet NOW: ~120 us latency, 100 Mbit/s, slow TCP stack.
+  LinkParams link;
+  link.latency = 120e-6;
+  link.byte_time = 1.0 / 12.5e6;
+  link.send_overhead = 25e-6;
+  Machine m;
+  m.name = "pentium-cluster";
+  m.network = std::make_shared<BusNetwork>(link);
+  // A ~200 MHz Pentium II is in the same performance class as the CS-2's
+  // SPARC nodes for this float-heavy loop; keep the same cost book.
+  m.costs = CostBook{};
+  m.max_procs = 16;
+  return m;
+}
+
+Machine modern_cluster() {
+  // RDMA-like fabric: ~2 us latency, 25 GB/s, and cores ~300x faster.
+  LinkParams link;
+  link.latency = 2e-6;
+  link.byte_time = 1.0 / 25e9;
+  link.send_overhead = 0.3e-6;
+  Machine m;
+  m.name = "modern-cluster";
+  m.network = std::make_shared<FatTreeNetwork>(link, /*arity=*/16,
+                                               /*per_hop_latency=*/0.2e-6);
+  CostBook c;
+  const double speedup = 300.0;
+  c.wts_per_item_class_attr /= speedup;
+  c.wts_per_item /= speedup;
+  c.params_per_item_class_attr /= speedup;
+  c.params_update_per_class_attr /= speedup;
+  c.approx_per_class /= speedup;
+  c.per_cycle_overhead /= speedup;
+  c.per_try_overhead /= speedup;
+  m.costs = c;
+  m.max_procs = 256;
+  return m;
+}
+
+Machine smp_cluster() {
+  LinkParams intra;  // shared-memory transfers inside a node
+  intra.latency = 3e-6;
+  intra.byte_time = 1.0 / 400e6;
+  intra.send_overhead = 1e-6;
+  LinkParams inter;  // switched fast Ethernet between nodes
+  inter.latency = 120e-6;
+  inter.byte_time = 1.0 / 12.5e6;
+  inter.send_overhead = 20e-6;
+  Machine m;
+  m.name = "smp-cluster";
+  m.network = std::make_shared<SmpClusterNetwork>(intra, inter,
+                                                  /*node_size=*/4);
+  m.costs = CostBook{};
+  m.max_procs = 32;
+  return m;
+}
+
+Machine ideal_machine() {
+  Machine m;
+  m.name = "ideal";
+  m.network = std::make_shared<ZeroNetwork>();
+  m.costs = CostBook{};
+  m.max_procs = 1 << 20;
+  return m;
+}
+
+Machine machine_by_name(const std::string& name) {
+  if (name == "meiko-cs2") return meiko_cs2();
+  if (name == "pentium-cluster") return pentium_cluster();
+  if (name == "modern-cluster") return modern_cluster();
+  if (name == "smp-cluster") return smp_cluster();
+  if (name == "ideal") return ideal_machine();
+  PAC_REQUIRE_MSG(false, "unknown machine preset '" << name << "'");
+  return {};
+}
+
+}  // namespace pac::net

@@ -1,0 +1,73 @@
+// Machine presets: a network model plus a compute cost book.
+//
+// The CostBook holds the per-operation compute charges the P-AutoClass engine
+// uses to advance a rank's virtual clock during the EM phases.  The constants
+// of the MeikoCS2 preset are calibrated so that the scaleup experiment
+// (paper Fig. 8: 10 000 tuples/processor, 2 real attributes) lands in the
+// paper's measured 0.3–0.7 s-per-base_cycle band for 8 and 16 clusters; see
+// EXPERIMENTS.md for the calibration notes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/model.hpp"
+
+namespace pac::net {
+
+/// Compute-time charges (seconds) for the AutoClass EM phases.
+///
+/// The dominant terms scale with items x classes x attributes, matching the
+/// structure of update_wts / update_parameters (paper Figs. 4-5).
+struct CostBook {
+  /// update_wts: likelihood evaluation per (item, class, attribute).
+  double wts_per_item_class_attr = 1.2e-6;
+  /// update_wts: per-item normalization and bookkeeping.
+  double wts_per_item = 0.4e-6;
+  /// update_parameters: statistics accumulation per (item, class, attribute).
+  double params_per_item_class_attr = 1.0e-6;
+  /// update_parameters: MAP update per (class, attribute), independent of N.
+  double params_update_per_class_attr = 3.0e-6;
+  /// update_approximations: per class (negligible by design; paper Sec. 3).
+  double approx_per_class = 1.0e-6;
+  /// Per-cycle serial overhead (convergence tests, bookkeeping).
+  double per_cycle_overhead = 2.0e-4;
+  /// Search-level serial overhead per try (init, duplicate checks, storing).
+  double per_try_overhead = 5.0e-2;
+};
+
+/// A modeled multicomputer: interconnect model + compute cost book.
+struct Machine {
+  std::string name;
+  std::shared_ptr<const NetworkModel> network;
+  CostBook costs;
+  /// Processor count of the physical machine being modeled (10 for the CS-2
+  /// used in the paper); runs may use fewer.
+  int max_procs = 10;
+};
+
+/// The paper's testbed: Meiko CS-2, 10 SPARC processors, 4-ary fat tree,
+/// 50 MB/s per-direction links, mid-1990s MPI software latencies.
+Machine meiko_cs2();
+
+/// A late-1990s PC cluster on switched fast Ethernet (higher latency, lower
+/// bandwidth): used to show the portability claim of Sec. 6.
+Machine pentium_cluster();
+
+/// A contemporary cluster (low-latency RDMA-like fabric, fast cores): shows
+/// where the same code's crossovers move on modern hardware.
+Machine modern_cluster();
+
+/// A cluster of 4-way SMP nodes (late-90s "constellation" style): shared
+/// memory inside a node, fast Ethernet between nodes.  Demonstrates the
+/// hierarchical-collective cost model.
+Machine smp_cluster();
+
+/// Zero-cost network with the Meiko cost book: isolates compute scaling.
+Machine ideal_machine();
+
+/// Look up a preset by name ("meiko-cs2", "pentium-cluster",
+/// "modern-cluster", "ideal"); throws pac::Error for unknown names.
+Machine machine_by_name(const std::string& name);
+
+}  // namespace pac::net

@@ -1,0 +1,230 @@
+#include "net/model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pac::net {
+
+const char* to_string(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::kBarrier: return "barrier";
+    case CollectiveKind::kBcast: return "bcast";
+    case CollectiveKind::kReduce: return "reduce";
+    case CollectiveKind::kAllreduce: return "allreduce";
+    case CollectiveKind::kGather: return "gather";
+    case CollectiveKind::kAllgather: return "allgather";
+    case CollectiveKind::kScatter: return "scatter";
+    case CollectiveKind::kScan: return "scan";
+    case CollectiveKind::kAlltoall: return "alltoall";
+    case CollectiveKind::kReduceScatter: return "reduce_scatter";
+    case CollectiveKind::kExscan: return "exscan";
+  }
+  return "?";
+}
+
+int ceil_log2(int n) noexcept {
+  int bits = 0;
+  int v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+double AlphaBetaNetwork::message_time(std::size_t bytes, int hops) const
+    noexcept {
+  const int extra = hops > 1 ? hops - 1 : 0;
+  return params_.send_overhead + params_.latency + extra * per_hop_latency_ +
+         static_cast<double>(bytes) * params_.byte_time;
+}
+
+double AlphaBetaNetwork::pt2pt_time(std::size_t bytes, int from, int to,
+                                    int nprocs) const {
+  if (from == to) return 0.0;
+  return message_time(bytes, hops_between(from, to, nprocs));
+}
+
+double AlphaBetaNetwork::collective_time(CollectiveKind kind,
+                                         std::size_t bytes, int nprocs) const {
+  PAC_REQUIRE(nprocs >= 1);
+  if (nprocs == 1) return 0.0;
+  const int rounds = ceil_log2(nprocs);
+  const int hops = max_hops(nprocs);
+  // t(m): one message of m bytes over the worst-case path.
+  const auto t = [&](std::size_t m) { return message_time(m, hops); };
+  const auto n = static_cast<std::size_t>(nprocs);
+  switch (kind) {
+    case CollectiveKind::kBarrier:
+      // Dissemination barrier: ceil(log2 P) zero-payload rounds.
+      return rounds * t(0);
+    case CollectiveKind::kBcast:
+    case CollectiveKind::kReduce:
+    case CollectiveKind::kScan:
+    case CollectiveKind::kExscan:
+      // Binomial tree: ceil(log2 P) rounds carrying the full vector.
+      return rounds * t(bytes);
+    case CollectiveKind::kReduceScatter:
+      // Pairwise-exchange algorithm: like a reduce, with the payload
+      // halving per round; bounded by the full-vector tree.
+      return rounds * t(bytes);
+    case CollectiveKind::kAllreduce:
+      // Reduce + broadcast down the same tree (the classic small-vector
+      // algorithm; recursive doubling would be `rounds * t(bytes)` — we model
+      // the tree variant because that matches 1990s MPI implementations,
+      // including the Meiko port the paper used).
+      return 2.0 * rounds * t(bytes);
+    case CollectiveKind::kGather:
+    case CollectiveKind::kScatter:
+      // Binomial tree; the payload doubles each round: sum_k 2^k * m.
+      return rounds * (params_.send_overhead + params_.latency +
+                       (hops - 1) * per_hop_latency_) +
+             static_cast<double>(bytes) * static_cast<double>(n - 1) *
+                 params_.byte_time;
+    case CollectiveKind::kAllgather:
+      // Recursive doubling; same volume as gather but everyone receives.
+      return rounds * (params_.send_overhead + params_.latency +
+                       (hops - 1) * per_hop_latency_) +
+             static_cast<double>(bytes) * static_cast<double>(n - 1) *
+                 params_.byte_time;
+    case CollectiveKind::kAlltoall:
+      // Pairwise exchange: P-1 rounds of one message each.
+      return static_cast<double>(n - 1) * t(bytes);
+  }
+  return 0.0;
+}
+
+FatTreeNetwork::FatTreeNetwork(LinkParams params, int arity,
+                               double per_hop_latency)
+    : AlphaBetaNetwork(params), arity_(arity) {
+  PAC_REQUIRE(arity >= 2);
+  per_hop_latency_ = per_hop_latency;
+}
+
+int FatTreeNetwork::max_hops(int nprocs) const {
+  // Height of the smallest arity^h >= nprocs subtree; up and down again.
+  int h = 0;
+  long capacity = 1;
+  while (capacity < nprocs) {
+    capacity *= arity_;
+    ++h;
+  }
+  return std::max(1, 2 * h);
+}
+
+int FatTreeNetwork::hops_between(int from, int to, int nprocs) const {
+  (void)nprocs;
+  if (from == to) return 0;
+  // Climb both leaves until they land in the same subtree.
+  int a = from, b = to, h = 0;
+  while (a != b) {
+    a /= arity_;
+    b /= arity_;
+    ++h;
+  }
+  return 2 * h;
+}
+
+SmpClusterNetwork::SmpClusterNetwork(LinkParams intra_node,
+                                     LinkParams inter_node, int node_size)
+    : intra_(intra_node), inter_(inter_node), node_size_(node_size) {
+  PAC_REQUIRE(node_size >= 1);
+}
+
+double SmpClusterNetwork::pt2pt_time(std::size_t bytes, int from, int to,
+                                     int nprocs) const {
+  if (from == to) return 0.0;
+  const bool same_node = from / node_size_ == to / node_size_;
+  return same_node ? intra_.pt2pt_time(bytes, 0, 1, nprocs)
+                   : inter_.pt2pt_time(bytes, 0, 1, nprocs);
+}
+
+double SmpClusterNetwork::collective_time(CollectiveKind kind,
+                                          std::size_t bytes,
+                                          int nprocs) const {
+  PAC_REQUIRE(nprocs >= 1);
+  if (nprocs == 1) return 0.0;
+  const int nodes = node_count(nprocs);
+  const int local = std::min(node_size_, nprocs);
+  if (nodes == 1) return intra_.collective_time(kind, bytes, local);
+  switch (kind) {
+    case CollectiveKind::kBarrier:
+    case CollectiveKind::kBcast:
+    case CollectiveKind::kScan:
+    case CollectiveKind::kExscan:
+    case CollectiveKind::kReduceScatter:
+      // Local phase + leader phase.
+      return intra_.collective_time(kind, bytes, local) +
+             inter_.collective_time(kind, bytes, nodes);
+    case CollectiveKind::kReduce:
+      return intra_.collective_time(CollectiveKind::kReduce, bytes, local) +
+             inter_.collective_time(CollectiveKind::kReduce, bytes, nodes);
+    case CollectiveKind::kAllreduce:
+      // Reduce in node, allreduce among leaders, bcast in node.
+      return intra_.collective_time(CollectiveKind::kReduce, bytes, local) +
+             inter_.collective_time(CollectiveKind::kAllreduce, bytes, nodes) +
+             intra_.collective_time(CollectiveKind::kBcast, bytes, local);
+    case CollectiveKind::kGather:
+    case CollectiveKind::kScatter:
+      return intra_.collective_time(kind, bytes, local) +
+             inter_.collective_time(
+                 kind, bytes * static_cast<std::size_t>(local), nodes);
+    case CollectiveKind::kAllgather:
+      return intra_.collective_time(CollectiveKind::kGather, bytes, local) +
+             inter_.collective_time(CollectiveKind::kAllgather,
+                                    bytes * static_cast<std::size_t>(local),
+                                    nodes) +
+             intra_.collective_time(
+                 CollectiveKind::kBcast,
+                 bytes * static_cast<std::size_t>(nprocs), local);
+    case CollectiveKind::kAlltoall:
+      // Dominated by the inter-node exchange of node-aggregated blocks.
+      return intra_.collective_time(CollectiveKind::kAlltoall, bytes, local) +
+             inter_.collective_time(
+                 CollectiveKind::kAlltoall,
+                 bytes * static_cast<std::size_t>(local), nodes);
+  }
+  return 0.0;
+}
+
+double BusNetwork::pt2pt_time(std::size_t bytes, int from, int to,
+                              int nprocs) const {
+  (void)nprocs;
+  if (from == to) return 0.0;
+  return params_.send_overhead + params_.latency +
+         static_cast<double>(bytes) * params_.byte_time;
+}
+
+double BusNetwork::collective_time(CollectiveKind kind, std::size_t bytes,
+                                   int nprocs) const {
+  PAC_REQUIRE(nprocs >= 1);
+  if (nprocs == 1) return 0.0;
+  const auto n = static_cast<double>(nprocs);
+  const double msg = params_.send_overhead + params_.latency +
+                     static_cast<double>(bytes) * params_.byte_time;
+  switch (kind) {
+    case CollectiveKind::kBarrier:
+      return (n - 1) * (params_.send_overhead + params_.latency);
+    case CollectiveKind::kBcast:
+      // One transmission heard by all (broadcast medium).
+      return msg;
+    case CollectiveKind::kReduce:
+    case CollectiveKind::kGather:
+    case CollectiveKind::kScatter:
+    case CollectiveKind::kScan:
+    case CollectiveKind::kExscan:
+    case CollectiveKind::kReduceScatter:
+      // P-1 serialized transmissions.
+      return (n - 1) * msg;
+    case CollectiveKind::kAllreduce:
+    case CollectiveKind::kAllgather:
+      // Gather serialized, then one broadcast.
+      return (n - 1) * msg + msg;
+    case CollectiveKind::kAlltoall:
+      return (n - 1) * n * msg;
+  }
+  return 0.0;
+}
+
+}  // namespace pac::net

@@ -1,0 +1,190 @@
+// simnet: analytic performance models for multicomputer interconnects.
+//
+// The paper ran P-AutoClass on a Meiko CS-2 (fat-tree, 50 MB/s links).  On
+// this reproduction host the ranks of the message-passing runtime execute as
+// threads doing the real computation; *time* is modeled.  This module is the
+// timing side: given a message size, a collective kind, and a processor
+// count, a NetworkModel says how long the operation takes on the modeled
+// interconnect.  The models are standard alpha-beta (latency + byte time)
+// formulas with per-topology latency structure:
+//
+//   * AlphaBetaNetwork — flat network, log-tree collectives (the textbook
+//     model; the default building block).
+//   * FatTreeNetwork  — hop-dependent latency on a k-ary fat tree (Meiko
+//     CS-2-like); collectives pay the worst-case hop distance.
+//   * BusNetwork      — shared medium (classic Ethernet NOW): messages
+//     serialize, so collectives cost O(P) message times.
+//
+// All times are in seconds.  Models are immutable and thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace pac::net {
+
+/// Collective operations the message-passing runtime charges for.
+enum class CollectiveKind {
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kAllgather,
+  kScatter,
+  kScan,
+  kAlltoall,
+  kReduceScatter,
+  kExscan,
+};
+
+/// Number of CollectiveKind values (array-indexing bound).
+inline constexpr std::size_t kNumCollectiveKinds = 11;
+
+const char* to_string(CollectiveKind kind) noexcept;
+
+/// Per-link timing parameters.
+struct LinkParams {
+  /// End-to-end small-message latency, seconds (the "alpha" term).
+  double latency = 50e-6;
+  /// Transfer time per byte, seconds (the "beta" term = 1/bandwidth).
+  double byte_time = 1.0 / 50e6;
+  /// Per-message software overhead charged to the sender (LogGP "o").
+  double send_overhead = 5e-6;
+};
+
+/// Abstract interconnect timing model.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// Time for one point-to-point message of `bytes` from `from` to `to`.
+  virtual double pt2pt_time(std::size_t bytes, int from, int to,
+                            int nprocs) const = 0;
+
+  /// Time for a collective over `nprocs` ranks; `bytes` is the per-rank
+  /// contribution size (e.g. the reduced vector for Allreduce).
+  virtual double collective_time(CollectiveKind kind, std::size_t bytes,
+                                 int nprocs) const = 0;
+
+  /// Sender-side overhead charged before a message leaves (seconds).
+  virtual double send_overhead() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Flat latency/bandwidth network with binomial-tree collectives.
+class AlphaBetaNetwork : public NetworkModel {
+ public:
+  explicit AlphaBetaNetwork(LinkParams params) : params_(params) {}
+
+  double pt2pt_time(std::size_t bytes, int from, int to,
+                    int nprocs) const override;
+  double collective_time(CollectiveKind kind, std::size_t bytes,
+                         int nprocs) const override;
+  double send_overhead() const override { return params_.send_overhead; }
+  std::string name() const override { return "alpha-beta"; }
+
+  const LinkParams& params() const noexcept { return params_; }
+
+ protected:
+  /// One message between two ranks `hops` switch hops apart.
+  double message_time(std::size_t bytes, int hops) const noexcept;
+  /// Worst-case hop distance for this topology (flat network: 1).
+  virtual int max_hops(int /*nprocs*/) const { return 1; }
+  virtual int hops_between(int from, int to, int nprocs) const {
+    (void)from;
+    (void)to;
+    (void)nprocs;
+    return 1;
+  }
+
+  LinkParams params_;
+  /// Extra latency added per switch hop beyond the first.
+  double per_hop_latency_ = 0.0;
+};
+
+/// k-ary fat tree (Meiko CS-2 style).  Ranks are leaves; the hop count
+/// between two leaves is twice the height of their lowest common subtree.
+/// Link bandwidth is constant across levels (a full-bisection fat tree).
+class FatTreeNetwork : public AlphaBetaNetwork {
+ public:
+  /// `arity` children per switch; `per_hop_latency` added per hop.
+  FatTreeNetwork(LinkParams params, int arity, double per_hop_latency);
+
+  std::string name() const override { return "fat-tree"; }
+  int arity() const noexcept { return arity_; }
+
+ protected:
+  int max_hops(int nprocs) const override;
+  int hops_between(int from, int to, int nprocs) const override;
+
+ private:
+  int arity_;
+};
+
+/// Single shared medium: only one message in flight at a time, so the
+/// log-tree rounds of a collective degrade to sequential transmissions.
+class BusNetwork : public NetworkModel {
+ public:
+  explicit BusNetwork(LinkParams params) : params_(params) {}
+
+  double pt2pt_time(std::size_t bytes, int from, int to,
+                    int nprocs) const override;
+  double collective_time(CollectiveKind kind, std::size_t bytes,
+                         int nprocs) const override;
+  double send_overhead() const override { return params_.send_overhead; }
+  std::string name() const override { return "bus"; }
+
+ private:
+  LinkParams params_;
+};
+
+/// Two-level cluster-of-SMPs network: ranks are packed `node_size` per
+/// node; messages inside a node use the fast intra-node parameters (shared
+/// memory), messages between nodes use the slow inter-node link.
+/// Collectives use the standard hierarchical algorithm: reduce inside each
+/// node, exchange among node leaders, broadcast back inside the node.
+class SmpClusterNetwork : public NetworkModel {
+ public:
+  SmpClusterNetwork(LinkParams intra_node, LinkParams inter_node,
+                    int node_size);
+
+  double pt2pt_time(std::size_t bytes, int from, int to,
+                    int nprocs) const override;
+  double collective_time(CollectiveKind kind, std::size_t bytes,
+                         int nprocs) const override;
+  double send_overhead() const override { return intra_.send_overhead(); }
+  std::string name() const override { return "smp-cluster"; }
+
+  int node_size() const noexcept { return node_size_; }
+
+ private:
+  /// Number of nodes spanned by `nprocs` ranks.
+  int node_count(int nprocs) const noexcept {
+    return (nprocs + node_size_ - 1) / node_size_;
+  }
+
+  AlphaBetaNetwork intra_;
+  AlphaBetaNetwork inter_;
+  int node_size_;
+};
+
+/// An idealized zero-cost network: collectives and messages are free.
+/// Used by tests that check algorithmic behaviour independent of timing and
+/// as the "infinite bandwidth" limit in ablations.
+class ZeroNetwork : public NetworkModel {
+ public:
+  double pt2pt_time(std::size_t, int, int, int) const override { return 0.0; }
+  double collective_time(CollectiveKind, std::size_t, int) const override {
+    return 0.0;
+  }
+  double send_overhead() const override { return 0.0; }
+  std::string name() const override { return "zero"; }
+};
+
+/// ceil(log2(n)) for n >= 1.
+int ceil_log2(int n) noexcept;
+
+}  // namespace pac::net

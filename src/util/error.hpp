@@ -1,0 +1,69 @@
+// Error-handling primitives shared by every pac module.
+//
+// Invariant violations inside the library throw pac::Error (a
+// std::runtime_error carrying the failing expression and location) rather
+// than calling abort(), so SPMD rank threads can unwind cleanly and the
+// runtime can convert a single rank's failure into a job failure.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pac {
+
+/// Exception type thrown by PAC_CHECK / PAC_REQUIRE violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pac
+
+/// Internal-invariant check; active in all build types.
+#define PAC_CHECK(expr)                                                       \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::pac::detail::raise_check_failure("PAC_CHECK", #expr, __FILE__,        \
+                                         __LINE__, "");                       \
+  } while (0)
+
+/// Internal-invariant check with a context message (streamed into a string).
+#define PAC_CHECK_MSG(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream pac_check_os_;                                       \
+      pac_check_os_ << msg;                                                   \
+      ::pac::detail::raise_check_failure("PAC_CHECK", #expr, __FILE__,        \
+                                         __LINE__, pac_check_os_.str());      \
+    }                                                                         \
+  } while (0)
+
+/// Precondition check on public API arguments.
+#define PAC_REQUIRE(expr)                                                     \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::pac::detail::raise_check_failure("PAC_REQUIRE", #expr, __FILE__,      \
+                                         __LINE__, "");                       \
+  } while (0)
+
+#define PAC_REQUIRE_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream pac_req_os_;                                         \
+      pac_req_os_ << msg;                                                     \
+      ::pac::detail::raise_check_failure("PAC_REQUIRE", #expr, __FILE__,      \
+                                         __LINE__, pac_req_os_.str());        \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// The library itself is mostly silent; the search layer and benches use this
+// for progress lines.  Thread-safe: each message is formatted into one string
+// and written with a single mutex-protected call, so SPMD ranks do not
+// interleave.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pac {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted line (internal; use the PAC_LOG macro family).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <class T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pac
+
+#define PAC_LOG_DEBUG ::pac::detail::LogStream(::pac::LogLevel::kDebug)
+#define PAC_LOG_INFO ::pac::detail::LogStream(::pac::LogLevel::kInfo)
+#define PAC_LOG_WARN ::pac::detail::LogStream(::pac::LogLevel::kWarn)
+#define PAC_LOG_ERROR ::pac::detail::LogStream(::pac::LogLevel::kError)

@@ -1,0 +1,170 @@
+// Pseudo-random number generation for pac.
+//
+// Two generator families:
+//
+//  * Xoshiro256ss — a fast sequential generator (xoshiro256**) used where a
+//    single stream is fine (synthetic data generation, shuffles).
+//
+//  * CounterRng — a counter-based ("hash the coordinates") generator.  The
+//    value drawn for logical coordinate (stream, index, draw) is a pure
+//    function of those coordinates plus the seed.  P-AutoClass uses this for
+//    per-item initial weights so that the EM trajectory is *identical*
+//    regardless of how items are partitioned across ranks (DESIGN.md §4.3).
+//
+// Both satisfy std::uniform_random_bit_generator, so they compose with
+// <random> distributions, but we also provide our own distributions because
+// libstdc++'s are not cross-version reproducible.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pac {
+
+/// SplitMix64 step; used for seeding and as the mixing core of CounterRng.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: 256-bit state, period 2^256-1.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Advance 2^128 steps; gives independent parallel sequences.
+  void jump() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Counter-based generator: stateless draws addressed by coordinates.
+///
+/// All draws are pure functions of (seed, stream, index, draw).  This is the
+/// property P-AutoClass relies on for partition-invariant initialization: a
+/// rank holding global item i draws exactly the bits rank 0 would have drawn
+/// for item i in a sequential run.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Raw 64 uniform bits for coordinate (stream, index, draw).
+  std::uint64_t bits(std::uint64_t stream, std::uint64_t index,
+                     std::uint64_t draw = 0) const noexcept {
+    // Feed the three coordinates through splitmix64 sequentially; each
+    // absorption is a full avalanche, so nearby coordinates decorrelate.
+    std::uint64_t s = seed_ ^ 0x2545F4914F6CDD1DULL;
+    (void)splitmix64(s);
+    s ^= stream * 0x9E3779B97F4A7C15ULL;
+    (void)splitmix64(s);
+    s ^= index * 0xD1B54A32D192ED03ULL;
+    (void)splitmix64(s);
+    s ^= draw * 0x8CB92BA72F3D8DD7ULL;
+    return splitmix64(s);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform(std::uint64_t stream, std::uint64_t index,
+                 std::uint64_t draw = 0) const noexcept {
+    return static_cast<double>(bits(stream, index, draw) >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Reproducible uniform double in [0, 1) from any 64-bit generator.
+template <class Gen>
+double uniform01(Gen& g) noexcept {
+  return static_cast<double>(g() >> 11) * 0x1.0p-53;
+}
+
+/// Reproducible uniform double in [lo, hi).
+template <class Gen>
+double uniform_in(Gen& g, double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01(g);
+}
+
+/// Reproducible uniform integer in [0, n); n must be > 0.
+template <class Gen>
+std::uint64_t uniform_index(Gen& g, std::uint64_t n) noexcept {
+  // Lemire's multiply-shift rejection method (unbiased).
+  __extension__ using u128 = unsigned __int128;
+  std::uint64_t x = g();
+  u128 m = static_cast<u128>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = g();
+      m = static_cast<u128>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Standard normal via Box–Muller (reproducible across platforms).
+template <class Gen>
+double normal01(Gen& g) noexcept {
+  double u1 = uniform01(g);
+  while (u1 <= 0.0) u1 = uniform01(g);
+  const double u2 = uniform01(g);
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(6.283185307179586476925286766559 * u2);
+}
+
+/// Draw from a discrete distribution given (unnormalized) weights.
+template <class Gen>
+std::size_t categorical(Gen& g, const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = uniform01(g) * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+/// Fisher–Yates shuffle with a reproducible generator.
+template <class Gen, class T>
+void shuffle(Gen& g, std::vector<T>& v) noexcept {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = uniform_index(g, i);
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace pac

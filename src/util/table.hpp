@@ -1,0 +1,42 @@
+// Plain-text table printer used by the figure-reproduction harnesses.
+//
+// The paper reports its results as figures; our benches print the same data
+// as aligned tables (one row per x-value, one column per series), which is
+// the form EXPERIMENTS.md quotes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pac {
+
+/// Column-aligned table with a title, header row, and string cells.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row; defines the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with 2-space gutters and right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds as the paper's h.mm.ss elapsed-time notation (Fig. 6).
+std::string format_hms(double seconds);
+
+/// Fixed-precision double -> string ("%.*f").
+std::string format_fixed(double value, int digits);
+
+}  // namespace pac

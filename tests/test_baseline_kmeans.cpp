@@ -1,0 +1,141 @@
+// Tests for the parallel k-means baseline (related-work demonstrator).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/kmeans.hpp"
+#include "data/synth.hpp"
+#include "util/error.hpp"
+
+namespace pac::baseline {
+namespace {
+
+mp::World::Config ideal_world(int ranks) {
+  mp::World::Config cfg;
+  cfg.num_ranks = ranks;
+  cfg.machine = net::ideal_machine();
+  return cfg;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const std::vector<data::GaussianComponent> mix = {
+      {0.5, {0.0, 0.0}, {0.5, 0.5}}, {0.5, {10.0, 10.0}, {0.5, 0.5}}};
+  const data::LabeledDataset ld = data::gaussian_mixture(mix, 1000, 1);
+  KMeansConfig config;
+  config.k = 2;
+  const KMeansResult result = kmeans(ld.dataset, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(data::adjusted_rand_index(ld.labels, result.labels), 0.99);
+  // Centroids near (0,0) and (10,10), order unspecified.
+  const bool first_is_origin = result.centroids[0] < 5.0;
+  const std::size_t lo = first_is_origin ? 0 : 2;
+  const std::size_t hi = first_is_origin ? 2 : 0;
+  EXPECT_NEAR(result.centroids[lo], 0.0, 0.2);
+  EXPECT_NEAR(result.centroids[hi], 10.0, 0.2);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const data::LabeledDataset ld = data::paper_dataset(1000, 2);
+  KMeansConfig config;
+  double previous = std::numeric_limits<double>::infinity();
+  for (int k : {1, 2, 5, 10}) {
+    config.k = k;
+    const KMeansResult result = kmeans(ld.dataset, config);
+    EXPECT_LT(result.inertia, previous + 1e-9);
+    previous = result.inertia;
+  }
+}
+
+TEST(KMeans, DeterministicInSeed) {
+  const data::LabeledDataset ld = data::paper_dataset(500, 3);
+  KMeansConfig config;
+  config.k = 4;
+  const KMeansResult a = kmeans(ld.dataset, config);
+  const KMeansResult b = kmeans(ld.dataset, config);
+  EXPECT_EQ(a.inertia, b.inertia);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeans, HandlesMissingValues) {
+  data::LabeledDataset ld = data::paper_dataset(800, 4);
+  data::inject_missing(ld.dataset, 0.1, 5);
+  KMeansConfig config;
+  config.k = 5;
+  const KMeansResult result = kmeans(ld.dataset, config);
+  EXPECT_TRUE(std::isfinite(result.inertia));
+  EXPECT_EQ(result.labels.size(), 800u);
+}
+
+TEST(KMeans, ValidatesArguments) {
+  const data::LabeledDataset ld = data::paper_dataset(10, 6);
+  KMeansConfig config;
+  config.k = 20;  // more clusters than items
+  EXPECT_THROW(kmeans(ld.dataset, config), pac::Error);
+  // A dataset with no real attributes is rejected.
+  data::Dataset discrete(
+      data::Schema({data::Attribute::discrete("c", 3)}), 5);
+  for (std::size_t i = 0; i < 5; ++i)
+    discrete.set_discrete(i, 0, static_cast<std::int32_t>(i % 3));
+  config.k = 2;
+  EXPECT_THROW(kmeans(discrete, config), pac::Error);
+}
+
+class KMeansParallelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansParallelTest, MatchesSequential) {
+  const int procs = GetParam();
+  const data::LabeledDataset ld = data::paper_dataset(1100, 7);
+  KMeansConfig config;
+  config.k = 5;
+  const KMeansResult sequential = kmeans(ld.dataset, config);
+  mp::World world(ideal_world(procs));
+  const KMeansResult parallel = parallel_kmeans(world, ld.dataset, config);
+  EXPECT_EQ(parallel.iterations, sequential.iterations);
+  EXPECT_NEAR(parallel.inertia, sequential.inertia,
+              1e-7 * (1.0 + sequential.inertia));
+  ASSERT_EQ(parallel.labels.size(), sequential.labels.size());
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < sequential.labels.size(); ++i)
+    if (parallel.labels[i] != sequential.labels[i]) ++disagreements;
+  EXPECT_LE(disagreements, sequential.labels.size() / 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, KMeansParallelTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(KMeansParallel, VirtualTimeScalesDown) {
+  const data::LabeledDataset ld = data::paper_dataset(20000, 8);
+  KMeansConfig config;
+  config.k = 8;
+  config.max_iterations = 10;
+  config.rel_tolerance = 0.0;  // fixed-length run for timing comparison
+  auto elapsed = [&](int procs) {
+    mp::World::Config cfg;
+    cfg.num_ranks = procs;
+    cfg.machine = net::meiko_cs2();
+    mp::World world(cfg);
+    mp::RunStats stats;
+    parallel_kmeans(world, ld.dataset, config, &stats);
+    return stats.virtual_time;
+  };
+  const double t1 = elapsed(1);
+  const double t8 = elapsed(8);
+  EXPECT_GT(t1 / t8, 5.0);
+  EXPECT_LT(t1 / t8, 8.5);
+}
+
+TEST(KMeansParallel, ReportsRunStats) {
+  const data::LabeledDataset ld = data::paper_dataset(500, 9);
+  KMeansConfig config;
+  config.k = 3;
+  mp::World world(ideal_world(4));
+  mp::RunStats stats;
+  const KMeansResult result = parallel_kmeans(world, ld.dataset, config, &stats);
+  EXPECT_EQ(stats.num_ranks, 4);
+  // One allreduce per iteration per rank.
+  EXPECT_EQ(stats.total_collectives,
+            static_cast<std::uint64_t>(result.iterations) * 4u);
+}
+
+}  // namespace
+}  // namespace pac::baseline

@@ -1,0 +1,273 @@
+// Virtual-time behaviour of P-AutoClass: the mechanics behind the paper's
+// Figures 6-8 (speedup and scaleup shapes) and the Sec. 5 strategy claims.
+#include <gtest/gtest.h>
+
+#include "core/pautoclass.hpp"
+#include "data/synth.hpp"
+
+namespace pac::core {
+namespace {
+
+mp::World::Config meiko(int ranks) {
+  mp::World::Config cfg;
+  cfg.num_ranks = ranks;
+  cfg.machine = net::meiko_cs2();
+  return cfg;
+}
+
+ac::SearchConfig tiny_search(int j) {
+  ac::SearchConfig config;
+  config.start_j_list = {j};
+  config.max_tries = 1;
+  config.em.max_cycles = 10;
+  config.em.min_cycles = 10;  // fixed-length run for stable timing
+  return config;
+}
+
+double elapsed(const ac::Model& model, int procs,
+               const ParallelConfig& pcfg = {}, int j = 8) {
+  mp::World world(meiko(procs));
+  return run_parallel_search(world, model, tiny_search(j), pcfg)
+      .stats.virtual_time;
+}
+
+TEST(Timing, ElapsedTimeDecreasesWithProcessors) {
+  // Paper Fig. 6: for a decent dataset size the total execution time
+  // substantially decreases as the number of processors increases.
+  const data::LabeledDataset ld = data::paper_dataset(20000, 1);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  const double t1 = elapsed(model, 1);
+  const double t4 = elapsed(model, 4);
+  const double t10 = elapsed(model, 10);
+  EXPECT_LT(t4, t1);
+  EXPECT_LT(t10, t4);
+  EXPECT_GT(t1 / t4, 3.0);   // near-linear at low P for 20k items
+  EXPECT_GT(t1 / t10, 6.0);  // good but sublinear at 10
+  EXPECT_LT(t1 / t10, 10.0); // no superlinear nonsense
+}
+
+TEST(Timing, SpeedupGrowsWithDatasetSize) {
+  // Paper Fig. 7: larger datasets scale better at fixed P.
+  const data::LabeledDataset small = data::paper_dataset(1000, 2);
+  const data::LabeledDataset large = data::paper_dataset(30000, 3);
+  const ac::Model small_model = ac::Model::default_model(small.dataset);
+  const ac::Model large_model = ac::Model::default_model(large.dataset);
+  const double small_speedup =
+      elapsed(small_model, 1) / elapsed(small_model, 10);
+  const double large_speedup =
+      elapsed(large_model, 1) / elapsed(large_model, 10);
+  EXPECT_GT(large_speedup, small_speedup);
+}
+
+TEST(Timing, CommunicationShareGrowsWithProcessors) {
+  const data::LabeledDataset ld = data::paper_dataset(5000, 4);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  auto comm_share = [&](int procs) {
+    mp::World world(meiko(procs));
+    const auto outcome =
+        run_parallel_search(world, model, tiny_search(8));
+    return outcome.stats.max_comm() / outcome.stats.virtual_time;
+  };
+  EXPECT_LT(comm_share(2), comm_share(10));
+}
+
+TEST(Timing, FullStrategyBeatsWtsOnly) {
+  // Paper Sec. 5: parallelizing the parameters phase too improves on the
+  // wts-only MIMD prototype [7].
+  const data::LabeledDataset ld = data::paper_dataset(8000, 5);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  ParallelConfig full;
+  full.strategy = Strategy::kFull;
+  ParallelConfig wts_only;
+  wts_only.strategy = Strategy::kWtsOnly;
+  for (int procs : {4, 8}) {
+    EXPECT_LT(elapsed(model, procs, full), elapsed(model, procs, wts_only))
+        << "P=" << procs;
+  }
+}
+
+TEST(Timing, FusedReductionBeatsPerTermAtHighClassCounts) {
+  // The per-term layout pays one allreduce latency per (class, term); fusing
+  // the buffer removes all but one.
+  const data::LabeledDataset ld = data::paper_dataset(4000, 6);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  ParallelConfig per_term;
+  per_term.granularity = ReduceGranularity::kPerTerm;
+  ParallelConfig fused;
+  fused.granularity = ReduceGranularity::kFused;
+  EXPECT_LT(elapsed(model, 8, fused, /*j=*/24),
+            elapsed(model, 8, per_term, /*j=*/24));
+}
+
+TEST(Timing, ScaleupIsNearlyFlat) {
+  // Paper Fig. 8: fixed tuples/processor, time per base_cycle stays nearly
+  // constant as processors (and total data) grow together.
+  constexpr std::size_t kTuplesPerProc = 10000;
+  std::vector<double> per_cycle;
+  for (int procs : {1, 2, 5, 10}) {
+    const data::LabeledDataset ld =
+        data::paper_dataset(kTuplesPerProc * procs, 7);
+    const ac::Model model = ac::Model::default_model(ld.dataset);
+    mp::World world(meiko(procs));
+    per_cycle.push_back(
+        measure_base_cycle(world, model, /*j=*/8, /*cycles=*/3)
+            .seconds_per_cycle);
+  }
+  for (std::size_t i = 1; i < per_cycle.size(); ++i) {
+    EXPECT_LT(per_cycle[i], per_cycle[0] * 1.25)
+        << "scaleup degraded at step " << i;
+    EXPECT_GT(per_cycle[i], per_cycle[0] * 0.75);
+  }
+}
+
+TEST(Timing, BaseCycleInPaperBand) {
+  // Fig. 8 absolute calibration: 0.3-0.7 s per cycle at 10k tuples/proc.
+  const data::LabeledDataset ld = data::paper_dataset(10000, 8);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  mp::World world(meiko(1));
+  const double j8 =
+      measure_base_cycle(world, model, 8, 3).seconds_per_cycle;
+  const double j16 =
+      measure_base_cycle(world, model, 16, 3).seconds_per_cycle;
+  EXPECT_GT(j8, 0.2);
+  EXPECT_LT(j8, 0.6);
+  EXPECT_GT(j16, 0.4);
+  EXPECT_LT(j16, 1.0);
+  EXPECT_GT(j16, j8 * 1.6);  // roughly doubles with J
+}
+
+TEST(Timing, SequentialTimeLinearInDatasetSize) {
+  // Paper Sec. 3: "execution time increases linearly with the size of the
+  // dataset".
+  const data::LabeledDataset a = data::paper_dataset(5000, 9);
+  const data::LabeledDataset b = data::paper_dataset(20000, 10);
+  const ac::Model model_a = ac::Model::default_model(a.dataset);
+  const ac::Model model_b = ac::Model::default_model(b.dataset);
+  mp::World world_a(meiko(1)), world_b(meiko(1));
+  const double ta =
+      measure_base_cycle(world_a, model_a, 8, 3).seconds_per_cycle;
+  const double tb =
+      measure_base_cycle(world_b, model_b, 8, 3).seconds_per_cycle;
+  EXPECT_NEAR(tb / ta, 4.0, 0.5);
+}
+
+TEST(Timing, PhaseProfileMatchesPaperShape) {
+  // Paper Sec. 3: update_wts and update_parameters dominate;
+  // update_approximations is negligible.
+  const data::LabeledDataset ld = data::paper_dataset(5000, 11);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  mp::World world(meiko(1));
+  const auto m = measure_base_cycle(world, model, 8, 5);
+  const double total = m.profile.total();
+  // The one-off try overhead of random_init dilutes the share slightly in a
+  // 5-cycle measurement; base_cycle itself is ~99% wts+params.
+  EXPECT_GT((m.profile.wts + m.profile.params) / total, 0.92);
+  EXPECT_LT(m.profile.approx / total, 0.01);
+  EXPECT_GT(m.profile.wts, 0.0);
+  EXPECT_GT(m.profile.params, 0.0);
+}
+
+TEST(Timing, ChargeCostsOffMakesComputeFree) {
+  const data::LabeledDataset ld = data::paper_dataset(2000, 12);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  ParallelConfig pcfg;
+  pcfg.charge_costs = false;
+  mp::World::Config cfg;
+  cfg.num_ranks = 4;
+  cfg.machine = net::ideal_machine();
+  mp::World world(cfg);
+  const auto outcome =
+      run_parallel_search(world, model, tiny_search(4), pcfg);
+  EXPECT_EQ(outcome.stats.virtual_time, 0.0);
+  EXPECT_EQ(outcome.profile.total(), 0.0);
+}
+
+TEST(Timing, IdealNetworkScalesAlmostPerfectly) {
+  // With free communication, speedup should track the partition sizes.
+  const data::LabeledDataset ld = data::paper_dataset(10000, 13);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  auto run_ideal = [&](int procs) {
+    mp::World::Config cfg;
+    cfg.num_ranks = procs;
+    cfg.machine = net::ideal_machine();
+    mp::World world(cfg);
+    return run_parallel_search(world, model, tiny_search(8))
+        .stats.virtual_time;
+  };
+  const double t1 = run_ideal(1);
+  const double t10 = run_ideal(10);
+  // Replicated per-cycle work (MAP updates, convergence checks) is the
+  // Amdahl floor; ~8.5x at P=10 is the expected ceiling here.
+  EXPECT_GT(t1 / t10, 8.4);
+  EXPECT_LT(t1 / t10, 10.5);
+}
+
+TEST(Timing, PartitionSkewSlowsTheWholeMachine) {
+  // Paper Sec. 3: equal-size partitions mean no load-balancing problem;
+  // forcing a straggler must gate every cycle.
+  const data::LabeledDataset ld = data::paper_dataset(10000, 15);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  mp::World world(meiko(5));
+  ParallelConfig balanced;
+  ParallelConfig skewed;
+  skewed.partition_skew = 2.0;
+  const double tb =
+      measure_base_cycle(world, model, 8, 3, 42, balanced).seconds_per_cycle;
+  const double ts =
+      measure_base_cycle(world, model, 8, 3, 42, skewed).seconds_per_cycle;
+  EXPECT_GT(ts / tb, 1.6);
+  EXPECT_LT(ts / tb, 2.4);  // bounded by the skew itself
+}
+
+TEST(Timing, PartitionSkewPreservesResults) {
+  const data::LabeledDataset ld = data::paper_dataset(1500, 16);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  ac::SearchConfig config = tiny_search(4);
+  mp::World world(meiko(4));
+  ParallelConfig skewed;
+  skewed.partition_skew = 2.0;
+  const auto balanced_run = run_parallel_search(world, model, config);
+  const auto skewed_run =
+      run_parallel_search(world, model, config, skewed);
+  EXPECT_NEAR(balanced_run.search.top().cs_score,
+              skewed_run.search.top().cs_score,
+              1e-7 * std::abs(balanced_run.search.top().cs_score));
+}
+
+TEST(Timing, PartitionSkewRejectsWtsOnly) {
+  const data::LabeledDataset ld = data::paper_dataset(200, 17);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  mp::World world(meiko(2));
+  ParallelConfig bad;
+  bad.partition_skew = 2.0;
+  bad.strategy = Strategy::kWtsOnly;
+  EXPECT_THROW(run_parallel_search(world, model, tiny_search(2), bad),
+               pac::Error);
+}
+
+TEST(Timing, SmpClusterSitsBetweenMeikoAndPentium) {
+  const data::LabeledDataset ld = data::paper_dataset(8000, 18);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  auto on = [&](const char* machine) {
+    mp::World::Config cfg;
+    cfg.num_ranks = 8;
+    cfg.machine = net::machine_by_name(machine);
+    mp::World world(cfg);
+    return run_parallel_search(world, model, tiny_search(8))
+        .stats.virtual_time;
+  };
+  // Same compute cost book everywhere; ordering is purely the network.
+  EXPECT_LT(on("meiko-cs2"), on("pentium-cluster"));
+  EXPECT_LT(on("smp-cluster"), on("pentium-cluster"));
+}
+
+TEST(Timing, BaseCycleRejectsBadArguments) {
+  const data::LabeledDataset ld = data::paper_dataset(100, 14);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  mp::World world(meiko(1));
+  EXPECT_THROW(measure_base_cycle(world, model, 0, 1), pac::Error);
+  EXPECT_THROW(measure_base_cycle(world, model, 4, 0), pac::Error);
+}
+
+}  // namespace
+}  // namespace pac::core

@@ -1,0 +1,179 @@
+// Tests for dataset transforms: train/test splitting, standardization, and
+// the skewed partition used by the load-imbalance ablation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth.hpp"
+#include "data/transform.hpp"
+#include "util/error.hpp"
+
+namespace pac::data {
+namespace {
+
+TEST(Split, PartitionsEveryRowExactlyOnce) {
+  const LabeledDataset ld = paper_dataset(1000, 1);
+  const SplitResult split = split_dataset(ld.dataset, 0.3, 7);
+  EXPECT_EQ(split.train.num_items() + split.test.num_items(), 1000u);
+  EXPECT_EQ(split.train_index.size(), split.train.num_items());
+  EXPECT_EQ(split.test_index.size(), split.test.num_items());
+  std::vector<char> seen(1000, 0);
+  for (const auto i : split.train_index) seen[i] += 1;
+  for (const auto i : split.test_index) seen[i] += 1;
+  for (const char c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Split, FractionApproximatelyRespected) {
+  const LabeledDataset ld = paper_dataset(5000, 2);
+  const SplitResult split = split_dataset(ld.dataset, 0.25, 9);
+  EXPECT_NEAR(static_cast<double>(split.test.num_items()) / 5000.0, 0.25,
+              0.02);
+}
+
+TEST(Split, DeterministicInSeed) {
+  const LabeledDataset ld = paper_dataset(300, 3);
+  const SplitResult a = split_dataset(ld.dataset, 0.5, 11);
+  const SplitResult b = split_dataset(ld.dataset, 0.5, 11);
+  ASSERT_EQ(a.test_index.size(), b.test_index.size());
+  for (std::size_t i = 0; i < a.test_index.size(); ++i)
+    EXPECT_EQ(a.test_index[i], b.test_index[i]);
+  const SplitResult c = split_dataset(ld.dataset, 0.5, 12);
+  EXPECT_NE(a.test_index, c.test_index);
+}
+
+TEST(Split, RowsSurviveVerbatim) {
+  LabeledDataset ld = paper_dataset(200, 4);
+  inject_missing(ld.dataset, 0.1, 5);
+  const SplitResult split = split_dataset(ld.dataset, 0.4, 13);
+  for (std::size_t r = 0; r < split.test.num_items(); ++r) {
+    const std::size_t original = split.test_index[r];
+    for (std::size_t a = 0; a < ld.dataset.num_attributes(); ++a) {
+      ASSERT_EQ(split.test.is_missing(r, a),
+                ld.dataset.is_missing(original, a));
+      if (!split.test.is_missing(r, a)) {
+        ASSERT_DOUBLE_EQ(split.test.real_value(r, a),
+                         ld.dataset.real_value(original, a));
+      }
+    }
+  }
+}
+
+TEST(Split, ExtremeFractions) {
+  const LabeledDataset ld = paper_dataset(100, 6);
+  const SplitResult none = split_dataset(ld.dataset, 0.0, 1);
+  EXPECT_EQ(none.test.num_items(), 0u);
+  const SplitResult all = split_dataset(ld.dataset, 1.0, 1);
+  EXPECT_EQ(all.train.num_items(), 0u);
+  EXPECT_THROW(split_dataset(ld.dataset, 1.5, 1), pac::Error);
+}
+
+TEST(Standardize, ColumnsBecomeZeroMeanUnitVariance) {
+  const LabeledDataset ld = paper_dataset(5000, 7);
+  Standardization params;
+  const Dataset z = standardize(ld.dataset, &params);
+  for (std::size_t a = 0; a < 2; ++a) {
+    const auto stats = z.real_stats(a);
+    EXPECT_NEAR(stats.mean, 0.0, 1e-9);
+    EXPECT_NEAR(stats.variance, 1.0, 1e-9);
+    EXPECT_GT(params.sd[a], 0.0);
+  }
+}
+
+TEST(Standardize, ErrorsRescaledInSchema) {
+  const LabeledDataset ld = paper_dataset(500, 8);
+  Standardization params;
+  const Dataset z = standardize(ld.dataset, &params);
+  for (std::size_t a = 0; a < 2; ++a)
+    EXPECT_NEAR(z.schema().at(a).rel_error,
+                ld.dataset.schema().at(a).rel_error / params.sd[a], 1e-12);
+}
+
+TEST(Standardize, MissingValuesStayMissing) {
+  LabeledDataset ld = paper_dataset(300, 9);
+  inject_missing(ld.dataset, 0.2, 10);
+  const Dataset z = standardize(ld.dataset);
+  for (std::size_t i = 0; i < 300; ++i)
+    for (std::size_t a = 0; a < 2; ++a)
+      EXPECT_EQ(z.is_missing(i, a), ld.dataset.is_missing(i, a));
+}
+
+TEST(Standardize, DiscreteColumnsUntouched) {
+  std::vector<MixedComponent> mix(1);
+  mix[0] = {1.0, {5.0}, {2.0}, {{0.5, 0.5}}};
+  const LabeledDataset ld = mixed_mixture(mix, 400, 11);
+  const Dataset z = standardize(ld.dataset);
+  for (std::size_t i = 0; i < 400; ++i)
+    EXPECT_EQ(z.discrete_value(i, 1), ld.dataset.discrete_value(i, 1));
+}
+
+TEST(Standardize, ApplyToTestSplitUsesTrainParams) {
+  const LabeledDataset ld = paper_dataset(2000, 12);
+  const SplitResult split = split_dataset(ld.dataset, 0.3, 13);
+  Standardization params;
+  const Dataset train_z = standardize(split.train, &params);
+  const Dataset test_z = apply_standardization(split.test, params);
+  // Test columns use the *train* mean, so their mean is near but not
+  // exactly zero.
+  const auto stats = test_z.real_stats(0);
+  EXPECT_NEAR(stats.mean, 0.0, 0.1);
+  EXPECT_TRUE(train_z.schema() == test_z.schema());
+}
+
+TEST(Standardize, ConstantColumnIsSafe) {
+  Dataset d(Schema({Attribute::real("c", 0.5)}), 4);
+  for (std::size_t i = 0; i < 4; ++i) d.set_real(i, 0, 7.0);
+  const Dataset z = standardize(d);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(z.real_value(i, 0), 0.0);  // (7-7)/1
+}
+
+// ---- skewed partition ----
+
+TEST(SkewedPartition, CoversExactlyOnce) {
+  for (std::size_t n : {100u, 999u, 10000u}) {
+    for (int p : {2, 3, 7, 10}) {
+      for (double skew : {1.0, 1.5, 2.0, 5.0}) {
+        std::size_t previous_end = 0;
+        for (int r = 0; r < p; ++r) {
+          const ItemRange range = skewed_partition(n, p, r, skew);
+          EXPECT_EQ(range.begin, previous_end);
+          previous_end = range.end;
+        }
+        EXPECT_EQ(previous_end, n);
+      }
+    }
+  }
+}
+
+TEST(SkewedPartition, RankZeroGetsTheSkewShare) {
+  const ItemRange r0 = skewed_partition(1000, 4, 0, 2.0);
+  EXPECT_EQ(r0.size(), 500u);  // 2x the 250 average
+  const ItemRange r1 = skewed_partition(1000, 4, 1, 2.0);
+  EXPECT_NEAR(static_cast<double>(r1.size()), 500.0 / 3.0, 1.0);
+}
+
+TEST(SkewedPartition, SkewOneIsBalanced) {
+  for (int r = 0; r < 5; ++r) {
+    const ItemRange a = skewed_partition(1234, 5, r, 1.0);
+    const ItemRange b = block_partition(1234, 5, r);
+    // Both cover evenly; sizes differ by at most one row.
+    EXPECT_LE(a.size() > b.size() ? a.size() - b.size()
+                                  : b.size() - a.size(),
+              1u);
+  }
+}
+
+TEST(SkewedPartition, HugeSkewIsCappedAtWholeSet) {
+  const ItemRange r0 = skewed_partition(100, 4, 0, 100.0);
+  EXPECT_EQ(r0.size(), 100u);
+  for (int r = 1; r < 4; ++r)
+    EXPECT_TRUE(skewed_partition(100, 4, r, 100.0).empty());
+}
+
+TEST(SkewedPartition, ValidatesArguments) {
+  EXPECT_THROW(skewed_partition(10, 2, 0, 0.5), pac::Error);
+  EXPECT_THROW(skewed_partition(10, 2, 2, 1.5), pac::Error);
+}
+
+}  // namespace
+}  // namespace pac::data

@@ -1,0 +1,211 @@
+// End-to-end integration scenarios spanning every module: data generation,
+// file I/O, preprocessing, parallel search with checkpointing, prediction,
+// and reporting — the workflows a downstream user would actually run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "autoclass/checkpoint.hpp"
+#include "autoclass/report.hpp"
+#include "core/pautoclass.hpp"
+#include "data/io.hpp"
+#include "data/synth.hpp"
+#include "data/transform.hpp"
+#include "util/rng.hpp"
+
+namespace pac {
+namespace {
+
+mp::World::Config meiko(int ranks) {
+  mp::World::Config cfg;
+  cfg.num_ranks = ranks;
+  cfg.machine = net::meiko_cs2();
+  return cfg;
+}
+
+TEST(Integration, FileRoundTripThenParallelClusterThenPredict) {
+  // 1. Generate and persist a dataset the way a user would.
+  const data::LabeledDataset generated = data::paper_dataset(1500, 101);
+  const std::string header_path = "/tmp/pac_it_full.hd2";
+  const std::string data_path = "/tmp/pac_it_full.db2";
+  data::write_header_file(header_path, generated.dataset.schema());
+  data::write_data_file(data_path, generated.dataset);
+
+  // 2. Load it back and split train/test.
+  const data::Schema schema = data::read_header_file(header_path);
+  const data::Dataset loaded = data::read_data_file(data_path, schema);
+  const data::SplitResult split = data::split_dataset(loaded, 0.2, 102);
+
+  // 3. Cluster the training split on a modeled 6-processor machine.
+  const ac::Model model = ac::Model::default_model(split.train);
+  ac::SearchConfig config;
+  config.start_j_list = {3, 5};
+  config.max_tries = 2;
+  config.em.max_cycles = 40;
+  mp::World world(meiko(6));
+  const core::ParallelOutcome outcome =
+      core::run_parallel_search(world, model, config);
+  EXPECT_GT(outcome.stats.virtual_time, 0.0);
+
+  // 4. Predict the held-out rows and score against the generator's labels.
+  const auto predicted =
+      ac::predict_labels(outcome.search.top(), split.test);
+  std::vector<std::int32_t> truth;
+  for (const auto original_row : split.test_index)
+    truth.push_back(generated.labels[original_row]);
+  EXPECT_GT(data::adjusted_rand_index(truth, predicted), 0.7);
+  std::remove(header_path.c_str());
+  std::remove(data_path.c_str());
+}
+
+TEST(Integration, CheckpointAcrossWorldsAndProcessorCounts) {
+  // A search checkpointed on 4 ranks must resume identically on 8 ranks:
+  // the classification state is partition-independent.
+  const data::LabeledDataset ld = data::paper_dataset(900, 103);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  ac::SearchConfig config;
+  config.start_j_list = {2, 4, 6};
+  config.em.max_cycles = 30;
+
+  mp::World::Config ideal;
+  ideal.machine = net::ideal_machine();
+
+  // Reference: all 3 tries on 8 ranks.
+  ideal.num_ranks = 8;
+  mp::World world8(ideal);
+  config.max_tries = 3;
+  const core::ParallelOutcome reference =
+      core::run_parallel_search(world8, model, config);
+
+  // Phase 1 on 4 ranks, checkpoint to a stream.
+  ideal.num_ranks = 4;
+  mp::World world4(ideal);
+  config.max_tries = 1;
+  const core::ParallelOutcome phase1 =
+      core::run_parallel_search(world4, model, config);
+  std::stringstream checkpoint;
+  ac::save_search_result(checkpoint, phase1.search);
+
+  // Phase 2 on 8 ranks, resumed from the 4-rank checkpoint.
+  const ac::SearchResult restored =
+      ac::load_search_result(checkpoint, model);
+  config.max_tries = 3;
+  const core::ParallelOutcome resumed = core::run_parallel_search(
+      world8, model, config, core::ParallelConfig{}, &restored);
+
+  ASSERT_EQ(resumed.search.best.size(), reference.search.best.size());
+  for (std::size_t b = 0; b < reference.search.best.size(); ++b) {
+    EXPECT_NEAR(resumed.search.best[b].classification.cs_score,
+                reference.search.best[b].classification.cs_score,
+                1e-7 * std::abs(
+                           reference.search.best[b].classification.cs_score));
+  }
+}
+
+TEST(Integration, StandardizedDataGivesSameClustering) {
+  // Standardization rescales columns and errors together, so the discovered
+  // partition must be essentially unchanged.
+  const data::LabeledDataset ld = data::paper_dataset(1200, 104);
+  const data::Dataset z = data::standardize(ld.dataset);
+  ac::SearchConfig config;
+  config.start_j_list = {5};
+  config.max_tries = 1;
+  config.em.max_cycles = 50;
+  const ac::Model raw_model = ac::Model::default_model(ld.dataset);
+  const ac::Model z_model = ac::Model::default_model(z);
+  const ac::SearchResult raw = ac::sequential_search(raw_model, config);
+  const ac::SearchResult scaled = ac::sequential_search(z_model, config);
+  const auto raw_labels = ac::assign_labels(raw.top());
+  const auto scaled_labels = ac::assign_labels(scaled.top());
+  EXPECT_GT(data::adjusted_rand_index(raw_labels, scaled_labels), 0.95);
+}
+
+TEST(Integration, AllTermFamiliesTogetherUnderParallelEngine) {
+  // One dataset exercising every term family, clustered on several
+  // processor counts — the census example's core as a regression test.
+  const std::size_t n = 800;
+  std::vector<data::Attribute> attrs = {
+      data::Attribute::real("g", 0.1),
+      data::Attribute::real("ln", 0.05),
+      data::Attribute::discrete("d", 3),
+      data::Attribute::discrete("id", 7),
+      data::Attribute::real("c0", 0.05),
+      data::Attribute::real("c1", 0.05),
+  };
+  data::Dataset table(data::Schema(attrs), n);
+  std::vector<std::int32_t> truth(n);
+  Xoshiro256ss rng(105);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool a = i % 2 == 0;
+    truth[i] = a ? 0 : 1;
+    table.set_real(i, 0, (a ? 0.0 : 6.0) + normal01(rng));
+    table.set_real(i, 1, std::exp((a ? 1.0 : 3.0) + 0.3 * normal01(rng)));
+    table.set_discrete(i, 2, a ? (i % 3 == 0 ? 1 : 0) : 2);
+    table.set_discrete(i, 3,
+                       static_cast<std::int32_t>(uniform_index(rng, 7)));
+    const double z1 = normal01(rng), z2 = normal01(rng);
+    table.set_real(i, 4, (a ? 0.0 : 2.0) + 0.3 * z1);
+    table.set_real(i, 5, (a ? 0.0 : 2.0) + 0.3 * (0.8 * z1 + 0.6 * z2));
+  }
+  std::vector<ac::TermSpec> specs(5);
+  specs[0] = {ac::TermKind::kSingleNormal, {0}};
+  specs[1] = {ac::TermKind::kSingleLognormal, {1}};
+  specs[2] = {ac::TermKind::kSingleMultinomial, {2}};
+  specs[3] = {ac::TermKind::kIgnore, {3}};
+  specs[4] = {ac::TermKind::kMultiNormal, {4, 5}};
+  const ac::Model model(table, std::move(specs));
+
+  ac::SearchConfig config;
+  config.start_j_list = {2};
+  config.max_tries = 1;
+  config.em.max_cycles = 40;
+  const ac::SearchResult sequential = ac::sequential_search(model, config);
+  const auto seq_labels = ac::assign_labels(sequential.top());
+  EXPECT_GT(data::adjusted_rand_index(truth, seq_labels), 0.99);
+
+  for (int procs : {3, 8}) {
+    mp::World::Config cfg;
+    cfg.num_ranks = procs;
+    cfg.machine = net::ideal_machine();
+    mp::World world(cfg);
+    const core::ParallelOutcome parallel =
+        core::run_parallel_search(world, model, config);
+    EXPECT_NEAR(parallel.search.top().cs_score, sequential.top().cs_score,
+                1e-7 * std::abs(sequential.top().cs_score));
+  }
+}
+
+TEST(Integration, ReportsAreWritableForParallelResults) {
+  const data::LabeledDataset ld = data::paper_dataset(400, 106);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  ac::SearchConfig config;
+  config.start_j_list = {4};
+  config.max_tries = 1;
+  config.em.max_cycles = 30;
+  mp::World world(meiko(5));
+  const core::ParallelOutcome outcome =
+      core::run_parallel_search(world, model, config);
+  std::ostringstream report, cases;
+  ac::print_report(report, outcome.search.top());
+  ac::write_case_report(cases, outcome.search.top(), 25);
+  EXPECT_NE(report.str().find("Influence"), std::string::npos);
+  EXPECT_NE(cases.str().find("case report"), std::string::npos);
+}
+
+TEST(Integration, ScaleupProtocolIsStableAcrossRepeats) {
+  // Fig. 8's measurement repeated twice must be bit-identical (determinism
+  // of the whole stack: data gen, EM, reductions, virtual time).
+  const data::LabeledDataset ld = data::paper_dataset(5000, 107);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  mp::World world(meiko(5));
+  const auto a = core::measure_base_cycle(world, model, 8, 3, 42);
+  const auto b = core::measure_base_cycle(world, model, 8, 3, 42);
+  EXPECT_EQ(a.seconds_per_cycle, b.seconds_per_cycle);
+  EXPECT_EQ(a.stats.total_collectives, b.stats.total_collectives);
+}
+
+}  // namespace
+}  // namespace pac

@@ -1,0 +1,175 @@
+// Nonblocking point-to-point operations: isend/irecv/test/wait/wait_all and
+// sendrecv.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mp/comm.hpp"
+
+namespace pac::mp {
+namespace {
+
+World::Config zero_config(int ranks) {
+  World::Config cfg;
+  cfg.num_ranks = ranks;
+  cfg.machine = net::ideal_machine();
+  return cfg;
+}
+
+TEST(Nonblocking, IsendCompletesImmediately) {
+  World world(zero_config(2));
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 5;
+      Request req = comm.isend<int>(1, 0, std::span<const int>(&v, 1));
+      EXPECT_TRUE(req.done());
+      comm.wait(req);  // must be a no-op
+      EXPECT_TRUE(req.done());
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 0), 5);
+    }
+  });
+}
+
+TEST(Nonblocking, IrecvWaitDeliversPayload) {
+  World world(zero_config(2));
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data = {1.0, 2.0, 3.0};
+      comm.send<double>(1, 7, data);
+    } else {
+      std::vector<double> buf(3);
+      Request req = comm.irecv<double>(0, 7, buf);
+      EXPECT_FALSE(req.done());
+      comm.wait(req);
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(req.status().source, 0);
+      EXPECT_EQ(req.status().tag, 7);
+      EXPECT_EQ(req.status().bytes, 3 * sizeof(double));
+      EXPECT_DOUBLE_EQ(buf[2], 3.0);
+    }
+  });
+}
+
+TEST(Nonblocking, TestPollsWithoutBlocking) {
+  World world(zero_config(2));
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Let rank 1 poll a few times first.
+      comm.recv_value<int>(1, 1);  // handshake: rank 1 has polled
+      comm.send_value<int>(1, 2, 99);
+    } else {
+      int out = 0;
+      Request req = comm.irecv<int>(0, 2, std::span<int>(&out, 1));
+      EXPECT_FALSE(comm.test(req));  // nothing sent yet
+      comm.send_value<int>(0, 1, 0);  // handshake
+      // Now spin until the message lands.
+      while (!comm.test(req)) {
+      }
+      EXPECT_EQ(out, 99);
+      EXPECT_TRUE(comm.test(req));  // idempotent once done
+    }
+  });
+}
+
+TEST(Nonblocking, WaitAllCompletesOutOfOrder) {
+  World world(zero_config(2));
+  world.run([](Comm& comm) {
+    constexpr int kCount = 8;
+    if (comm.rank() == 0) {
+      // Send in reverse tag order.
+      for (int t = kCount - 1; t >= 0; --t) comm.send_value<int>(1, t, t * t);
+    } else {
+      std::vector<int> values(kCount);
+      std::vector<Request> requests;
+      for (int t = 0; t < kCount; ++t)
+        requests.push_back(
+            comm.irecv<int>(0, t, std::span<int>(&values[t], 1)));
+      comm.wait_all(requests);
+      for (int t = 0; t < kCount; ++t) {
+        EXPECT_EQ(values[t], t * t);
+        EXPECT_TRUE(requests[t].done());
+      }
+    }
+  });
+}
+
+TEST(Nonblocking, SendrecvExchangesWithoutDeadlock) {
+  World world(zero_config(6));
+  world.run([](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    const int mine = comm.rank() * 10;
+    int theirs = -1;
+    const Status st = comm.sendrecv<int>(
+        next, 0, std::span<const int>(&mine, 1), prev, 0,
+        std::span<int>(&theirs, 1));
+    EXPECT_EQ(theirs, prev * 10);
+    EXPECT_EQ(st.source, prev);
+  });
+}
+
+TEST(Nonblocking, WaitOnDefaultRequestThrows) {
+  World world(zero_config(1));
+  EXPECT_THROW(world.run([](Comm& comm) {
+    Request req;
+    comm.wait(req);
+  }),
+               pac::Error);
+}
+
+TEST(Nonblocking, IrecvAdvancesVirtualClockOnCompletion) {
+  net::LinkParams link;
+  link.latency = 100e-6;
+  link.byte_time = 1e-8;
+  link.send_overhead = 10e-6;
+  World::Config cfg;
+  cfg.num_ranks = 2;
+  cfg.machine.name = "test";
+  cfg.machine.network = std::make_shared<net::AlphaBetaNetwork>(link);
+  World world(cfg);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<char> payload(1000, 'x');
+      comm.send<char>(1, 0, payload);
+    } else {
+      std::vector<char> buf(1000);
+      Request req = comm.irecv<char>(0, 0, buf);
+      EXPECT_DOUBLE_EQ(comm.now(), 0.0);  // posting is free
+      comm.wait(req);
+      // overhead(sender) + overhead + latency + 1000 bytes.
+      EXPECT_NEAR(comm.now(), 10e-6 + 10e-6 + 100e-6 + 1000e-8, 1e-12);
+    }
+  });
+}
+
+TEST(Nonblocking, ManyOutstandingRequests) {
+  World world(zero_config(4));
+  world.run([](Comm& comm) {
+    constexpr int kPerPeer = 20;
+    std::vector<int> values(3 * kPerPeer, -1);
+    std::vector<Request> requests;
+    int slot = 0;
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer == comm.rank()) continue;
+      for (int k = 0; k < kPerPeer; ++k)
+        requests.push_back(
+            comm.irecv<int>(peer, k, std::span<int>(&values[slot++], 1)));
+    }
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer == comm.rank()) continue;
+      for (int k = 0; k < kPerPeer; ++k)
+        comm.send_value<int>(peer, k, comm.rank() * 1000 + k);
+    }
+    comm.wait_all(requests);
+    slot = 0;
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer == comm.rank()) continue;
+      for (int k = 0; k < kPerPeer; ++k)
+        EXPECT_EQ(values[slot++], peer * 1000 + k);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pac::mp

@@ -1,0 +1,197 @@
+// Tests for Table, CLI parsing, error macros, and the logger.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace pac {
+namespace {
+
+// ---- Table ----
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"x", "a", "b"});
+  t.add_row({"1", "10", "20"});
+  t.add_row({"2", "30", "40"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("40"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t("demo");
+  t.set_header({"x", "y"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  // Each data line must be equally long (aligned columns).
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);  // title
+  std::getline(is, line);  // header
+  const std::size_t width = line.size();
+  std::getline(is, line);  // rule
+  while (std::getline(is, line)) {
+    if (!line.empty()) {
+      EXPECT_EQ(line.size(), width);
+    }
+  }
+}
+
+TEST(FormatHms, FormatsPaperStyle) {
+  EXPECT_EQ(format_hms(0.0), "0.00.00");
+  EXPECT_EQ(format_hms(61.0), "0.01.01");
+  EXPECT_EQ(format_hms(3661.0), "1.01.01");
+  EXPECT_EQ(format_hms(10 * 3600 + 59 * 60 + 59), "10.59.59");
+}
+
+TEST(FormatHms, RoundsToNearestSecond) {
+  EXPECT_EQ(format_hms(59.6), "0.01.00");
+  EXPECT_EQ(format_hms(0.4), "0.00.00");
+}
+
+TEST(FormatHms, RejectsNegative) { EXPECT_THROW(format_hms(-1.0), Error); }
+
+TEST(FormatFixed, HonorsDigits) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+// ---- CLI ----
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  const Cli cli = make_cli({"--items", "5000", "--name", "meiko"});
+  EXPECT_EQ(cli.get_int("items", 0), 5000);
+  EXPECT_EQ(cli.get_string("name", ""), "meiko");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const Cli cli = make_cli({"--items=123", "--ratio=0.5"});
+  EXPECT_EQ(cli.get_int("items", 0), 123);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 0.5);
+}
+
+TEST(Cli, BareFlagIsTrueBoolean) {
+  const Cli cli = make_cli({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+}
+
+TEST(Cli, BooleanSpellings) {
+  EXPECT_TRUE(make_cli({"--x", "yes"}).get_bool("x", false));
+  EXPECT_TRUE(make_cli({"--x", "on"}).get_bool("x", false));
+  EXPECT_FALSE(make_cli({"--x", "0"}).get_bool("x", true));
+  EXPECT_FALSE(make_cli({"--x", "off"}).get_bool("x", true));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_EQ(cli.get_string("s", "d"), "d");
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 1.5), 1.5);
+  EXPECT_TRUE(cli.get_bool("b", true));
+}
+
+TEST(Cli, ParsesIntLists) {
+  const Cli cli = make_cli({"--sizes", "5000,10000,25000"});
+  const auto sizes = cli.get_int_list("sizes", {});
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 5000);
+  EXPECT_EQ(sizes[2], 25000);
+}
+
+TEST(Cli, IntListDefault) {
+  const Cli cli = make_cli({});
+  const auto v = cli.get_int_list("sizes", {1, 2});
+  ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const Cli cli = make_cli({"--n", "12x", "--d", "zz", "--b", "maybe",
+                            "--list", "1,two"});
+  EXPECT_THROW(cli.get_int("n", 0), Error);
+  EXPECT_THROW(cli.get_double("d", 0.0), Error);
+  EXPECT_THROW(cli.get_bool("b", false), Error);
+  EXPECT_THROW(cli.get_int_list("list", {}), Error);
+}
+
+TEST(Cli, CollectsPositionalArguments) {
+  const Cli cli = make_cli({"file1.db2", "--n", "3", "file2.db2"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1.db2");
+  EXPECT_EQ(cli.positional()[1], "file2.db2");
+}
+
+TEST(Cli, NegativeValueAfterFlag) {
+  // "-5" does not start with "--", so it is consumed as the value.
+  const Cli cli = make_cli({"--offset", "-5"});
+  EXPECT_EQ(cli.get_int("offset", 0), -5);
+}
+
+// ---- error macros ----
+
+TEST(ErrorMacros, CheckThrowsWithLocation) {
+  try {
+    PAC_CHECK(1 == 2);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_util_misc.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, MessageIsStreamed) {
+  try {
+    const int n = 42;
+    PAC_REQUIRE_MSG(n < 10, "n was " << n);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("n was 42"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(PAC_CHECK(true));
+  EXPECT_NO_THROW(PAC_REQUIRE(2 + 2 == 4));
+}
+
+// ---- logger ----
+
+TEST(Log, LevelFiltering) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below threshold: must not crash and must be filtered (no observable
+  // output channel to assert on; this exercises the path).
+  PAC_LOG_DEBUG << "dropped";
+  PAC_LOG_INFO << "dropped too";
+  set_log_level(old);
+}
+
+}  // namespace
+}  // namespace pac

@@ -1,0 +1,194 @@
+// Unit and property tests for the PRNG layer (util/rng.hpp).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace pac {
+namespace {
+
+TEST(Splitmix64, IsDeterministic) {
+  std::uint64_t a = 123, b = 123;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(a), splitmix64(b));
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const std::uint64_t v1 = splitmix64(s);
+  const std::uint64_t v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+}
+
+TEST(Xoshiro, SameSeedSameSequence) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256ss a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, JumpDecorrelates) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256ss g(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform01(g);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanIsHalf) {
+  Xoshiro256ss g(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += uniform01(g);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(CounterRng, PureFunctionOfCoordinates) {
+  const CounterRng a(99), b(99);
+  // Order of evaluation must not matter: same coordinates, same bits.
+  const auto v1 = a.bits(1, 1000, 2);
+  (void)a.bits(5, 77, 0);
+  const auto v2 = a.bits(1, 1000, 2);
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(v1, b.bits(1, 1000, 2));
+}
+
+TEST(CounterRng, DifferentCoordinatesDiffer) {
+  const CounterRng r(99);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 8; ++s)
+    for (std::uint64_t i = 0; i < 64; ++i) seen.insert(r.bits(s, i));
+  EXPECT_EQ(seen.size(), 8u * 64u);  // no collisions in a small grid
+}
+
+TEST(CounterRng, DifferentSeedsDiffer) {
+  const CounterRng a(1), b(2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 200; ++i)
+    if (a.bits(0, i) == b.bits(0, i)) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  const CounterRng r(3);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform(0, static_cast<std::uint64_t>(i));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(UniformIndex, StaysInRange) {
+  Xoshiro256ss g(17);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      const std::uint64_t v = uniform_index(g, n);
+      ASSERT_LT(v, n);
+    }
+  }
+}
+
+TEST(UniformIndex, RoughlyUniform) {
+  Xoshiro256ss g(19);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[uniform_index(g, 10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Normal01, MomentsMatchStandardNormal) {
+  Xoshiro256ss g(23);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = normal01(g);
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Categorical, RespectsWeights) {
+  Xoshiro256ss g(29);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[categorical(g, w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(Categorical, SingleOutcome) {
+  Xoshiro256ss g(31);
+  const std::vector<double> w = {5.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(categorical(g, w), 0u);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Xoshiro256ss g(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(g, v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Shuffle, ActuallyShuffles) {
+  Xoshiro256ss g(41);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(g, v);
+  int fixed = 0;
+  for (int i = 0; i < 100; ++i)
+    if (v[i] == i) ++fixed;
+  EXPECT_LT(fixed, 15);
+}
+
+// Property sweep: uniform_in endpoints over several ranges.
+class UniformInTest : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(UniformInTest, StaysWithinBounds) {
+  const auto [lo, hi] = GetParam();
+  Xoshiro256ss g(43);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = uniform_in(g, lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LT(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformInTest,
+    ::testing::Values(std::pair{0.0, 1.0}, std::pair{-5.0, 5.0},
+                      std::pair{100.0, 100.5}, std::pair{-1e6, 1e6}));
+
+}  // namespace
+}  // namespace pac
