@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_kmeans.dir/baseline_kmeans.cpp.o"
+  "CMakeFiles/baseline_kmeans.dir/baseline_kmeans.cpp.o.d"
+  "baseline_kmeans"
+  "baseline_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

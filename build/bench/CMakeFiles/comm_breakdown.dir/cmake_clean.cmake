@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_breakdown.dir/comm_breakdown.cpp.o"
+  "CMakeFiles/comm_breakdown.dir/comm_breakdown.cpp.o.d"
+  "comm_breakdown"
+  "comm_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_model_sweep.dir/comm_model_sweep.cpp.o"
+  "CMakeFiles/comm_model_sweep.dir/comm_model_sweep.cpp.o.d"
+  "comm_model_sweep"
+  "comm_model_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_model_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scaleup.dir/fig8_scaleup.cpp.o"
+  "CMakeFiles/fig8_scaleup.dir/fig8_scaleup.cpp.o.d"
+  "fig8_scaleup"
+  "fig8_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machines_sweep.dir/machines_sweep.cpp.o"
+  "CMakeFiles/machines_sweep.dir/machines_sweep.cpp.o.d"
+  "machines_sweep"
+  "machines_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machines_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_phases.dir/profile_phases.cpp.o"
+  "CMakeFiles/profile_phases.dir/profile_phases.cpp.o.d"
+  "profile_phases"
+  "profile_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

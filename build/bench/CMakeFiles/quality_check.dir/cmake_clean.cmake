@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_check.dir/quality_check.cpp.o"
+  "CMakeFiles/quality_check.dir/quality_check.cpp.o.d"
+  "quality_check"
+  "quality_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_scaling.dir/seq_scaling.cpp.o"
+  "CMakeFiles/seq_scaling.dir/seq_scaling.cpp.o.d"
+  "seq_scaling"
+  "seq_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_mixed.dir/census_mixed.cpp.o"
+  "CMakeFiles/census_mixed.dir/census_mixed.cpp.o.d"
+  "census_mixed"
+  "census_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

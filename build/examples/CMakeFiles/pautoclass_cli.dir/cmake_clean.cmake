@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pautoclass_cli.dir/pautoclass_cli.cpp.o"
+  "CMakeFiles/pautoclass_cli.dir/pautoclass_cli.cpp.o.d"
+  "pautoclass_cli"
+  "pautoclass_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pautoclass_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

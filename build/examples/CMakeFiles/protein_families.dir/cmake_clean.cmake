@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_families.dir/protein_families.cpp.o"
+  "CMakeFiles/protein_families.dir/protein_families.cpp.o.d"
+  "protein_families"
+  "protein_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_segmentation.dir/satellite_segmentation.cpp.o"
+  "CMakeFiles/satellite_segmentation.dir/satellite_segmentation.cpp.o.d"
+  "satellite_segmentation"
+  "satellite_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

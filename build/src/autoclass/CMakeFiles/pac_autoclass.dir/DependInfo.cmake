@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoclass/checkpoint.cpp" "src/autoclass/CMakeFiles/pac_autoclass.dir/checkpoint.cpp.o" "gcc" "src/autoclass/CMakeFiles/pac_autoclass.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/autoclass/classification.cpp" "src/autoclass/CMakeFiles/pac_autoclass.dir/classification.cpp.o" "gcc" "src/autoclass/CMakeFiles/pac_autoclass.dir/classification.cpp.o.d"
+  "/root/repo/src/autoclass/em.cpp" "src/autoclass/CMakeFiles/pac_autoclass.dir/em.cpp.o" "gcc" "src/autoclass/CMakeFiles/pac_autoclass.dir/em.cpp.o.d"
+  "/root/repo/src/autoclass/model.cpp" "src/autoclass/CMakeFiles/pac_autoclass.dir/model.cpp.o" "gcc" "src/autoclass/CMakeFiles/pac_autoclass.dir/model.cpp.o.d"
+  "/root/repo/src/autoclass/report.cpp" "src/autoclass/CMakeFiles/pac_autoclass.dir/report.cpp.o" "gcc" "src/autoclass/CMakeFiles/pac_autoclass.dir/report.cpp.o.d"
+  "/root/repo/src/autoclass/search.cpp" "src/autoclass/CMakeFiles/pac_autoclass.dir/search.cpp.o" "gcc" "src/autoclass/CMakeFiles/pac_autoclass.dir/search.cpp.o.d"
+  "/root/repo/src/autoclass/terms.cpp" "src/autoclass/CMakeFiles/pac_autoclass.dir/terms.cpp.o" "gcc" "src/autoclass/CMakeFiles/pac_autoclass.dir/terms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/pac_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_autoclass.dir/checkpoint.cpp.o"
+  "CMakeFiles/pac_autoclass.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/pac_autoclass.dir/classification.cpp.o"
+  "CMakeFiles/pac_autoclass.dir/classification.cpp.o.d"
+  "CMakeFiles/pac_autoclass.dir/em.cpp.o"
+  "CMakeFiles/pac_autoclass.dir/em.cpp.o.d"
+  "CMakeFiles/pac_autoclass.dir/model.cpp.o"
+  "CMakeFiles/pac_autoclass.dir/model.cpp.o.d"
+  "CMakeFiles/pac_autoclass.dir/report.cpp.o"
+  "CMakeFiles/pac_autoclass.dir/report.cpp.o.d"
+  "CMakeFiles/pac_autoclass.dir/search.cpp.o"
+  "CMakeFiles/pac_autoclass.dir/search.cpp.o.d"
+  "CMakeFiles/pac_autoclass.dir/terms.cpp.o"
+  "CMakeFiles/pac_autoclass.dir/terms.cpp.o.d"
+  "libpac_autoclass.a"
+  "libpac_autoclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_autoclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

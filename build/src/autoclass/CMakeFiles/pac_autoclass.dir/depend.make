@@ -1,0 +1,2 @@
+# Empty dependencies file for pac_autoclass.
+# This may be replaced when dependencies are built.

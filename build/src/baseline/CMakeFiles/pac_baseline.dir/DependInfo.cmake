@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/kmeans.cpp" "src/baseline/CMakeFiles/pac_baseline.dir/kmeans.cpp.o" "gcc" "src/baseline/CMakeFiles/pac_baseline.dir/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/pac_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pac_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pac_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pac_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

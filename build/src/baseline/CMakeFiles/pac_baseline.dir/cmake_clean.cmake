@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_baseline.dir/kmeans.cpp.o"
+  "CMakeFiles/pac_baseline.dir/kmeans.cpp.o.d"
+  "libpac_baseline.a"
+  "libpac_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

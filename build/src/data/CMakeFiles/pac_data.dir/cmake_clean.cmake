@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_data.dir/dataset.cpp.o"
+  "CMakeFiles/pac_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/pac_data.dir/io.cpp.o"
+  "CMakeFiles/pac_data.dir/io.cpp.o.d"
+  "CMakeFiles/pac_data.dir/schema.cpp.o"
+  "CMakeFiles/pac_data.dir/schema.cpp.o.d"
+  "CMakeFiles/pac_data.dir/synth.cpp.o"
+  "CMakeFiles/pac_data.dir/synth.cpp.o.d"
+  "CMakeFiles/pac_data.dir/transform.cpp.o"
+  "CMakeFiles/pac_data.dir/transform.cpp.o.d"
+  "libpac_data.a"
+  "libpac_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/comm.cpp" "src/mp/CMakeFiles/pac_mp.dir/comm.cpp.o" "gcc" "src/mp/CMakeFiles/pac_mp.dir/comm.cpp.o.d"
+  "/root/repo/src/mp/engine.cpp" "src/mp/CMakeFiles/pac_mp.dir/engine.cpp.o" "gcc" "src/mp/CMakeFiles/pac_mp.dir/engine.cpp.o.d"
+  "/root/repo/src/mp/mailbox.cpp" "src/mp/CMakeFiles/pac_mp.dir/mailbox.cpp.o" "gcc" "src/mp/CMakeFiles/pac_mp.dir/mailbox.cpp.o.d"
+  "/root/repo/src/mp/world.cpp" "src/mp/CMakeFiles/pac_mp.dir/world.cpp.o" "gcc" "src/mp/CMakeFiles/pac_mp.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pac_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_mp.dir/comm.cpp.o"
+  "CMakeFiles/pac_mp.dir/comm.cpp.o.d"
+  "CMakeFiles/pac_mp.dir/engine.cpp.o"
+  "CMakeFiles/pac_mp.dir/engine.cpp.o.d"
+  "CMakeFiles/pac_mp.dir/mailbox.cpp.o"
+  "CMakeFiles/pac_mp.dir/mailbox.cpp.o.d"
+  "CMakeFiles/pac_mp.dir/world.cpp.o"
+  "CMakeFiles/pac_mp.dir/world.cpp.o.d"
+  "libpac_mp.a"
+  "libpac_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_net.dir/machine.cpp.o"
+  "CMakeFiles/pac_net.dir/machine.cpp.o.d"
+  "CMakeFiles/pac_net.dir/model.cpp.o"
+  "CMakeFiles/pac_net.dir/model.cpp.o.d"
+  "libpac_net.a"
+  "libpac_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_util.dir/cli.cpp.o"
+  "CMakeFiles/pac_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pac_util.dir/log.cpp.o"
+  "CMakeFiles/pac_util.dir/log.cpp.o.d"
+  "CMakeFiles/pac_util.dir/math.cpp.o"
+  "CMakeFiles/pac_util.dir/math.cpp.o.d"
+  "CMakeFiles/pac_util.dir/rng.cpp.o"
+  "CMakeFiles/pac_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pac_util.dir/table.cpp.o"
+  "CMakeFiles/pac_util.dir/table.cpp.o.d"
+  "libpac_util.a"
+  "libpac_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

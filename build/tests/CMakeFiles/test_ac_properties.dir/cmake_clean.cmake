@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ac_properties.dir/test_ac_properties.cpp.o"
+  "CMakeFiles/test_ac_properties.dir/test_ac_properties.cpp.o.d"
+  "test_ac_properties"
+  "test_ac_properties.pdb"
+  "test_ac_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ac_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

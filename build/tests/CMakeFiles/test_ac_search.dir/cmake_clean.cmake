@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ac_search.dir/test_ac_search.cpp.o"
+  "CMakeFiles/test_ac_search.dir/test_ac_search.cpp.o.d"
+  "test_ac_search"
+  "test_ac_search.pdb"
+  "test_ac_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ac_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

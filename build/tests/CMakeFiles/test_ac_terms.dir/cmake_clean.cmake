@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ac_terms.dir/test_ac_terms.cpp.o"
+  "CMakeFiles/test_ac_terms.dir/test_ac_terms.cpp.o.d"
+  "test_ac_terms"
+  "test_ac_terms.pdb"
+  "test_ac_terms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ac_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

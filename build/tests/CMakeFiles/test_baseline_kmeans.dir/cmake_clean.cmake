@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_kmeans.dir/test_baseline_kmeans.cpp.o"
+  "CMakeFiles/test_baseline_kmeans.dir/test_baseline_kmeans.cpp.o.d"
+  "test_baseline_kmeans"
+  "test_baseline_kmeans.pdb"
+  "test_baseline_kmeans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

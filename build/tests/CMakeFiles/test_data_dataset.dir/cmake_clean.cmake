@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_dataset.dir/test_data_dataset.cpp.o"
+  "CMakeFiles/test_data_dataset.dir/test_data_dataset.cpp.o.d"
+  "test_data_dataset"
+  "test_data_dataset.pdb"
+  "test_data_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_synth.dir/test_data_synth.cpp.o"
+  "CMakeFiles/test_data_synth.dir/test_data_synth.cpp.o.d"
+  "test_data_synth"
+  "test_data_synth.pdb"
+  "test_data_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

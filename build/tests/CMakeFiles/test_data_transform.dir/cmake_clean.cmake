@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_transform.dir/test_data_transform.cpp.o"
+  "CMakeFiles/test_data_transform.dir/test_data_transform.cpp.o.d"
+  "test_data_transform"
+  "test_data_transform.pdb"
+  "test_data_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_internals.dir/test_mp_internals.cpp.o"
+  "CMakeFiles/test_mp_internals.dir/test_mp_internals.cpp.o.d"
+  "test_mp_internals"
+  "test_mp_internals.pdb"
+  "test_mp_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

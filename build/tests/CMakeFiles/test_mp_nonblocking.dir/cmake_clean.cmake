@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_nonblocking.dir/test_mp_nonblocking.cpp.o"
+  "CMakeFiles/test_mp_nonblocking.dir/test_mp_nonblocking.cpp.o.d"
+  "test_mp_nonblocking"
+  "test_mp_nonblocking.pdb"
+  "test_mp_nonblocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

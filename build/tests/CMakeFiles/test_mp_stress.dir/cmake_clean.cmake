@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_stress.dir/test_mp_stress.cpp.o"
+  "CMakeFiles/test_mp_stress.dir/test_mp_stress.cpp.o.d"
+  "test_mp_stress"
+  "test_mp_stress.pdb"
+  "test_mp_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mp_time.cpp" "tests/CMakeFiles/test_mp_time.dir/test_mp_time.cpp.o" "gcc" "tests/CMakeFiles/test_mp_time.dir/test_mp_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/autoclass/CMakeFiles/pac_autoclass.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pac_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pac_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pac_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pac_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_time.dir/test_mp_time.cpp.o"
+  "CMakeFiles/test_mp_time.dir/test_mp_time.cpp.o.d"
+  "test_mp_time"
+  "test_mp_time.pdb"
+  "test_mp_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

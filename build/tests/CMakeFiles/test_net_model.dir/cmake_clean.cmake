@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_model.dir/test_net_model.cpp.o"
+  "CMakeFiles/test_net_model.dir/test_net_model.cpp.o.d"
+  "test_net_model"
+  "test_net_model.pdb"
+  "test_net_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

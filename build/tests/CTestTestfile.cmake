@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_util_math[1]_include.cmake")
+include("/root/repo/build/tests/test_util_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_net_model[1]_include.cmake")
+include("/root/repo/build/tests/test_mp_pt2pt[1]_include.cmake")
+include("/root/repo/build/tests/test_mp_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_mp_time[1]_include.cmake")
+include("/root/repo/build/tests/test_data_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_data_io[1]_include.cmake")
+include("/root/repo/build/tests/test_data_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_data_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_ac_terms[1]_include.cmake")
+include("/root/repo/build/tests/test_ac_em[1]_include.cmake")
+include("/root/repo/build/tests/test_ac_search[1]_include.cmake")
+include("/root/repo/build/tests/test_ac_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_ac_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_mp_nonblocking[1]_include.cmake")
+include("/root/repo/build/tests/test_mp_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_mp_internals[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_parsers[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_kmeans[1]_include.cmake")
+include("/root/repo/build/tests/test_core_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_core_timing[1]_include.cmake")
