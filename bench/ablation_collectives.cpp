@@ -10,12 +10,18 @@
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto items = static_cast<std::size_t>(cli.get_int("items", 6000));
-  const auto procs = cli.get_int_list("procs", {2, 4, 8, 10});
+  const bool smoke = bench::smoke_mode(cli);
+  const auto items =
+      static_cast<std::size_t>(cli.get_int("items", smoke ? 300 : 6000));
+  const auto procs = cli.get_int_list(
+      "procs", smoke ? std::vector<std::int64_t>{2, 4}
+                     : std::vector<std::int64_t>{2, 4, 8, 10});
   std::vector<int> clusters;
-  for (const auto j : cli.get_int_list("clusters", {8, 24, 64}))
+  for (const auto j : cli.get_int_list(
+           "clusters", smoke ? std::vector<std::int64_t>{4}
+                             : std::vector<std::int64_t>{8, 24, 64}))
     clusters.push_back(static_cast<int>(j));
-  const auto cycles = static_cast<int>(cli.get_int("cycles", 8));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", smoke ? 2 : 8));
   const net::Machine machine =
       net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
 

@@ -11,10 +11,14 @@
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto items = static_cast<std::size_t>(cli.get_int("items", 20000));
-  const auto procs = cli.get_int_list("procs", {2, 4, 8, 10});
-  const auto j = static_cast<int>(cli.get_int("clusters", 8));
-  const auto cycles = static_cast<int>(cli.get_int("cycles", 5));
+  const bool smoke = bench::smoke_mode(cli);
+  const auto items =
+      static_cast<std::size_t>(cli.get_int("items", smoke ? 1000 : 20000));
+  const auto procs = cli.get_int_list(
+      "procs", smoke ? std::vector<std::int64_t>{2, 4}
+                     : std::vector<std::int64_t>{2, 4, 8, 10});
+  const auto j = static_cast<int>(cli.get_int("clusters", smoke ? 4 : 8));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", smoke ? 2 : 5));
   const std::vector<double> skews = {1.0, 1.5, 2.0, 3.0};
   const net::Machine machine =
       net::machine_by_name(cli.get_string("machine", "meiko-cs2"));

@@ -13,9 +13,13 @@
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto items = static_cast<std::size_t>(cli.get_int("items", 10000));
-  const auto procs = cli.get_int_list("procs", {1, 2, 4, 8, 10});
-  const auto k = static_cast<int>(cli.get_int("clusters", 5));
+  const bool smoke = bench::smoke_mode(cli);
+  const auto items =
+      static_cast<std::size_t>(cli.get_int("items", smoke ? 500 : 10000));
+  const auto procs = cli.get_int_list(
+      "procs", smoke ? std::vector<std::int64_t>{1, 2, 4}
+                     : std::vector<std::int64_t>{1, 2, 4, 8, 10});
+  const auto k = static_cast<int>(cli.get_int("clusters", smoke ? 3 : 5));
   const net::Machine machine =
       net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
 

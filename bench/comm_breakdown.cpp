@@ -5,15 +5,26 @@
 // processor count, the split of the slowest rank's virtual time into
 // compute / network / idle, plus the Allreduce traffic that P-AutoClass
 // generates per EM cycle.
+//
+// The traffic columns come from the instrumentation layer's *measured*
+// per-collective counters (mp.allreduce.calls / .bytes, recorded by the
+// Comm itself), not from a hand-derived formula; when tracing is compiled
+// out (-DPAC_TRACE=OFF) the harness falls back to the analytic payload
+// size and the World's coarse collective counts.
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto items = static_cast<std::size_t>(cli.get_int("items", 5000));
-  const auto procs = cli.get_int_list("procs", {1, 2, 4, 8, 10});
-  const auto j = static_cast<int>(cli.get_int("clusters", 16));
-  const auto cycles = static_cast<int>(cli.get_int("cycles", 10));
+  const bool smoke = bench::smoke_mode(cli);
+  const auto items =
+      static_cast<std::size_t>(cli.get_int("items", smoke ? 300 : 5000));
+  const auto procs = cli.get_int_list(
+      "procs", smoke ? std::vector<std::int64_t>{1, 2, 4}
+                     : std::vector<std::int64_t>{1, 2, 4, 8, 10});
+  const auto j = static_cast<int>(cli.get_int("clusters", smoke ? 4 : 16));
+  const auto cycles =
+      static_cast<int>(cli.get_int("cycles", smoke ? 2 : 10));
   const net::Machine machine =
       net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
 
@@ -24,12 +35,16 @@ int main(int argc, char** argv) {
             << ", " << cycles << " base_cycles on " << machine.name << "\n";
   Table table("Virtual-time split of the slowest rank");
   table.set_header({"procs", "total [s]", "compute", "network", "idle",
-                    "allreduces", "allreduce bytes/cycle"});
+                    "allreduces", "allreduce B/cycle", "mean wait [us]"});
 
+  mp::RunStats last_stats;
   for (const auto p : procs) {
     mp::World::Config cfg;
     cfg.num_ranks = static_cast<int>(p);
     cfg.machine = machine;
+    // Always instrument (when compiled in): this harness exists to report
+    // measured communication, not modeled formulas.
+    cfg.instrument = trace::compiled_in();
     mp::World world(cfg);
     const auto m = core::measure_base_cycle(world, model, j, cycles, 42);
     const auto& stats = m.stats;
@@ -41,22 +56,46 @@ int main(int argc, char** argv) {
     const auto pct = [&](double v) {
       return format_fixed(total > 0 ? 100.0 * v / total : 0.0, 1) + "%";
     };
-    const auto allreduce_index =
-        static_cast<std::size_t>(net::CollectiveKind::kAllreduce);
-    const double per_rank_allreduces =
-        static_cast<double>(stats.collective_calls[allreduce_index]) /
-        static_cast<double>(p);
-    // Statistics buffer + weight vector, per cycle, per rank contribution.
-    const std::size_t bytes_per_cycle =
-        (model.stats_per_class() * static_cast<std::size_t>(j) +
-         static_cast<std::size_t>(j) + 1) *
-        sizeof(double);
-    table.add_row({std::to_string(p), format_fixed(total, 3),
-                   pct(stats.rank_compute[slow]), pct(stats.rank_comm[slow]),
-                   pct(stats.rank_idle[slow]),
-                   format_fixed(per_rank_allreduces / cycles, 1) + "/cycle",
-                   std::to_string(bytes_per_cycle)});
+
+    double per_rank_allreduces = 0.0;
+    double bytes_per_cycle = 0.0;
+    double mean_wait_us = 0.0;
+    if (stats.instrumented) {
+      // Merged counters sum over ranks; divide by p for the per-rank view.
+      const double calls = static_cast<double>(
+          stats.metrics.counter_value("mp.allreduce.calls"));
+      const double bytes = static_cast<double>(
+          stats.metrics.counter_value("mp.allreduce.bytes"));
+      per_rank_allreduces = calls / static_cast<double>(p);
+      bytes_per_cycle =
+          bytes / static_cast<double>(p) / static_cast<double>(cycles);
+      if (const metrics::Histogram* h =
+              stats.metrics.find_histogram("mp.allreduce.wait_seconds");
+          h != nullptr && h->count() > 0)
+        mean_wait_us = 1e6 * h->mean();
+    } else {
+      const auto allreduce_index =
+          static_cast<std::size_t>(net::CollectiveKind::kAllreduce);
+      per_rank_allreduces =
+          static_cast<double>(stats.collective_calls[allreduce_index]) /
+          static_cast<double>(p);
+      // Statistics buffer + weight vector, per cycle, per rank contribution.
+      bytes_per_cycle = static_cast<double>(
+          (model.stats_per_class() * static_cast<std::size_t>(j) +
+           static_cast<std::size_t>(j) + 1) *
+          sizeof(double));
+    }
+    table.add_row(
+        {std::to_string(p), format_fixed(total, 3),
+         pct(stats.rank_compute[slow]), pct(stats.rank_comm[slow]),
+         pct(stats.rank_idle[slow]),
+         format_fixed(per_rank_allreduces / cycles, 1) + "/cycle",
+         format_fixed(bytes_per_cycle, 0), format_fixed(mean_wait_us, 2)});
+    if (p == procs.back()) last_stats = m.stats;
   }
   table.print(std::cout);
+
+  // Full metrics report + chrome trace for the largest processor count.
+  bench::emit_instrumentation(cli, last_stats, "comm_breakdown");
   return 0;
 }

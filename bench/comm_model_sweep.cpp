@@ -27,10 +27,13 @@ pac::net::Machine scaled_meiko(double latency_factor, double beta_factor) {
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto sizes = cli.get_int_list("sizes", {1000, 5000, 20000});
-  const int procs = static_cast<int>(cli.get_int("procs", 10));
-  const auto j = static_cast<int>(cli.get_int("clusters", 8));
-  const auto cycles = static_cast<int>(cli.get_int("cycles", 8));
+  const bool smoke = bench::smoke_mode(cli);
+  const auto sizes = cli.get_int_list(
+      "sizes", smoke ? std::vector<std::int64_t>{300}
+                     : std::vector<std::int64_t>{1000, 5000, 20000});
+  const int procs = static_cast<int>(cli.get_int("procs", smoke ? 4 : 10));
+  const auto j = static_cast<int>(cli.get_int("clusters", smoke ? 4 : 8));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", smoke ? 2 : 8));
   const std::vector<double> factors = {0.25, 1.0, 4.0, 16.0};
 
   std::cout << "# Network-sensitivity sweep: speedup at P=" << procs

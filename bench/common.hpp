@@ -34,11 +34,34 @@ struct GridConfig {
   std::uint64_t seed = 42;
 };
 
+/// True when the harness runs in the CI smoke tier: tiny inputs so every
+/// collective and EM path executes (under sanitizers) in well under a
+/// second.  Every bench binary accepts --smoke.
+inline bool smoke_mode(const Cli& cli) { return cli.get_bool("smoke", false); }
+
 /// Parse the common flags.  Defaults: reduced grid; --paper: the grid of
-/// the paper's Sec. 4 (plus --machine to retarget the simulation).
+/// the paper's Sec. 4 (plus --machine to retarget the simulation);
+/// --smoke: the tiny CI tier.
 inline GridConfig parse_grid(const Cli& cli) {
   GridConfig grid;
   const bool paper = cli.get_bool("paper", false);
+  if (smoke_mode(cli)) {
+    grid.sizes = cli.get_int_list("sizes", {300});
+    grid.start_j_list = {2, 4};
+    grid.tries = static_cast<int>(cli.get_int("tries", 1));
+    grid.cycles = static_cast<int>(cli.get_int("cycles", 2));
+    grid.procs = cli.get_int_list("procs", {1, 2, 4});
+    grid.machine =
+        net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
+    grid.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    grid.repeats = 1;
+    if (cli.has("jlist")) {
+      grid.start_j_list.clear();
+      for (const auto j : cli.get_int_list("jlist", {}))
+        grid.start_j_list.push_back(static_cast<int>(j));
+    }
+    return grid;
+  }
   if (paper) {
     grid.sizes = cli.get_int_list(
         "sizes", {5000, 10000, 20000, 40000, 60000, 80000, 100000});
@@ -107,6 +130,23 @@ inline double mean_elapsed(const ac::Model& model, int procs,
                  .stats.virtual_time;
   }
   return total / static_cast<double>(grid.repeats);
+}
+
+/// Emit the observability output of an instrumented run: the metrics
+/// report to stdout and the chrome://tracing JSON to `<name>.trace.json`
+/// (path overridable with --trace-json, empty string disables the file).
+/// No-op when the run was not instrumented (PAUTOCLASS_TRACE unset or the
+/// layer compiled out).
+inline void emit_instrumentation(const Cli& cli, const mp::RunStats& stats,
+                                 const std::string& name) {
+  if (!stats.instrumented) return;
+  const std::string json =
+      cli.get_string("trace-json", name + ".trace.json");
+  std::cout << "\n";
+  core::write_reports(std::cout, stats, json);
+  if (!json.empty())
+    std::cout << "chrome trace (" << stats.events.size() << " events) -> "
+              << json << "\n";
 }
 
 inline void print_grid_banner(const char* figure, const GridConfig& grid) {

@@ -11,12 +11,18 @@
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto tuples_per_proc =
-      static_cast<std::size_t>(cli.get_int("tuples-per-proc", 10000));
-  const auto cycles = static_cast<int>(cli.get_int("cycles", 3));
-  const auto procs = cli.get_int_list("procs", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  const bool smoke = bench::smoke_mode(cli);
+  const auto tuples_per_proc = static_cast<std::size_t>(
+      cli.get_int("tuples-per-proc", smoke ? 300 : 10000));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", smoke ? 2 : 3));
+  const auto procs = cli.get_int_list(
+      "procs", smoke ? std::vector<std::int64_t>{1, 2, 4}
+                     : std::vector<std::int64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                                 10});
   std::vector<int> clusters;
-  for (const auto j : cli.get_int_list("clusters", {8, 16}))
+  for (const auto j : cli.get_int_list(
+           "clusters", smoke ? std::vector<std::int64_t>{4}
+                             : std::vector<std::int64_t>{8, 16}))
     clusters.push_back(static_cast<int>(j));
   const net::Machine machine =
       net::machine_by_name(cli.get_string("machine", "meiko-cs2"));

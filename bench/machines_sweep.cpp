@@ -10,9 +10,14 @@
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto items = static_cast<std::size_t>(cli.get_int("items", 8000));
-  const auto procs = cli.get_int_list("procs", {1, 2, 4, 8, 10});
-  std::vector<int> jlist = {2, 4, 8};
+  const bool smoke = bench::smoke_mode(cli);
+  const auto items =
+      static_cast<std::size_t>(cli.get_int("items", smoke ? 300 : 8000));
+  const auto procs = cli.get_int_list(
+      "procs", smoke ? std::vector<std::int64_t>{1, 2}
+                     : std::vector<std::int64_t>{1, 2, 4, 8, 10});
+  std::vector<int> jlist = smoke ? std::vector<int>{2, 4}
+                                 : std::vector<int>{2, 4, 8};
   if (cli.has("jlist")) {
     jlist.clear();
     for (const auto j : cli.get_int_list("jlist", {}))
@@ -24,8 +29,9 @@ int main(int argc, char** argv) {
 
   ac::SearchConfig config;
   config.start_j_list = jlist;
-  config.max_tries = static_cast<int>(cli.get_int("tries", 3));
-  config.em.max_cycles = static_cast<int>(cli.get_int("cycles", 12));
+  config.max_tries = static_cast<int>(cli.get_int("tries", smoke ? 1 : 3));
+  config.em.max_cycles =
+      static_cast<int>(cli.get_int("cycles", smoke ? 2 : 12));
   config.em.min_cycles = 2;
 
   const std::vector<std::string> machines = {"meiko-cs2", "pentium-cluster",

@@ -4,15 +4,24 @@
 //
 // Paper numbers to reproduce: base_cycle is ~99.5 % of total time, the two
 // update functions dominate it, and update_approximations is negligible.
+//
+// With PAUTOCLASS_TRACE=1 (or --trace) the breakdown comes from the
+// instrumentation layer — the per-rank phase-span histograms recorded by
+// the EM engine itself (util/trace.hpp) — and the run additionally emits
+// the metrics report plus a chrome://tracing JSON (--trace-json PATH,
+// default profile_phases.trace.json).  Without instrumentation it falls
+// back to the reducer's cost-charge profile, which covers the same phases.
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto items = static_cast<std::size_t>(cli.get_int("items", 10000));
-  const auto j = static_cast<int>(cli.get_int("clusters", 16));
-  const auto tries = static_cast<int>(cli.get_int("tries", 3));
-  const auto cycles = static_cast<int>(cli.get_int("cycles", 40));
+  const bool smoke = bench::smoke_mode(cli);
+  const auto items =
+      static_cast<std::size_t>(cli.get_int("items", smoke ? 400 : 10000));
+  const auto j = static_cast<int>(cli.get_int("clusters", smoke ? 4 : 16));
+  const auto tries = static_cast<int>(cli.get_int("tries", smoke ? 1 : 3));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", smoke ? 3 : 40));
   const net::Machine machine =
       net::machine_by_name(cli.get_string("machine", "meiko-cs2"));
 
@@ -27,35 +36,67 @@ int main(int argc, char** argv) {
   mp::World::Config cfg;
   cfg.num_ranks = 1;  // profile the sequential structure, like the paper
   cfg.machine = machine;
+  if (cli.get_bool("trace", false)) cfg.instrument = true;
   mp::World world(cfg);
   const core::ParallelOutcome outcome =
       core::run_parallel_search(world, model, config);
 
-  const core::PhaseProfile& p = outcome.profile;
   const double total = outcome.stats.virtual_time;
-  const double base_cycle = p.wts + p.params + p.approx;
-
   std::cout << "# Phase profile — " << items << " tuples, " << j
             << " clusters, " << tries << " tries (sequential structure)\n";
+
   Table table("Share of total modeled runtime by phase");
   table.set_header({"phase", "seconds", "share"});
   auto row = [&](const char* name, double seconds) {
     table.add_row({name, format_fixed(seconds, 3),
                    format_fixed(100.0 * seconds / total, 2) + "%"});
   };
-  row("update_wts", p.wts);
-  row("update_parameters", p.params);
-  row("update_approximations", p.approx);
-  row("base_cycle (sum)", base_cycle);
-  row("search overhead", p.overhead);
-  row("total", total);
-  table.print(std::cout);
 
-  std::cout << "\npaper: base_cycle ~99.5% of total; update_approximations "
-               "negligible\n";
-  std::cout << "measured: base_cycle "
-            << format_fixed(100.0 * base_cycle / total, 2)
-            << "% of total; update_approximations "
-            << format_fixed(100.0 * p.approx / total, 3) << "%\n";
+  if (outcome.stats.instrumented) {
+    const core::EmPhaseBreakdown b =
+        core::EmPhaseBreakdown::from(outcome.stats.metrics);
+    row("update_wts", b.update_wts);
+    row("update_parameters", b.update_parameters);
+    row("update_approximations", b.update_approximations);
+    row("try generation (random_init)", b.random_init);
+    row("base_cycle (spans)", b.base_cycle);
+    row("phase sum (disjoint spans)", b.phase_sum());
+    row("total elapsed", total);
+    table.print(std::cout);
+
+    const double base_share = b.update_wts + b.update_parameters +
+                              b.update_approximations;
+    std::cout << "\npaper: base_cycle ~99.5% of total; "
+                 "update_approximations negligible\n";
+    std::cout << "measured (instrumented): base_cycle phases "
+              << format_fixed(100.0 * base_share / total, 2)
+              << "% of total; update_approximations "
+              << format_fixed(100.0 * b.update_approximations / total, 3)
+              << "%\n";
+    std::cout << "phase-span coverage: "
+              << format_fixed(100.0 * b.phase_sum() / total, 2)
+              << "% of total elapsed (" << b.cycles << " EM cycles, "
+              << b.convergence_checks << " convergence checks)\n";
+    bench::emit_instrumentation(cli, outcome.stats, "profile_phases");
+  } else {
+    const core::PhaseProfile& p = outcome.profile;
+    const double base_cycle = p.wts + p.params + p.approx;
+    row("update_wts", p.wts);
+    row("update_parameters", p.params);
+    row("update_approximations", p.approx);
+    row("base_cycle (sum)", base_cycle);
+    row("search overhead", p.overhead);
+    row("total", total);
+    table.print(std::cout);
+
+    std::cout << "\npaper: base_cycle ~99.5% of total; "
+                 "update_approximations negligible\n";
+    std::cout << "measured: base_cycle "
+              << format_fixed(100.0 * base_cycle / total, 2)
+              << "% of total; update_approximations "
+              << format_fixed(100.0 * p.approx / total, 3) << "%\n";
+    std::cout << "(set PAUTOCLASS_TRACE=1 or pass --trace for the "
+                 "instrumented breakdown + chrome trace)\n";
+  }
   return 0;
 }

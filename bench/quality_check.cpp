@@ -9,15 +9,20 @@
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto items = static_cast<std::size_t>(cli.get_int("items", 4000));
-  const auto procs = cli.get_int_list("procs", {1, 2, 4, 6, 8, 10});
+  const bool smoke = bench::smoke_mode(cli);
+  const auto items =
+      static_cast<std::size_t>(cli.get_int("items", smoke ? 300 : 4000));
+  const auto procs = cli.get_int_list(
+      "procs", smoke ? std::vector<std::int64_t>{1, 2, 4}
+                     : std::vector<std::int64_t>{1, 2, 4, 6, 8, 10});
   const data::LabeledDataset ld = data::paper_dataset(items, 42);
   const ac::Model model = ac::Model::default_model(ld.dataset);
 
   ac::SearchConfig config;
   config.start_j_list = {3, 5};
-  config.max_tries = static_cast<int>(cli.get_int("tries", 2));
-  config.em.max_cycles = static_cast<int>(cli.get_int("cycles", 40));
+  config.max_tries = static_cast<int>(cli.get_int("tries", smoke ? 1 : 2));
+  config.em.max_cycles =
+      static_cast<int>(cli.get_int("cycles", smoke ? 5 : 40));
 
   std::cout << "# Semantic equality across processor counts — " << items
             << " tuples (paper Sec. 3: parallel == sequential)\n";

@@ -10,10 +10,13 @@
 int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
-  const auto sizes =
-      cli.get_int_list("sizes", {2000, 5000, 10000, 20000, 40000});
-  const auto tries = static_cast<int>(cli.get_int("tries", 2));
-  const auto cycles = static_cast<int>(cli.get_int("cycles", 20));
+  const bool smoke = bench::smoke_mode(cli);
+  const auto sizes = cli.get_int_list(
+      "sizes", smoke ? std::vector<std::int64_t>{300, 600}
+                     : std::vector<std::int64_t>{2000, 5000, 10000, 20000,
+                                                 40000});
+  const auto tries = static_cast<int>(cli.get_int("tries", smoke ? 1 : 2));
+  const auto cycles = static_cast<int>(cli.get_int("cycles", smoke ? 2 : 20));
   std::vector<int> jlist = {2, 4, 8};
   if (cli.has("jlist")) {
     jlist.clear();

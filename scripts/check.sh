@@ -1,13 +1,82 @@
 #!/bin/sh
-# Full verification: configure, build, test, and run every bench harness.
+# Full verification: configure, build, test, and run every bench harness
+# and example.  A bench or example that exits nonzero fails the script
+# (it does not silently continue).
+#
+# Usage: scripts/check.sh [--fast] [--build-dir DIR]
+#   --fast        run benches/examples in --smoke mode (tiny inputs); this
+#                 is the tier CI uses so the whole suite also fits under
+#                 sanitizers.
+#   --build-dir   build tree to use (default: build)
+# Extra configure arguments can be passed via PAC_CMAKE_ARGS, e.g.
+#   PAC_CMAKE_ARGS="-DPAC_TRACE=OFF" scripts/check.sh --fast
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] && echo "== $b ==" && "$b"
+
+FAST=0
+BUILD_DIR=build
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --fast) FAST=1 ;;
+    --build-dir) shift; BUILD_DIR="$1" ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
 done
-for e in build/examples/*; do
-  [ -f "$e" ] && [ -x "$e" ] && echo "== $e ==" && "$e" >/dev/null && echo ok
+
+# Prefer Ninja for fresh build trees, fall back to the platform default
+# generator; an existing tree keeps whatever generator configured it.
+GENERATOR=""
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+  GENERATOR="-G Ninja"
+fi
+# shellcheck disable=SC2086  # intentional word splitting of the arg lists
+cmake -B "$BUILD_DIR" -S . $GENERATOR ${PAC_CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+SMOKE=""
+[ "$FAST" = 1 ] && SMOKE="--smoke"
+
+failures=0
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "== $b $SMOKE =="
+  if ! "$b" $SMOKE; then
+    echo "!! FAILED: $b $SMOKE" >&2
+    failures=$((failures + 1))
+  fi
 done
+for e in "$BUILD_DIR"/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "== $e =="
+  case "$e" in
+    */pautoclass_cli)
+      # The CLI requires arguments: exercise a generate + classify round trip.
+      tmp=$(mktemp -d)
+      if "$e" --generate "$tmp/d" --items 200 >/dev/null &&
+         "$e" --header "$tmp/d.hd2" --data "$tmp/d.db2" \
+              --procs 2 --jlist 2,3 --tries 1 --max-cycles 3 >/dev/null; then
+        echo ok
+      else
+        echo "!! FAILED: $e" >&2
+        failures=$((failures + 1))
+      fi
+      rm -rf "$tmp"
+      ;;
+    *)
+      if "$e" >/dev/null; then
+        echo ok
+      else
+        echo "!! FAILED: $e" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "!! $failures bench/example binar(ies) failed" >&2
+  exit 1
+fi
+echo "all checks passed"

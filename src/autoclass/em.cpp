@@ -6,6 +6,7 @@
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace pac::ac {
 
@@ -35,6 +36,9 @@ EmWorker::EmWorker(const Model& model, data::ItemRange range,
 
 void EmWorker::random_init(Classification& c, std::uint64_t seed,
                            std::uint64_t try_index, const EmConfig& config) {
+  // Try-generation span: seed drawing, initial soft assignment, and the
+  // first weight reduction (includes the modeled per-try overhead charge).
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "random_init");
   const std::size_t j = c.num_classes();
   num_classes_ = j;
   weights_.assign(range_.size() * j, 0.0);
@@ -103,6 +107,7 @@ void EmWorker::random_init(Classification& c, std::uint64_t seed,
 }
 
 double EmWorker::update_wts(Classification& c) {
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_wts");
   const std::size_t j = c.num_classes();
   PAC_CHECK_MSG(j == num_classes_, "call random_init before update_wts");
   const std::size_t num_terms = model_->num_terms();
@@ -172,6 +177,7 @@ void EmWorker::accumulate_statistics(const Classification& c) {
 }
 
 void EmWorker::update_parameters(Classification& c) {
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_parameters");
   const std::size_t j = c.num_classes();
   PAC_CHECK_MSG(j == num_classes_, "call random_init before update_parameters");
   const std::size_t spc = model_->stats_per_class();
@@ -198,6 +204,7 @@ void EmWorker::update_parameters(Classification& c) {
 }
 
 void EmWorker::update_approximations(Classification& c) {
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_approximations");
   const std::size_t j = c.num_classes();
   const std::size_t spc = model_->stats_per_class();
   PAC_CHECK_MSG(stats_.size() == j * spc,
@@ -245,15 +252,21 @@ ConvergeOutcome EmWorker::converge(Classification& c,
   double previous_score = -std::numeric_limits<double>::infinity();
   int small_deltas = 0;
   std::vector<double> recent_deltas;  // ring of the last sigma_window deltas
+  trace::Recorder* rec =
+      trace::compiled_in() ? reducer_->recorder() : nullptr;
   for (int cycle = 0; cycle < config.max_cycles; ++cycle) {
+    PAC_TRACE_SCOPE(rec, "em", "base_cycle");
     update_parameters(c);   // M-step from current weights
     update_wts(c);          // E-step with the new parameters
     update_approximations(c);
     reducer_->charge(PhaseWork{Phase::kCycleOverhead, 0, c.num_classes(), 0});
+    if (rec != nullptr) rec->metrics().counter("em.cycles").add(1);
     outcome.cycles = cycle + 1;
     const double delta = std::abs(c.cs_score - previous_score) /
                          (1.0 + std::abs(c.cs_score));
     if (cycle + 1 >= config.min_cycles) {
+      if (rec != nullptr)
+        rec->metrics().counter("em.convergence_checks").add(1);
       if (config.convergence == ConvergenceKind::kRelDelta) {
         small_deltas = delta < config.rel_delta ? small_deltas + 1 : 0;
         if (small_deltas >= config.delta_cycles) {
@@ -285,6 +298,7 @@ ConvergeOutcome EmWorker::converge(Classification& c,
 Classification EmWorker::prune_and_refit(const Classification& c,
                                          const EmConfig& config) {
   if (config.min_class_weight <= 0.0) return c;
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "prune_and_refit");
   std::vector<std::size_t> keep;
   for (std::size_t k = 0; k < c.num_classes(); ++k)
     if (c.weight(k) >= config.min_class_weight) keep.push_back(k);

@@ -24,6 +24,10 @@
 #include "autoclass/classification.hpp"
 #include "data/dataset.hpp"
 
+namespace pac::trace {
+class Recorder;
+}
+
 namespace pac::ac {
 
 /// Convergence test flavours (mirroring AutoClass C's converge functions).
@@ -102,6 +106,12 @@ class Reducer {
 
   /// Charge modeled compute time for a phase (default: no time model).
   virtual void charge(const PhaseWork& work) { (void)work; }
+
+  /// This rank's instrumentation sink, or nullptr when the run is not
+  /// instrumented (the default, and the sequential driver).  The EM engine
+  /// records its base_cycle sub-phase spans and cycle/convergence counters
+  /// through it; src/core's ParallelReducer forwards the Comm's recorder.
+  virtual ::pac::trace::Recorder* recorder() { return nullptr; }
 };
 
 /// Outcome of converging one classification.

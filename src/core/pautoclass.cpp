@@ -1,8 +1,10 @@
 #include "core/pautoclass.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <mutex>
 #include <optional>
+#include <ostream>
 
 #include "util/error.hpp"
 
@@ -131,7 +133,10 @@ data::ItemRange partition_for(const ac::Model& model, const mp::Comm& comm,
 
 /// The per-try body shared by both entry points.
 ac::TryResult run_try(ac::EmWorker& worker, const ac::Model& model,
-                      const ac::SearchConfig& config, int try_index, int j) {
+                      const ac::SearchConfig& config, int try_index, int j,
+                      trace::Recorder* rec) {
+  PAC_TRACE_SCOPE(rec, "search", "try");
+  if (rec != nullptr) rec->metrics().counter("search.tries").add(1);
   ac::TryResult out{
       ac::Classification(model, static_cast<std::size_t>(j))};
   worker.random_init(out.classification, config.seed,
@@ -158,9 +163,11 @@ ParallelOutcome run_parallel_search(mp::World& world, const ac::Model& model,
     const data::ItemRange range = partition_for(model, comm, parallel);
     ac::EmWorker worker(model, range, reducer,
                         parallel.strategy == Strategy::kFull);
-    const ac::TryRunner runner = [&](int try_index, int j) {
-      return run_try(worker, model, config, try_index, j);
+    trace::Recorder* rec = trace::compiled_in() ? comm.recorder() : nullptr;
+    const ac::TryRunner runner = [&, rec](int try_index, int j) {
+      return run_try(worker, model, config, try_index, j, rec);
     };
+    PAC_TRACE_SCOPE(rec, "search", "big_loop");
     // The search loop runs replicated: every rank makes identical decisions
     // because every input to a decision is a globally reduced value.  A
     // resumed state is copied per rank so each replica owns its mutable
@@ -188,6 +195,36 @@ ParallelOutcome run_parallel_search(mp::World& world, const ac::Model& model,
   ParallelOutcome outcome{std::move(*rank0_result), std::move(stats),
                           *rank0_profile};
   return outcome;
+}
+
+EmPhaseBreakdown EmPhaseBreakdown::from(const metrics::Registry& metrics) {
+  EmPhaseBreakdown out;
+  out.update_wts = metrics.histogram_sum("em.update_wts");
+  out.update_parameters = metrics.histogram_sum("em.update_parameters");
+  out.update_approximations =
+      metrics.histogram_sum("em.update_approximations");
+  out.random_init = metrics.histogram_sum("em.random_init");
+  out.base_cycle = metrics.histogram_sum("em.base_cycle");
+  out.cycles = metrics.counter_value("em.cycles");
+  out.convergence_checks = metrics.counter_value("em.convergence_checks");
+  return out;
+}
+
+bool write_reports(std::ostream& text_out, const mp::RunStats& stats,
+                   const std::string& chrome_json_path) {
+  if (!stats.instrumented) return false;
+  metrics::write_report(text_out, stats.metrics, "instrumented run");
+  if (stats.events_dropped > 0)
+    text_out << "!! " << stats.events_dropped
+             << " event(s) dropped to ring overflow — raise "
+                "World::Config::instrument_ring for a complete trace\n";
+  if (!chrome_json_path.empty()) {
+    std::ofstream os(chrome_json_path);
+    PAC_REQUIRE_MSG(os.good(),
+                    "cannot write chrome trace '" << chrome_json_path << "'");
+    trace::write_chrome_trace(os, stats.events);
+  }
+  return true;
 }
 
 BaseCycleMeasurement measure_base_cycle(mp::World& world,

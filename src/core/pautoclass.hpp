@@ -32,6 +32,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
 #include "autoclass/search.hpp"
 #include "mp/comm.hpp"
@@ -85,6 +86,9 @@ class ParallelReducer final : public ac::Reducer {
                             std::span<double> full, data::ItemRange range,
                             std::size_t j) override;
   void charge(const ac::PhaseWork& work) override;
+  /// The EM engine's instrumentation sink: this rank's Comm recorder (null
+  /// when the run is not instrumented).
+  trace::Recorder* recorder() override { return comm_->recorder(); }
 
   const PhaseProfile& profile() const noexcept { return profile_; }
 
@@ -124,5 +128,35 @@ BaseCycleMeasurement measure_base_cycle(mp::World& world,
                                         const ac::Model& model, int j,
                                         int cycles, std::uint64_t seed = 7,
                                         const ParallelConfig& parallel = {});
+
+/// Per-run EM sub-phase seconds, recovered from the merged instrumentation
+/// registry of an instrumented run (sums of the per-rank phase-span
+/// histograms; see util/trace.hpp).  For a single-rank run the sum of
+/// random_init + the three update phases accounts for the entire modeled
+/// elapsed time up to the (tiny) per-cycle bookkeeping overhead.
+struct EmPhaseBreakdown {
+  double update_wts = 0.0;
+  double update_parameters = 0.0;
+  double update_approximations = 0.0;
+  double random_init = 0.0;   // try-generation (init + first reduction)
+  double base_cycle = 0.0;    // whole-cycle spans (contains the updates)
+  std::uint64_t cycles = 0;
+  std::uint64_t convergence_checks = 0;
+
+  /// Sum of the disjoint spans (the three updates + try generation).
+  double phase_sum() const noexcept {
+    return update_wts + update_parameters + update_approximations +
+           random_init;
+  }
+
+  static EmPhaseBreakdown from(const metrics::Registry& metrics);
+};
+
+/// Emit the combined observability output of an instrumented run: the
+/// plain-text metrics report to `text_out` and, when `chrome_json_path` is
+/// non-empty, the chrome://tracing JSON to that file.  Returns false (and
+/// writes nothing) when the run was not instrumented.
+bool write_reports(std::ostream& text_out, const mp::RunStats& stats,
+                   const std::string& chrome_json_path = "");
 
 }  // namespace pac::core

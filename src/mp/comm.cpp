@@ -25,6 +25,32 @@ void write_trace_csv(std::ostream& os, const RunStats& stats) {
 
 namespace detail {
 
+void RankState::init_instrumentation(std::size_t ring_capacity) {
+  recorder = std::make_unique<trace::Recorder>(world_rank, ring_capacity);
+  // The rank's virtual clock is the trace time base (deterministic across
+  // runs); `this` is stable for the run — RunContext::ranks never resizes.
+  recorder->set_clock([this] { return clock; });
+  metrics::Registry& reg = recorder->metrics();
+  std::string name;
+  for (std::size_t k = 0; k < kNumCollectiveKinds; ++k) {
+    const char* kind = net::to_string(static_cast<net::CollectiveKind>(k));
+    name.assign("mp.").append(kind);
+    MpMetricHandles::PerCollective& h = mp.collective[k];
+    h.calls = &reg.counter(name + ".calls");
+    h.bytes = &reg.counter(name + ".bytes");
+    h.seconds = &reg.histogram(name + ".seconds");
+    h.wait_seconds = &reg.histogram(name + ".wait_seconds");
+  }
+  mp.send_calls = &reg.counter("mp.send.calls");
+  mp.send_bytes = &reg.counter("mp.send.bytes");
+  mp.send_seconds = &reg.histogram("mp.send.seconds");
+  mp.recv_calls = &reg.counter("mp.recv.calls");
+  mp.recv_bytes = &reg.counter("mp.recv.bytes");
+  mp.recv_seconds = &reg.histogram("mp.recv.seconds");
+  mp.wait_calls = &reg.counter("mp.wait.calls");
+  mp.wait_seconds = &reg.histogram("mp.wait.seconds");
+}
+
 RunContext::RunContext(int world_size)
     : world_engine(world_size), ranks(world_size) {
   for (int r = 0; r < world_size; ++r) ranks[r].world_rank = r;
@@ -82,6 +108,17 @@ void Comm::run_collective(net::CollectiveKind kind, std::size_t bytes,
   const auto kind_index = static_cast<std::size_t>(kind);
   ++state_->collective_calls[kind_index];
   state_->collective_seconds[kind_index] += cost;
+  if constexpr (trace::compiled_in()) {
+    if (trace::Recorder* rec = state_->recorder.get()) {
+      const detail::MpMetricHandles::PerCollective& h =
+          state_->mp.collective[kind_index];
+      h.calls->add(1);
+      h.bytes->add(bytes);
+      h.seconds->observe(cost);
+      h.wait_seconds->observe(wait > 0.0 ? wait : 0.0);
+      rec->record_span("mp", net::to_string(kind), arrival, done);
+    }
+  }
   if (trace_) {
     state_->trace.push_back(TraceEvent{state_->world_rank,
                                        TraceEvent::Op::kCollective, kind,
@@ -104,6 +141,14 @@ void Comm::deliver(int dest_group_rank, int tag, const void* bytes,
   if (nbytes > 0) std::memcpy(msg.payload.data(), bytes, nbytes);
   ++state_->messages_sent;
   state_->bytes_sent += nbytes;
+  if constexpr (trace::compiled_in()) {
+    if (trace::Recorder* rec = state_->recorder.get()) {
+      state_->mp.send_calls->add(1);
+      state_->mp.send_bytes->add(nbytes);
+      state_->mp.send_seconds->observe(overhead);
+      rec->record_span("mp", "send", state_->clock - overhead, state_->clock);
+    }
+  }
   if (trace_) {
     state_->trace.push_back(
         TraceEvent{state_->world_rank, TraceEvent::Op::kSend,
@@ -133,6 +178,14 @@ Status Comm::absorb(Message&& msg, void* buffer, std::size_t capacity) {
     state_->clock = available;
   }
   state_->comm_time += transfer;
+  if constexpr (trace::compiled_in()) {
+    if (trace::Recorder* rec = state_->recorder.get()) {
+      state_->mp.recv_calls->add(1);
+      state_->mp.recv_bytes->add(msg.payload.size());
+      state_->mp.recv_seconds->observe(state_->clock - recv_start);
+      rec->record_span("mp", "recv", recv_start, state_->clock);
+    }
+  }
   if (trace_) {
     state_->trace.push_back(
         TraceEvent{state_->world_rank, TraceEvent::Op::kRecv,
@@ -159,10 +212,17 @@ void Comm::wait(Request& request) {
   PAC_REQUIRE_MSG(request.kind_ != Request::Kind::kNone,
                   "wait on a default-constructed Request");
   if (request.done_) return;
+  const double wait_start = state_->clock;
   request.status_ =
       recv_bytes(request.source_, request.tag_, request.buffer_,
                  request.capacity_);
   request.done_ = true;
+  if constexpr (trace::compiled_in()) {
+    if (state_->recorder != nullptr) {
+      state_->mp.wait_calls->add(1);
+      state_->mp.wait_seconds->observe(state_->clock - wait_start);
+    }
+  }
 }
 
 bool Comm::test(Request& request) {

@@ -40,6 +40,8 @@
 #include "net/machine.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace pac::mp {
 
@@ -87,6 +89,27 @@ const char* to_string(TraceEvent::Op op) noexcept;
 
 namespace detail {
 
+/// Cached metric handles for the message-passing hot paths, resolved once
+/// per rank when instrumentation is switched on so recording a collective
+/// costs four pointer dereferences, not four map lookups.
+struct MpMetricHandles {
+  struct PerCollective {
+    metrics::Counter* calls = nullptr;
+    metrics::Counter* bytes = nullptr;
+    metrics::Histogram* seconds = nullptr;       // modeled network cost
+    metrics::Histogram* wait_seconds = nullptr;  // idle waiting on arrivals
+  };
+  std::array<PerCollective, kNumCollectiveKinds> collective{};
+  metrics::Counter* send_calls = nullptr;
+  metrics::Counter* send_bytes = nullptr;
+  metrics::Histogram* send_seconds = nullptr;  // sender software overhead
+  metrics::Counter* recv_calls = nullptr;
+  metrics::Counter* recv_bytes = nullptr;
+  metrics::Histogram* recv_seconds = nullptr;  // transfer + blocked time
+  metrics::Counter* wait_calls = nullptr;
+  metrics::Histogram* wait_seconds = nullptr;  // nonblocking-wait latency
+};
+
 /// Per-rank mutable state shared by all communicators of that rank.
 struct RankState {
   int world_rank = 0;
@@ -102,6 +125,13 @@ struct RankState {
   std::array<double, kNumCollectiveKinds> collective_seconds{};
   /// Event log; populated only when the World was configured with trace.
   std::vector<TraceEvent> trace;
+  /// Instrumentation sink (null unless the World instruments this run).
+  /// Owned by this rank's thread; merged by World::run after the join.
+  std::unique_ptr<trace::Recorder> recorder;
+  MpMetricHandles mp;
+
+  /// Create the recorder and resolve the metric handles (comm.cpp).
+  void init_instrumentation(std::size_t ring_capacity);
 };
 
 /// Per-run shared state: the collective-engine registry for split comms.
@@ -159,6 +189,15 @@ struct RunStats {
   /// World was configured with trace = true.
   std::vector<TraceEvent> trace;
 
+  /// True when the run was instrumented (Config::instrument and the layer
+  /// compiled in): `metrics` holds the merged per-rank registries and
+  /// `events` the merged per-rank ring buffers, sorted by (start, rank).
+  bool instrumented = false;
+  metrics::Registry metrics;
+  std::vector<trace::Event> events;
+  /// Events lost to ring overflow across all ranks (0 = complete trace).
+  std::uint64_t events_dropped = 0;
+
   double max_compute() const;
   double max_comm() const;
 };
@@ -188,6 +227,12 @@ class Comm {
 
   const net::NetworkModel& network() const noexcept { return *network_; }
   const net::CostBook& costs() const noexcept { return *costs_; }
+
+  /// This rank's instrumentation sink, or nullptr when the run is not
+  /// instrumented (shared by all communicators of the rank, split or not).
+  trace::Recorder* recorder() const noexcept {
+    return state_ == nullptr ? nullptr : state_->recorder.get();
+  }
 
   // ---- point-to-point ----
 
@@ -393,6 +438,13 @@ class World {
     bool kahan_reductions = false;
     /// Record a TraceEvent per communication operation into RunStats.
     bool trace = false;
+    /// Build a per-rank trace::Recorder (metrics + event ring) and merge
+    /// them into RunStats at finalize.  Defaults to the PAUTOCLASS_TRACE
+    /// environment toggle; a no-op when the layer is compiled out
+    /// (PAC_TRACE=OFF).
+    bool instrument = trace::env_enabled();
+    /// Per-rank event-ring capacity when instrumenting.
+    std::size_t instrument_ring = trace::EventRing::kDefaultCapacity;
   };
 
   explicit World(Config config);

@@ -22,6 +22,11 @@ RunStats World::run(const std::function<void(Comm&)>& fn) {
   const int p = config_.num_ranks;
   detail::RunContext context(p);
   for (auto& box : mailboxes_) box->reset();
+  if constexpr (trace::compiled_in()) {
+    if (config_.instrument)
+      for (auto& rs : context.ranks)
+        rs.init_instrumentation(config_.instrument_ring);
+  }
 
   std::vector<std::exception_ptr> errors(p);
   std::vector<char> aborted(p, 0);
@@ -98,6 +103,26 @@ RunStats World::run(const std::function<void(Comm&)>& fn) {
                      [](const TraceEvent& a, const TraceEvent& b) {
                        return a.start < b.start;
                      });
+  }
+  // Finalize the instrumented run: fold every rank's registry and event
+  // ring into the merged RunStats view (ranks have joined; no locks
+  // needed).  Deterministic: ranks fold in rank order and the event sort
+  // is stable over a rank-ordered concatenation.
+  if constexpr (trace::compiled_in()) {
+    if (config_.instrument) {
+      stats.instrumented = true;
+      for (auto& rs : context.ranks) {
+        if (rs.recorder == nullptr) continue;
+        stats.metrics.merge_from(rs.recorder->metrics());
+        const std::vector<trace::Event> events = rs.recorder->events().snapshot();
+        stats.events.insert(stats.events.end(), events.begin(), events.end());
+        stats.events_dropped += rs.recorder->events().dropped();
+      }
+      std::stable_sort(stats.events.begin(), stats.events.end(),
+                       [](const trace::Event& a, const trace::Event& b) {
+                         return a.start < b.start;
+                       });
+    }
   }
   // Leaked (never received) messages indicate a protocol bug in user code.
   for (int r = 0; r < p; ++r) {

@@ -1,0 +1,120 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace pac::metrics {
+
+namespace {
+
+int bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;
+  const int exponent = static_cast<int>(std::floor(std::log2(v)));
+  const int index = exponent - Histogram::kBucketExponentOffset;
+  return std::clamp(index, 0, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+double Histogram::bucket_upper_bound(int i) noexcept {
+  return std::ldexp(1.0, i + kBucketExponentOffset + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+const Histogram* Registry::find_histogram(
+    std::string_view name) const noexcept {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+double Registry::histogram_sum(std::string_view name) const noexcept {
+  const Histogram* h = find_histogram(name);
+  return h == nullptr ? 0.0 : h->sum();
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value);
+  for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+}
+
+void write_report(std::ostream& os, const Registry& registry,
+                  std::string_view title) {
+  os << "== metrics report: " << title << " ==\n";
+  if (registry.empty()) {
+    os << "(no metrics recorded)\n";
+    return;
+  }
+  // Zero-valued entries are pre-registered handles that never fired (e.g.
+  // collectives the run did not use); keep the report to what happened.
+  if (!registry.counters().empty()) {
+    os << "-- counters --\n";
+    for (const auto& [name, c] : registry.counters()) {
+      if (c.value == 0) continue;
+      os << "  " << std::left << std::setw(40) << name << std::right
+         << std::setw(16) << c.value << "\n";
+    }
+  }
+  if (!registry.histograms().empty()) {
+    os << "-- histograms --\n  " << std::left << std::setw(40) << "name"
+       << std::right << std::setw(10) << "count" << std::setw(14) << "sum"
+       << std::setw(14) << "mean" << std::setw(14) << "min" << std::setw(14)
+       << "max" << "\n";
+    const auto old_precision = os.precision(6);
+    for (const auto& [name, h] : registry.histograms()) {
+      if (h.count() == 0) continue;
+      os << "  " << std::left << std::setw(40) << name << std::right
+         << std::setw(10) << h.count() << std::setw(14) << h.sum()
+         << std::setw(14) << h.mean() << std::setw(14) << h.min()
+         << std::setw(14) << h.max() << "\n";
+    }
+    os.precision(old_precision);
+  }
+}
+
+}  // namespace pac::metrics

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string_view>
 #include <vector>
 
 #include "mp/comm.hpp"
@@ -346,6 +347,34 @@ TEST(Split, SubgroupPt2PtDoesNotLeakIntoParent) {
     EXPECT_NE(got, comm.rank());
     comm.barrier();
   });
+}
+
+TEST_P(CollectivesTest, InstrumentedAllreduceByteCountersExact) {
+  if (!trace::compiled_in())
+    GTEST_SKIP() << "tracing layer compiled out (-DPAC_TRACE=OFF)";
+  World::Config cfg = zero_config(ranks());
+  cfg.instrument = true;
+  World world(cfg);
+  constexpr int kCalls = 3;
+  constexpr std::size_t kElems = 17;
+  RunStats stats = world.run([](Comm& comm) {
+    std::vector<double> v(kElems, static_cast<double>(comm.rank()));
+    for (int i = 0; i < kCalls; ++i)
+      comm.allreduce_inplace<double>(v, ReduceOp::kSum);
+  });
+  ASSERT_TRUE(stats.instrumented);
+  // Every rank counts the payload it contributes to each allreduce, so the
+  // merged counter is exactly nranks x calls x payload bytes.
+  const auto expected = static_cast<std::uint64_t>(ranks()) * kCalls *
+                        kElems * sizeof(double);
+  EXPECT_EQ(stats.metrics.counter_value("mp.allreduce.bytes"), expected);
+  EXPECT_EQ(stats.metrics.counter_value("mp.allreduce.calls"),
+            static_cast<std::uint64_t>(ranks()) * kCalls);
+  // One span per rank per call lands in the merged event log.
+  std::size_t allreduce_events = 0;
+  for (const trace::Event& e : stats.events)
+    if (std::string_view(e.name) == "allreduce") ++allreduce_events;
+  EXPECT_EQ(allreduce_events, static_cast<std::size_t>(ranks()) * kCalls);
 }
 
 TEST(Split, NestedSplits) {

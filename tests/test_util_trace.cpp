@@ -1,0 +1,252 @@
+// Tests for the instrumentation layer: metrics registry, event ring,
+// scoped phase timers over a manual virtual clock, the merge path used by
+// mp::World, and the chrome://tracing exporter.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mp/comm.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace pac {
+namespace {
+
+TEST(Metrics, CounterFindOrCreateAndAdd) {
+  metrics::Registry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("a").add();
+  reg.counter("a").add(4);
+  reg.counter("b").add(2);
+  EXPECT_EQ(reg.counter_value("a"), 5u);
+  EXPECT_EQ(reg.counter_value("b"), 2u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Metrics, CounterReferencesAreStable) {
+  metrics::Registry reg;
+  metrics::Counter& a = reg.counter("a");
+  // Creating many more counters must not invalidate the first handle
+  // (the mp layer caches these pointers per rank).
+  for (int i = 0; i < 100; ++i)
+    reg.counter("filler." + std::to_string(i)).add(1);
+  a.add(7);
+  EXPECT_EQ(reg.counter_value("a"), 7u);
+}
+
+TEST(Metrics, HistogramStatistics) {
+  metrics::Registry reg;
+  metrics::Histogram& h = reg.histogram("h");
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(reg.histogram_sum("h"), 6.0);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+}
+
+TEST(Metrics, MergeAggregatesAcrossRegistries) {
+  // The per-rank registries of a run are merged rank by rank at finalize;
+  // counters add, histograms combine counts/sums/extrema.
+  metrics::Registry r0;
+  metrics::Registry r1;
+  r0.counter("c").add(3);
+  r1.counter("c").add(4);
+  r1.counter("only1").add(1);
+  r0.histogram("h").observe(1.0);
+  r1.histogram("h").observe(5.0);
+
+  metrics::Registry merged;
+  merged.merge_from(r0);
+  merged.merge_from(r1);
+  EXPECT_EQ(merged.counter_value("c"), 7u);
+  EXPECT_EQ(merged.counter_value("only1"), 1u);
+  const metrics::Histogram* h = merged.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 5.0);
+}
+
+TEST(Metrics, ReportListsRecordedEntries) {
+  metrics::Registry reg;
+  reg.counter("hits").add(12);
+  reg.counter("silent");  // zero: filtered from the report
+  reg.histogram("lat").observe(0.5);
+  std::ostringstream os;
+  metrics::write_report(os, reg, "unit");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("metrics report: unit"), std::string::npos);
+  EXPECT_NE(out.find("hits"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  EXPECT_NE(out.find("lat"), std::string::npos);
+  EXPECT_EQ(out.find("silent"), std::string::npos);
+}
+
+TEST(EventRing, KeepsNewestAndCountsDropped) {
+  trace::EventRing ring(4);
+  for (int i = 0; i < 10; ++i)
+    ring.record(trace::Event{"t", "e", 0, static_cast<double>(i),
+                             static_cast<double>(i) + 0.5});
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.size(), 4u);
+  const std::vector<trace::Event> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest: the survivors are events 6..9.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_DOUBLE_EQ(events[i].start, 6.0 + static_cast<double>(i));
+}
+
+TEST(Recorder, ScopedPhasesNestOverVirtualClock) {
+  if (!trace::compiled_in())
+    GTEST_SKIP() << "ScopedPhase is a no-op with -DPAC_TRACE=OFF";
+  trace::Recorder rec(0);
+  double clock = 0.0;
+  rec.set_clock([&clock] { return clock; });
+  {
+    trace::ScopedPhase outer(&rec, "em", "base_cycle");
+    clock = 1.0;
+    {
+      trace::ScopedPhase inner(&rec, "em", "update_wts");
+      clock = 3.0;
+    }
+    clock = 4.0;
+  }
+  const std::vector<trace::Event> events = rec.events().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first; both spans cover their exact virtual windows.
+  EXPECT_STREQ(events[0].name, "update_wts");
+  EXPECT_DOUBLE_EQ(events[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].end, 3.0);
+  EXPECT_STREQ(events[1].name, "base_cycle");
+  EXPECT_DOUBLE_EQ(events[1].start, 0.0);
+  EXPECT_DOUBLE_EQ(events[1].end, 4.0);
+  EXPECT_DOUBLE_EQ(rec.metrics().histogram_sum("em.update_wts"), 2.0);
+  EXPECT_DOUBLE_EQ(rec.metrics().histogram_sum("em.base_cycle"), 4.0);
+}
+
+TEST(Recorder, NullRecorderScopeIsNoOp) {
+  // The runtime-disabled path: a null recorder pointer must be safe.
+  trace::ScopedPhase phase(nullptr, "em", "update_wts");
+  PAC_TRACE_SCOPE(nullptr, "em", "update_wts");
+}
+
+TEST(Trace, CompileTimeToggleMatchesMacro) {
+#if PAC_TRACE_ENABLED
+  EXPECT_TRUE(trace::compiled_in());
+#else
+  EXPECT_FALSE(trace::compiled_in());
+  // Compiled out, the macro must not evaluate its recorder expression.
+  bool evaluated = false;
+  auto poison = [&]() -> trace::Recorder* {
+    evaluated = true;
+    return nullptr;
+  };
+  PAC_TRACE_SCOPE(poison(), "em", "never");
+  (void)poison;
+  EXPECT_FALSE(evaluated);
+#endif
+}
+
+TEST(Trace, ChromeTraceExportIsWellFormed) {
+  const std::vector<trace::Event> events = {
+      {"mp", "allreduce", 0, 0.001, 0.002},
+      {"em", "update \"wts\"\\n", 1, 0.0, 0.004},
+  };
+  std::ostringstream os;
+  trace::write_chrome_trace(os, events);
+  const std::string json = os.str();
+  // Structural checks a JSON parser would enforce.
+  EXPECT_EQ(json.front(), '{');
+  ASSERT_GE(json.size(), 2u);
+  std::size_t braces = 0;
+  std::size_t brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0u);
+  EXPECT_EQ(brackets, 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Durations are exported in microseconds.
+  EXPECT_NE(json.find("\"allreduce\""), std::string::npos);
+  // The quoted-name event must arrive escaped, not raw.
+  EXPECT_EQ(json.find("update \"wts\""), std::string::npos);
+}
+
+TEST(Trace, EventsCsvRoundTripsFields) {
+  const std::vector<trace::Event> events = {{"mp", "bcast", 2, 0.5, 0.75}};
+  std::ostringstream os;
+  trace::write_events_csv(os, events);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("rank,category,name,start,end"), std::string::npos);
+  EXPECT_NE(csv.find("2,mp,bcast,"), std::string::npos);
+}
+
+TEST(WorldIntegration, InstrumentedRunMergesPerRankRecorders) {
+  if (!trace::compiled_in())
+    GTEST_SKIP() << "tracing layer compiled out (-DPAC_TRACE=OFF)";
+  mp::World::Config cfg;
+  cfg.num_ranks = 4;
+  cfg.machine = net::ideal_machine();
+  cfg.instrument = true;
+  mp::World world(cfg);
+  mp::RunStats stats = world.run([](mp::Comm& comm) {
+    if (trace::Recorder* rec = comm.recorder())
+      rec->metrics().counter("test.per_rank").add(1);
+    double v = 1.0;
+    comm.allreduce_inplace<double>(std::span<double>(&v, 1),
+                                   mp::ReduceOp::kSum);
+  });
+  ASSERT_TRUE(stats.instrumented);
+  // One increment per rank, merged at finalize.
+  EXPECT_EQ(stats.metrics.counter_value("test.per_rank"), 4u);
+  EXPECT_EQ(stats.metrics.counter_value("mp.allreduce.calls"), 4u);
+  EXPECT_EQ(stats.events_dropped, 0u);
+  // Merged events are sorted by start time.
+  for (std::size_t i = 1; i < stats.events.size(); ++i)
+    EXPECT_LE(stats.events[i - 1].start, stats.events[i].start);
+}
+
+TEST(WorldIntegration, UninstrumentedRunRecordsNothing) {
+  mp::World::Config cfg;
+  cfg.num_ranks = 2;
+  cfg.machine = net::ideal_machine();
+  cfg.instrument = false;
+  mp::World world(cfg);
+  mp::RunStats stats = world.run([](mp::Comm& comm) {
+    EXPECT_EQ(comm.recorder(), nullptr);
+    double v = 1.0;
+    comm.allreduce_inplace<double>(std::span<double>(&v, 1),
+                                   mp::ReduceOp::kSum);
+  });
+  EXPECT_FALSE(stats.instrumented);
+  EXPECT_TRUE(stats.metrics.empty());
+  EXPECT_TRUE(stats.events.empty());
+}
+
+}  // namespace
+}  // namespace pac
