@@ -16,6 +16,7 @@
 #include "autoclass/search.hpp"
 #include "core/pautoclass.hpp"
 #include "data/synth.hpp"
+#include "mp/transport/env.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -39,6 +40,14 @@ struct GridConfig {
 /// second.  Every bench binary accepts --smoke.
 inline bool smoke_mode(const Cli& cli) { return cli.get_bool("smoke", false); }
 
+/// Under pac_launch the world size is fixed by the environment: collapse
+/// the processor sweep to the real world size (a distributed bench measures
+/// one configuration per launch).  No-op in a plain (modeled) run.
+inline void finalize_grid(GridConfig& grid) {
+  if (!mp::transport::pacnet_launched()) return;
+  grid.procs = {static_cast<std::int64_t>(mp::transport::pacnet_size())};
+}
+
 /// Parse the common flags.  Defaults: reduced grid; --paper: the grid of
 /// the paper's Sec. 4 (plus --machine to retarget the simulation);
 /// --smoke: the tiny CI tier.
@@ -60,6 +69,7 @@ inline GridConfig parse_grid(const Cli& cli) {
       for (const auto j : cli.get_int_list("jlist", {}))
         grid.start_j_list.push_back(static_cast<int>(j));
     }
+    finalize_grid(grid);
     return grid;
   }
   if (paper) {
@@ -85,6 +95,7 @@ inline GridConfig parse_grid(const Cli& cli) {
   grid.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   grid.repeats = static_cast<int>(
       cli.get_int("repeats", cli.get_bool("paper", false) ? 10 : 1));
+  finalize_grid(grid);
   return grid;
 }
 

@@ -3,6 +3,8 @@
 // time, for performance-regression tracking of the implementation itself.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -112,6 +114,54 @@ void BM_Allreduce(benchmark::State& state) {
 }
 BENCHMARK(BM_Allreduce)->Arg(16)->Arg(4096);
 
+void BM_AllreduceScalarHot(benchmark::State& state) {
+  // The EM hot path in miniature: thousands of tiny scalar allreduces per
+  // search.  Guards the thread-local scratch reuse in the collective folds
+  // (no per-call temporary vector).
+  mp::World::Config cfg;
+  cfg.num_ranks = 4;
+  cfg.machine = net::ideal_machine();
+  mp::World world(cfg);
+  for (auto _ : state) {
+    world.run([](mp::Comm& comm) {
+      double acc = 1.0;
+      for (int i = 0; i < 256; ++i)
+        acc = comm.allreduce_scalar(acc, mp::ReduceOp::kMax);
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_AllreduceScalarHot);
+
+/// Smoke-tier correctness gate for the scratch-buffer fold path: the small
+/// collectives the EM loop hammers must still produce exact results after
+/// the allocation-free rewrite.  Returns false (and prints) on mismatch.
+bool check_scratch_fold_path() {
+  mp::World::Config cfg;
+  cfg.num_ranks = 4;
+  cfg.machine = net::ideal_machine();
+  mp::World world(cfg);
+  std::atomic<int> failures{0};
+  world.run([&failures](mp::Comm& comm) {
+    for (int i = 1; i <= 64; ++i) {
+      const double sum = comm.allreduce_scalar(static_cast<double>(i));
+      if (sum != 4.0 * i) failures.fetch_add(1);
+      const auto gathered = comm.allgather_value<int>(comm.rank() + i);
+      for (int r = 0; r < comm.size(); ++r)
+        if (gathered[static_cast<std::size_t>(r)] != r + i)
+          failures.fetch_add(1);
+    }
+  });
+  if (failures.load() != 0) {
+    std::fprintf(stderr,
+                 "micro_kernels: scratch fold check FAILED (%d mismatches)\n",
+                 failures.load());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN() plus a --smoke flag: the CI tier maps it to a minimal
@@ -131,6 +181,7 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  if (smoke && !check_scratch_fold_path()) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

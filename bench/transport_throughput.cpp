@@ -1,0 +1,157 @@
+// pacnet transport throughput: point-to-point latency/bandwidth and
+// allreduce cost over a message-size sweep, on whichever backend the
+// environment selects.  Unlike the figure harnesses this measures HOST
+// wall-clock time of the runtime itself, so the same binary characterizes
+// both backends:
+//
+//   ./transport_throughput [--smoke] [--procs 2]     # in-process backend
+//   pac_launch -n 4 ./transport_throughput           # real sockets
+//
+// Protocol per message size: rank 0 <-> rank 1 ping-pong (round-trip
+// latency, one-way bandwidth), then a world-wide allreduce of a double
+// vector of the same size.  All ranks stay aligned with barriers so the
+// collective call order matches on every rank.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mp/comm.hpp"
+#include "mp/transport/env.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Row {
+  std::size_t bytes = 0;
+  int pingpong_iters = 0;
+  double pingpong_seconds = 0.0;  // total for pingpong_iters round trips
+  int allreduce_iters = 0;
+  double allreduce_seconds = 0.0;  // total for allreduce_iters calls
+};
+
+int pingpong_iters_for(std::size_t bytes, bool smoke) {
+  if (smoke) return 4;
+  const auto budget = static_cast<std::size_t>(1) << 22;  // ~4 MB per side
+  return static_cast<int>(std::clamp<std::size_t>(budget / bytes, 8, 256));
+}
+
+int allreduce_iters_for(std::size_t bytes, bool smoke) {
+  if (smoke) return 2;
+  const auto budget = static_cast<std::size_t>(1) << 20;
+  return static_cast<int>(std::clamp<std::size_t>(budget / bytes, 4, 64));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  const Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  const bool primary = mp::transport::is_primary();
+
+  int procs = static_cast<int>(cli.get_int("procs", 2));
+  mp::World::Config cfg;
+  cfg.num_ranks = procs;
+  cfg.machine = net::ideal_machine();
+  const bool launched = mp::transport::apply_env_backend(cfg);
+  if (launched) procs = cfg.num_ranks;
+
+  std::vector<std::size_t> sizes;
+  for (const auto s : cli.get_int_list(
+           "sizes", smoke ? std::vector<std::int64_t>{8, 1024, 65536}
+                          : std::vector<std::int64_t>{8, 64, 1024, 16384,
+                                                      262144, 1048576}))
+    sizes.push_back(static_cast<std::size_t>(s));
+
+  mp::World world(cfg);
+  std::vector<Row> rows;
+  std::mutex rows_mutex;
+  std::string backend;
+
+  world.run([&](mp::Comm& comm) {
+    if (comm.rank() == 0) backend = comm.backend_name();
+    constexpr int kTag = 7;
+    for (const std::size_t bytes : sizes) {
+      Row row;
+      row.bytes = bytes;
+      row.pingpong_iters = pingpong_iters_for(bytes, smoke);
+      std::vector<std::uint8_t> buf(bytes, 0xA5);
+      comm.barrier();
+      if (comm.size() >= 2) {
+        const int warmup = smoke ? 1 : 4;
+        if (comm.rank() == 0) {
+          for (int i = 0; i < warmup; ++i) {
+            comm.send<std::uint8_t>(1, kTag, buf);
+            comm.recv<std::uint8_t>(1, kTag, buf);
+          }
+          const auto t0 = Clock::now();
+          for (int i = 0; i < row.pingpong_iters; ++i) {
+            comm.send<std::uint8_t>(1, kTag, buf);
+            comm.recv<std::uint8_t>(1, kTag, buf);
+          }
+          row.pingpong_seconds = seconds_since(t0);
+        } else if (comm.rank() == 1) {
+          for (int i = 0; i < warmup + row.pingpong_iters; ++i) {
+            comm.recv<std::uint8_t>(0, kTag, buf);
+            comm.send<std::uint8_t>(0, kTag, buf);
+          }
+        }
+      }
+      comm.barrier();
+
+      std::vector<double> v(std::max<std::size_t>(1, bytes / sizeof(double)),
+                            1.0);
+      row.allreduce_iters = allreduce_iters_for(bytes, smoke);
+      comm.allreduce_inplace<double>(v, mp::ReduceOp::kSum);  // warmup
+      comm.barrier();
+      const auto t1 = Clock::now();
+      for (int i = 0; i < row.allreduce_iters; ++i)
+        comm.allreduce_inplace<double>(v, mp::ReduceOp::kSum);
+      row.allreduce_seconds = seconds_since(t1);
+      comm.barrier();
+
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(rows_mutex);
+        rows.push_back(row);
+      }
+    }
+  });
+
+  if (!primary) return 0;
+
+  std::cout << "# transport_throughput — backend " << backend << ", "
+            << procs << (launched ? " processes" : " rank threads")
+            << " (host wall-clock time)\n";
+  Table table("pt2pt ping-pong (ranks 0<->1) and allreduce, by message size");
+  table.set_header({"bytes", "rt lat us", "bw MB/s", "allreduce us"});
+  for (const Row& row : rows) {
+    const double rt_us = row.pingpong_iters > 0
+                             ? row.pingpong_seconds * 1e6 /
+                                   static_cast<double>(row.pingpong_iters)
+                             : 0.0;
+    // One-way payload bytes moved per round trip = 2 * bytes.
+    const double bw =
+        row.pingpong_seconds > 0.0
+            ? 2.0 * static_cast<double>(row.bytes) *
+                  static_cast<double>(row.pingpong_iters) /
+                  row.pingpong_seconds / 1e6
+            : 0.0;
+    const double ar_us = row.allreduce_seconds * 1e6 /
+                         static_cast<double>(row.allreduce_iters);
+    table.add_row({std::to_string(row.bytes), format_fixed(rt_us, 1),
+                   format_fixed(bw, 1), format_fixed(ar_us, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "core/pautoclass.hpp"
 #include "data/io.hpp"
 #include "data/synth.hpp"
+#include "mp/transport/env.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -24,9 +25,28 @@ int main(int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
 
+  // Under pac_launch this process is one rank of a multi-process world:
+  // gate stdout and file side effects to rank 0 so the run behaves like a
+  // single program.
+  const bool launched = mp::transport::pacnet_launched();
+  const bool primary = mp::transport::is_primary();
+  std::ofstream devnull;
+  if (!primary) {
+    devnull.open("/dev/null");
+    std::cout.rdbuf(devnull.rdbuf());
+  }
+
   std::string header_path = cli.get_string("header", "");
   std::string data_path = cli.get_string("data", "");
 
+  if (cli.has("generate") && launched) {
+    // Every rank reads the dataset, so generating inside a distributed run
+    // would race all ranks writing the same files.  Generate first, then
+    // launch: pac_launch -n 4 pautoclass_cli --data PREFIX.db2 ...
+    std::cerr << "pautoclass_cli: --generate cannot run under pac_launch; "
+                 "generate the dataset in a plain run first\n";
+    return 2;
+  }
   if (cli.has("generate")) {
     // Emit a demo dataset next to the given prefix (--binary: one .pacb
     // file instead of the .hd2/.db2 ASCII pair).
@@ -93,11 +113,14 @@ int main(int argc, char** argv) {
   search.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1234));
 
   // 3. Run (parallel if requested), resuming from a checkpoint if present.
-  const int procs = static_cast<int>(cli.get_int("procs", 1));
+  // pac_launch's environment switches the world to the socket backend and
+  // overrides --procs with the real world size.
+  int procs = static_cast<int>(cli.get_int("procs", 1));
   mp::World::Config cfg;
   cfg.num_ranks = procs;
   cfg.machine = net::machine_by_name(
       cli.get_string("machine", "meiko-cs2"));
+  if (mp::transport::apply_env_backend(cfg)) procs = cfg.num_ranks;
   mp::World world(cfg);
 
   const std::string checkpoint_path = cli.get_string("checkpoint", "");
@@ -115,7 +138,7 @@ int main(int argc, char** argv) {
   const core::ParallelOutcome outcome =
       core::run_parallel_search(world, model, search, {}, resume);
   const ac::SearchResult& result = outcome.search;
-  if (!checkpoint_path.empty()) {
+  if (!checkpoint_path.empty() && primary) {
     ac::save_search_result_file(checkpoint_path, result);
     std::cout << "search state -> " << checkpoint_path << "\n";
   }
@@ -124,7 +147,9 @@ int main(int argc, char** argv) {
   std::cout << "\nsearch: " << result.tries << " tries, "
             << result.duplicates << " duplicates eliminated, "
             << result.total_cycles << " EM cycles total\n";
-  std::cout << "modeled time on " << procs << "x " << cfg.machine.name
+  std::cout << (launched ? "measured time on " : "modeled time on ") << procs
+            << (launched ? " processes" : "x ")
+            << (launched ? std::string() : cfg.machine.name)
             << ": " << format_hms(outcome.stats.virtual_time)
             << "  (host wall: " << format_fixed(outcome.stats.wall_seconds, 2)
             << " s)\n\n";
@@ -142,18 +167,18 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   const std::string report_path = cli.get_string("report-out", "");
-  if (!report_path.empty()) {
+  if (!report_path.empty() && primary) {
     std::ofstream out(report_path);
     PAC_REQUIRE_MSG(out.good(), "cannot write '" << report_path << "'");
     ac::print_report(out, result.top());
     std::cout << "full report -> " << report_path << "\n";
-  } else {
+  } else if (report_path.empty()) {
     ac::print_report(std::cout, result.top());
   }
 
   // 5. Hard assignments.
   const std::string labels_path = cli.get_string("labels-out", "");
-  if (!labels_path.empty()) {
+  if (!labels_path.empty() && primary) {
     const auto labels = ac::assign_labels(result.top());
     std::ofstream out(labels_path);
     PAC_REQUIRE_MSG(out.good(), "cannot write '" << labels_path << "'");

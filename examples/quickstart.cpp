@@ -12,14 +12,18 @@
 #include "autoclass/search.hpp"
 #include "core/pautoclass.hpp"
 #include "data/synth.hpp"
+#include "mp/transport/env.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   const pac::Cli cli(argc, argv);
   const auto items = static_cast<std::size_t>(cli.get_int("items", 4000));
-  const int procs = static_cast<int>(cli.get_int("procs", 8));
+  int procs = static_cast<int>(cli.get_int("procs", 8));
   const int tries = static_cast<int>(cli.get_int("tries", 4));
+  // Under pac_launch this process is one rank of a real multi-process
+  // world; output is gated to rank 0 so the run prints once.
+  const bool primary = pac::mp::transport::is_primary();
 
   // 1. Data: the paper's synthetic two-attribute Gaussian benchmark.
   const pac::data::LabeledDataset labeled =
@@ -38,32 +42,43 @@ int main(int argc, char** argv) {
   const pac::ac::SearchResult sequential =
       pac::ac::sequential_search(model, search);
 
-  std::cout << "--- sequential AutoClass ---\n";
-  pac::ac::print_report(std::cout, sequential.top());
-  const auto labels = pac::ac::assign_labels(sequential.top());
-  std::cout << "adjusted Rand index vs ground truth: "
-            << pac::data::adjusted_rand_index(labeled.labels, labels)
-            << "\n\n";
+  if (primary) {
+    std::cout << "--- sequential AutoClass ---\n";
+    pac::ac::print_report(std::cout, sequential.top());
+    const auto labels = pac::ac::assign_labels(sequential.top());
+    std::cout << "adjusted Rand index vs ground truth: "
+              << pac::data::adjusted_rand_index(labeled.labels, labels)
+              << "\n\n";
+  }
 
-  // 4. The same search under P-AutoClass on a modeled Meiko CS-2.
+  // 4. The same search under P-AutoClass — on a modeled Meiko CS-2 by
+  //    default, or as one rank of a real multi-process socket world when
+  //    started by pac_launch (the environment overrides procs).
   pac::mp::World::Config world_config;
   world_config.num_ranks = procs;
   world_config.machine = pac::net::meiko_cs2();
+  const bool launched = pac::mp::transport::apply_env_backend(world_config);
+  if (launched) procs = world_config.num_ranks;
   pac::mp::World world(world_config);
   const pac::core::ParallelOutcome parallel =
       pac::core::run_parallel_search(world, model, search);
 
-  std::cout << "--- P-AutoClass on " << procs << " modeled processors ---\n";
-  std::cout << "best score (sequential) = "
-            << sequential.top().cs_score << "\n";
-  std::cout << "best score (parallel)   = "
-            << parallel.search.top().cs_score << "\n";
-  std::cout << "modeled elapsed time    = "
-            << pac::format_hms(parallel.stats.virtual_time) << " ("
-            << parallel.stats.virtual_time << " s)\n";
-  std::cout << "  compute " << parallel.stats.max_compute() << " s, network "
-            << parallel.stats.max_comm() << " s\n";
-  std::cout << "host wall time          = " << parallel.stats.wall_seconds
-            << " s\n";
+  if (primary) {
+    std::cout << "--- P-AutoClass on " << procs
+              << (launched ? " real processes ---\n"
+                           : " modeled processors ---\n");
+    std::cout << "best score (sequential) = "
+              << sequential.top().cs_score << "\n";
+    std::cout << "best score (parallel)   = "
+              << parallel.search.top().cs_score << "\n";
+    std::cout << (launched ? "measured elapsed time   = "
+                           : "modeled elapsed time    = ")
+              << pac::format_hms(parallel.stats.virtual_time) << " ("
+              << parallel.stats.virtual_time << " s)\n";
+    std::cout << "  compute " << parallel.stats.max_compute()
+              << " s, network " << parallel.stats.max_comm() << " s\n";
+    std::cout << "host wall time          = " << parallel.stats.wall_seconds
+              << " s\n";
+  }
   return 0;
 }

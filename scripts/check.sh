@@ -3,10 +3,13 @@
 # and example.  A bench or example that exits nonzero fails the script
 # (it does not silently continue).
 #
-# Usage: scripts/check.sh [--fast] [--build-dir DIR]
+# Usage: scripts/check.sh [--fast] [--distributed] [--build-dir DIR]
 #   --fast        run benches/examples in --smoke mode (tiny inputs); this
 #                 is the tier CI uses so the whole suite also fits under
 #                 sanitizers.
+#   --distributed additionally run the multi-process smoke tier: pac_launch
+#                 worlds of 4 real rank processes over the socket backend
+#                 (quickstart + transport throughput).
 #   --build-dir   build tree to use (default: build)
 # Extra configure arguments can be passed via PAC_CMAKE_ARGS, e.g.
 #   PAC_CMAKE_ARGS="-DPAC_TRACE=OFF" scripts/check.sh --fast
@@ -14,10 +17,12 @@ set -e
 cd "$(dirname "$0")/.."
 
 FAST=0
+DISTRIBUTED=0
 BUILD_DIR=build
 while [ $# -gt 0 ]; do
   case "$1" in
     --fast) FAST=1 ;;
+    --distributed) DISTRIBUTED=1 ;;
     --build-dir) shift; BUILD_DIR="$1" ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -74,6 +79,22 @@ for e in "$BUILD_DIR"/examples/*; do
       ;;
   esac
 done
+
+if [ "$DISTRIBUTED" = 1 ]; then
+  for cmd in \
+      "examples/quickstart --items 1200 --tries 2" \
+      "bench/transport_throughput --smoke"; do
+    echo "== pac_launch -n 4 $BUILD_DIR/$cmd =="
+    # shellcheck disable=SC2086  # intentional word splitting of the args
+    if "$BUILD_DIR"/tools/pac_launch -n 4 "$BUILD_DIR"/${cmd%% *} \
+        ${cmd#* } >/dev/null; then
+      echo ok
+    else
+      echo "!! FAILED: pac_launch -n 4 $cmd" >&2
+      failures=$((failures + 1))
+    fi
+  done
+fi
 
 if [ "$failures" -gt 0 ]; then
   echo "!! $failures bench/example binar(ies) failed" >&2

@@ -184,7 +184,10 @@ ParallelOutcome run_parallel_search(mp::World& world, const ac::Model& model,
     }
     ac::SearchResult result =
         ac::run_search_from(model, config, runner, std::move(seed));
-    if (comm.rank() == 0) {
+    // On the distributed backend every process hosts one rank and must
+    // produce its own outcome (the search is replicated: collective results
+    // are bit-identical on every rank, so so is the classification).
+    if (comm.rank() == 0 || comm.distributed()) {
       std::lock_guard<std::mutex> lock(result_mutex);
       rank0_result = std::move(result);
       rank0_profile = reducer.profile();
@@ -250,7 +253,7 @@ BaseCycleMeasurement measure_base_cycle(mp::World& world,
       worker.update_approximations(c);
     }
     (void)start;
-    if (comm.rank() == 0) {
+    if (comm.rank() == 0 || comm.distributed()) {
       std::lock_guard<std::mutex> lock(result_mutex);
       rank0_profile = reducer.profile();
     }

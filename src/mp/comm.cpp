@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <ostream>
 
+#include "mp/transport/transport.hpp"
+
 namespace pac::mp {
 
 const char* to_string(TraceEvent::Op op) noexcept {
@@ -79,6 +81,15 @@ void RunContext::abort_all() {
   for (auto& [key, entry] : registry) entry.second->abort();
 }
 
+std::byte* scratch_buffer(std::size_t slot, std::size_t bytes) {
+  constexpr std::size_t kSlots = 4;
+  thread_local std::array<std::vector<std::byte>, kSlots> arenas;
+  PAC_CHECK(slot < kSlots);
+  std::vector<std::byte>& arena = arenas[slot];
+  if (arena.size() < bytes) arena.resize(bytes);
+  return arena.data();
+}
+
 }  // namespace detail
 
 double RunStats::max_compute() const {
@@ -126,8 +137,41 @@ void Comm::run_collective(net::CollectiveKind kind, std::size_t bytes,
   }
 }
 
+const char* Comm::backend_name() const noexcept {
+  return transport_ != nullptr ? transport_->name() : "in-process";
+}
+
 void Comm::deliver(int dest_group_rank, int tag, const void* bytes,
                    std::size_t nbytes) {
+  if (distributed_) {
+    const double start = dist_op_begin();
+    Message msg;
+    msg.context = context_;
+    msg.source = state_->world_rank;
+    msg.tag = tag;
+    msg.send_time = start;
+    msg.payload.resize(nbytes);
+    if (nbytes > 0) std::memcpy(msg.payload.data(), bytes, nbytes);
+    transport_->send(group_[dest_group_rank], std::move(msg));
+    dist_op_end(start);
+    ++state_->messages_sent;
+    state_->bytes_sent += nbytes;
+    if constexpr (trace::compiled_in()) {
+      if (trace::Recorder* rec = state_->recorder.get()) {
+        state_->mp.send_calls->add(1);
+        state_->mp.send_bytes->add(nbytes);
+        state_->mp.send_seconds->observe(state_->clock - start);
+        rec->record_span("mp", "send", start, state_->clock);
+      }
+    }
+    if (trace_) {
+      state_->trace.push_back(
+          TraceEvent{state_->world_rank, TraceEvent::Op::kSend,
+                     net::CollectiveKind::kBarrier, nbytes, start,
+                     state_->clock});
+    }
+    return;
+  }
   // Charge the sender-side software overhead before the message departs.
   const double overhead = network_->send_overhead();
   state_->clock += overhead;
@@ -155,7 +199,7 @@ void Comm::deliver(int dest_group_rank, int tag, const void* bytes,
                    net::CollectiveKind::kBarrier, nbytes,
                    state_->clock - overhead, state_->clock});
   }
-  world_->mailbox(group_[dest_group_rank]).push(std::move(msg));
+  transport_->send(group_[dest_group_rank], std::move(msg));
 }
 
 Status Comm::absorb(Message&& msg, void* buffer, std::size_t capacity) {
@@ -163,6 +207,32 @@ Status Comm::absorb(Message&& msg, void* buffer, std::size_t capacity) {
                   "recv buffer too small: " << capacity
                                             << " bytes < message of "
                                             << msg.payload.size());
+  if (distributed_) {
+    const double start = dist_op_begin();
+    if (!msg.payload.empty())
+      std::memcpy(buffer, msg.payload.data(), msg.payload.size());
+    dist_op_end(start);
+    Status st;
+    for (std::size_t r = 0; r < group_.size(); ++r)
+      if (group_[r] == msg.source) st.source = static_cast<int>(r);
+    st.tag = msg.tag;
+    st.bytes = msg.payload.size();
+    if constexpr (trace::compiled_in()) {
+      if (trace::Recorder* rec = state_->recorder.get()) {
+        state_->mp.recv_calls->add(1);
+        state_->mp.recv_bytes->add(msg.payload.size());
+        state_->mp.recv_seconds->observe(state_->clock - start);
+        rec->record_span("mp", "recv", start, state_->clock);
+      }
+    }
+    if (trace_) {
+      state_->trace.push_back(
+          TraceEvent{state_->world_rank, TraceEvent::Op::kRecv,
+                     net::CollectiveKind::kBarrier, msg.payload.size(), start,
+                     state_->clock});
+    }
+    return st;
+  }
   const double recv_start = state_->clock;
   if (!msg.payload.empty())
     std::memcpy(buffer, msg.payload.data(), msg.payload.size());
@@ -201,9 +271,9 @@ Status Comm::absorb(Message&& msg, void* buffer, std::size_t capacity) {
 
 Status Comm::recv_bytes(int source, int tag, void* buffer,
                         std::size_t capacity) {
+  if (distributed_) return dist_recv_bytes(source, tag, buffer, capacity);
   const int world_source = source == kAnySource ? kAnySource : group_[source];
-  Message msg =
-      world_->mailbox(state_->world_rank).pop(context_, world_source, tag);
+  Message msg = transport_->recv(context_, world_source, tag);
   return absorb(std::move(msg), buffer, capacity);
 }
 
@@ -234,8 +304,7 @@ bool Comm::test(Request& request) {
                                ? kAnySource
                                : group_[request.source_];
   Message msg;
-  if (!world_->mailbox(state_->world_rank)
-           .try_pop(context_, world_source, request.tag_, msg))
+  if (!transport_->try_recv(context_, world_source, request.tag_, msg))
     return false;
   request.status_ =
       absorb(std::move(msg), request.buffer_, request.capacity_);
@@ -249,9 +318,16 @@ Status Comm::probe(int source, int tag) {
   const int world_source = source == kAnySource ? kAnySource : group_[source];
   int matched_source = 0, matched_tag = 0;
   std::size_t matched_bytes = 0;
-  world_->mailbox(state_->world_rank)
-      .peek(context_, world_source, tag, matched_source, matched_tag,
-            matched_bytes);
+  if (distributed_) {
+    // Blocked-probe time is communication time on the wall clock.
+    const double start = dist_op_begin();
+    transport_->peek(context_, world_source, tag, matched_source, matched_tag,
+                     matched_bytes);
+    dist_op_end(start);
+  } else {
+    transport_->peek(context_, world_source, tag, matched_source, matched_tag,
+                     matched_bytes);
+  }
   Status st;
   for (std::size_t r = 0; r < group_.size(); ++r)
     if (group_[r] == matched_source) st.source = static_cast<int>(r);
@@ -266,9 +342,8 @@ bool Comm::iprobe(int source, int tag, Status& status) {
   const int world_source = source == kAnySource ? kAnySource : group_[source];
   int matched_source = 0, matched_tag = 0;
   std::size_t matched_bytes = 0;
-  if (!world_->mailbox(state_->world_rank)
-           .try_peek(context_, world_source, tag, matched_source,
-                     matched_tag, matched_bytes))
+  if (!transport_->try_peek(context_, world_source, tag, matched_source,
+                            matched_tag, matched_bytes))
     return false;
   for (std::size_t r = 0; r < group_.size(); ++r)
     if (group_[r] == matched_source) status.source = static_cast<int>(r);
@@ -279,6 +354,10 @@ bool Comm::iprobe(int source, int tag, Status& status) {
 
 void Comm::barrier() {
   PAC_REQUIRE(valid());
+  if (distributed_) {
+    dist_barrier();
+    return;
+  }
   run_collective(net::CollectiveKind::kBarrier, 0, nullptr, nullptr, FoldFn{});
 }
 
@@ -310,6 +389,9 @@ Comm Comm::split(int color, int key) {
   sub.state_ = state_;
   sub.network_ = network_;
   sub.costs_ = costs_;
+  sub.transport_ = transport_;
+  sub.time_ = time_;
+  sub.distributed_ = distributed_;
   sub.kahan_ = kahan_;
   sub.trace_ = trace_;
   sub.group_.reserve(members.size());
@@ -317,6 +399,21 @@ Comm Comm::split(int color, int key) {
     sub.group_.push_back(group_[members[i].rank]);
     if (members[i].rank == group_rank_)
       sub.group_rank_ = static_cast<int>(i);
+  }
+  if (distributed_) {
+    // No cross-process registry exists, so every member derives the same
+    // context deterministically from (parent context, split seq, color).
+    // The result stays below 1 << 28: the collective plane (coll_context)
+    // lives above that offset and must not collide with user contexts.
+    std::uint32_t h = 0x9e3779b9u;
+    for (std::uint32_t v : {static_cast<std::uint32_t>(context_),
+                            static_cast<std::uint32_t>(seq),
+                            static_cast<std::uint32_t>(color)})
+      h ^= v + 0x9e3779b9u + (h << 6) + (h >> 2);
+    int derived = static_cast<int>(h & ((1u << 28) - 1));
+    if (derived == 0) derived = 1;  // 0 is the world context
+    sub.context_ = derived;
+    return sub;
   }
   auto [context, engine] = run_->engine_for(
       context_, seq, color, static_cast<int>(members.size()));

@@ -24,6 +24,7 @@
 
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -37,6 +38,7 @@
 #include "mp/engine.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/status.hpp"
+#include "mp/transport/time_source.hpp"
 #include "net/machine.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
@@ -44,6 +46,11 @@
 #include "util/trace.hpp"
 
 namespace pac::mp {
+
+namespace transport {
+class Transport;
+class SocketTransport;
+}  // namespace transport
 
 using net::kNumCollectiveKinds;
 
@@ -165,6 +172,27 @@ T apply_op(ReduceOp op, T a, T b) noexcept {
   return a;
 }
 
+/// Type-erased elementwise reduction used by the distributed (socket)
+/// collectives: fold `n` elements of `src` into `acc` with `op`.  One
+/// instantiation per element type, selected by the Comm templates.
+using CombineFn = void (*)(ReduceOp, void* acc, const void* src,
+                           std::size_t n);
+
+template <class T>
+void combine_elems(ReduceOp op, void* acc, const void* src,
+                   std::size_t n) noexcept {
+  T* a = static_cast<T*>(acc);
+  const T* s = static_cast<const T*>(src);
+  for (std::size_t i = 0; i < n; ++i) a[i] = apply_op(op, a[i], s[i]);
+}
+
+/// Thread-local grow-only scratch arenas.  The EM hot path runs thousands
+/// of small allreduces per search; collective folds and the distributed
+/// staging buffers borrow these instead of allocating per call.  Slots let
+/// one operation use several disjoint buffers; alignment is operator-new's
+/// (sufficient for every trivially copyable element type minimpi moves).
+std::byte* scratch_buffer(std::size_t slot, std::size_t bytes);
+
 }  // namespace detail
 
 /// Per-run statistics, the raw material for speedup/scaleup tables.
@@ -216,14 +244,29 @@ class Comm {
   /// World rank of this rank (stable across splits).
   int world_rank() const noexcept { return state_->world_rank; }
 
-  /// Current virtual time of this rank (seconds).
-  double now() const noexcept { return state_->clock; }
-  /// Advance the virtual clock by a modeled compute duration.
+  /// Current time of this rank (seconds): virtual on the modeled backend,
+  /// wall-clock since world formation on the socket backend.
+  double now() const noexcept {
+    return distributed_ ? time_->now() : state_->clock;
+  }
+  /// Advance the virtual clock by a modeled compute duration.  On the
+  /// distributed (wall-clock) backend this is a no-op: real time advances
+  /// by itself, and compute time is measured as the gaps between
+  /// communication operations instead.
   void charge(double seconds) {
     PAC_REQUIRE(seconds >= 0.0);
+    if (distributed_) return;
     state_->clock += seconds;
     state_->compute_time += seconds;
   }
+
+  /// True when this communicator runs on a multi-process transport (socket
+  /// backend): every rank is an OS process and time is wall-clock.  False
+  /// on the default modeled (in-process, virtual-time) backend.
+  bool distributed() const noexcept { return distributed_; }
+
+  /// Transport backend name ("in-process", "socket").
+  const char* backend_name() const noexcept;
 
   const net::NetworkModel& network() const noexcept { return *network_; }
   const net::CostBook& costs() const noexcept { return *costs_; }
@@ -413,6 +456,51 @@ class Comm {
   /// modeled transfer, and build the Status.
   Status absorb(Message&& msg, void* buffer, std::size_t capacity);
 
+  // ---- distributed (socket-backend) engine: collectives layered on
+  //      pt2pt frames over a private context (comm_dist.cpp) ----
+
+  /// Context reserved for this comm's internal collective traffic, so user
+  /// wildcard receives/probes never observe collective frames.
+  int coll_context() const noexcept { return context_ + (1 << 28); }
+
+  /// Mark an operation boundary: credit the wall-clock gap since the last
+  /// boundary as compute time and return the operation start time.
+  double dist_op_begin();
+  /// Close a pt2pt operation: elapsed wall time is communication time.
+  void dist_op_end(double start);
+  /// Close a collective: bookkeeping + metrics/trace for `kind`.
+  void dist_coll_end(net::CollectiveKind kind, std::size_t bytes,
+                     double start);
+
+  /// Raw collective-plane frame helpers (no per-message metrics: the
+  /// enclosing collective records itself, matching the modeled backend).
+  void dist_send_raw(int dest_group_rank, int tag, const void* bytes,
+                     std::size_t nbytes);
+  void dist_recv_raw(int source_group_rank, int tag, void* buffer,
+                     std::size_t nbytes);
+
+  Status dist_recv_bytes(int source, int tag, void* buffer,
+                         std::size_t capacity);
+
+  void dist_barrier();
+  void dist_broadcast(void* data, std::size_t nbytes, int root);
+  void dist_reduce(const void* in, void* out, std::size_t nbytes,
+                   ReduceOp op, detail::CombineFn combine,
+                   std::size_t elem_size, int root, bool kahan);
+  void dist_allreduce(const void* in, void* out, std::size_t nbytes,
+                      ReduceOp op, detail::CombineFn combine,
+                      std::size_t elem_size, bool kahan);
+  void dist_gather(const void* in, void* out, std::size_t nbytes, int root);
+  void dist_allgather(const void* in, void* out, std::size_t nbytes);
+  void dist_scatter(const void* in, void* out, std::size_t nbytes, int root);
+  void dist_scan(const void* in, void* out, std::size_t nbytes, ReduceOp op,
+                 detail::CombineFn combine, std::size_t elem_size,
+                 bool exclusive);
+  void dist_alltoall(const void* in, void* out, std::size_t block_bytes);
+  void dist_reduce_scatter(const void* in, void* out,
+                           std::size_t block_bytes, ReduceOp op,
+                           detail::CombineFn combine, std::size_t elem_size);
+
   World* world_ = nullptr;
   detail::RunContext* run_ = nullptr;
   detail::RankState* state_ = nullptr;
@@ -420,18 +508,28 @@ class Comm {
   std::shared_ptr<CollectiveEngine> engine_owner_;  // for split comms
   const net::NetworkModel* network_ = nullptr;
   const net::CostBook* costs_ = nullptr;
+  transport::Transport* transport_ = nullptr;
+  transport::TimeSource* time_ = nullptr;  // wall clock (socket backend)
   std::vector<int> group_;  // group rank -> world rank
   int group_rank_ = 0;
   int context_ = 0;
   int split_seq_ = 0;  // per-comm counter for deterministic split keys
+  std::uint32_t coll_seq_ = 0;  // tag counter for distributed collectives
   bool kahan_ = false;
   bool trace_ = false;
+  bool distributed_ = false;
 };
 
 /// A modeled multicomputer running SPMD jobs.
 class World {
  public:
   struct Config {
+    /// Message-passing backend.  kInProcess is the default modeled runtime
+    /// (ranks as threads, virtual time, deterministic); kSocket runs this
+    /// process as ONE rank of a multi-process world over real sockets
+    /// (wall-clock time) — see src/mp/transport/.
+    enum class Backend { kInProcess, kSocket };
+
     int num_ranks = 1;
     net::Machine machine = net::ideal_machine();
     /// Use compensated summation in floating-point sum reductions.
@@ -445,12 +543,27 @@ class World {
     bool instrument = trace::env_enabled();
     /// Per-rank event-ring capacity when instrumenting.
     std::size_t instrument_ring = trace::EventRing::kDefaultCapacity;
+
+    Backend backend = Backend::kInProcess;
+    /// Socket-backend parameters; normally filled from the pac_launch
+    /// environment by transport::apply_env_backend().  With kSocket,
+    /// num_ranks must equal socket.size (this process is rank socket.rank).
+    struct Socket {
+      std::string address;  // rendezvous: "unix:/path" or "host:port"
+      int rank = -1;
+      int size = 0;
+      double connect_timeout = 30.0;  // seconds to retry the rendezvous
+    } socket;
   };
 
   explicit World(Config config);
+  ~World();
 
   /// Run `fn` as rank 0..P-1 concurrently; blocks until all finish.
   /// If any rank throws, the world is aborted and the first error rethrown.
+  /// On the socket backend this process executes only its own rank, and the
+  /// call blocks until every rank of the distributed world reaches the
+  /// final stats exchange.
   RunStats run(const std::function<void(Comm&)>& fn);
 
   const Config& config() const noexcept { return config_; }
@@ -461,8 +574,14 @@ class World {
 
   Mailbox& mailbox(int world_rank) { return *mailboxes_[world_rank]; }
 
+  RunStats run_modeled(const std::function<void(Comm&)>& fn);
+  RunStats run_distributed(const std::function<void(Comm&)>& fn);
+
   Config config_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  /// Lazily-formed socket world, reused across run() calls (world formation
+  /// is a heavyweight rendezvous; tests run several searches per process).
+  std::unique_ptr<transport::SocketTransport> socket_transport_;
 };
 
 // ---- template implementations ----
@@ -493,6 +612,10 @@ void Comm::broadcast(std::span<T> data, int root) {
   PAC_REQUIRE(valid());
   PAC_REQUIRE(root >= 0 && root < size());
   const std::size_t n = data.size();
+  if (distributed_) {
+    dist_broadcast(data.data(), n * sizeof(T), root);
+    return;
+  }
   const int p = size();
   auto fold = [n, root, p](std::span<const CollectiveSlot> slots) {
     const void* src = slots[root].in;
@@ -513,16 +636,19 @@ void Comm::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
   PAC_REQUIRE(root >= 0 && root < size());
   if (rank() == root) PAC_REQUIRE(out.size() == in.size());
   const std::size_t n = in.size();
+  if (distributed_) {
+    dist_reduce(in.data(), rank() == root ? out.data() : nullptr,
+                n * sizeof(T), op, &detail::combine_elems<T>, sizeof(T),
+                root, /*kahan=*/false);
+    return;
+  }
   const int p = size();
   auto fold = [n, op, root, p](std::span<const CollectiveSlot> slots) {
-    std::vector<T> tmp(n);
-    std::memcpy(tmp.data(), slots[0].in, n * sizeof(T));
-    for (int r = 1; r < p; ++r) {
-      const T* src = static_cast<const T*>(slots[r].in);
-      for (std::size_t i = 0; i < n; ++i)
-        tmp[i] = detail::apply_op(op, tmp[i], src[i]);
-    }
-    std::memcpy(slots[root].out, tmp.data(), n * sizeof(T));
+    T* tmp = reinterpret_cast<T*>(detail::scratch_buffer(0, n * sizeof(T)));
+    std::memcpy(tmp, slots[0].in, n * sizeof(T));
+    for (int r = 1; r < p; ++r)
+      detail::combine_elems<T>(op, tmp, slots[r].in, n);
+    std::memcpy(slots[root].out, tmp, n * sizeof(T));
   };
   run_collective(net::CollectiveKind::kReduce, n * sizeof(T), in.data(),
                  rank() == root ? out.data() : nullptr, fold);
@@ -537,8 +663,13 @@ void Comm::allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
   const int p = size();
   const bool kahan =
       kahan_ && op == ReduceOp::kSum && std::is_same_v<T, double>;
+  if (distributed_) {
+    dist_allreduce(in.data(), out.data(), n * sizeof(T), op,
+                   &detail::combine_elems<T>, sizeof(T), kahan);
+    return;
+  }
   auto fold = [n, op, p, kahan](std::span<const CollectiveSlot> slots) {
-    std::vector<T> tmp(n);
+    T* tmp = reinterpret_cast<T*>(detail::scratch_buffer(0, n * sizeof(T)));
     if (kahan) {
       // Compensated rank-ordered fold (double sums only).
       for (std::size_t i = 0; i < n; ++i) {
@@ -548,15 +679,12 @@ void Comm::allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
         tmp[i] = static_cast<T>(k.value());
       }
     } else {
-      std::memcpy(tmp.data(), slots[0].in, n * sizeof(T));
-      for (int r = 1; r < p; ++r) {
-        const T* src = static_cast<const T*>(slots[r].in);
-        for (std::size_t i = 0; i < n; ++i)
-          tmp[i] = detail::apply_op(op, tmp[i], src[i]);
-      }
+      std::memcpy(tmp, slots[0].in, n * sizeof(T));
+      for (int r = 1; r < p; ++r)
+        detail::combine_elems<T>(op, tmp, slots[r].in, n);
     }
     for (int r = 0; r < p; ++r)
-      std::memcpy(slots[r].out, tmp.data(), n * sizeof(T));
+      std::memcpy(slots[r].out, tmp, n * sizeof(T));
   };
   run_collective(net::CollectiveKind::kAllreduce, n * sizeof(T), in.data(),
                  out.data(), fold);
@@ -571,6 +699,11 @@ void Comm::gather(std::span<const T> in, std::span<T> out, int root) {
   const int p = size();
   if (rank() == root)
     PAC_REQUIRE(out.size() == n * static_cast<std::size_t>(p));
+  if (distributed_) {
+    dist_gather(in.data(), rank() == root ? out.data() : nullptr,
+                n * sizeof(T), root);
+    return;
+  }
   auto fold = [n, root, p](std::span<const CollectiveSlot> slots) {
     T* dst = static_cast<T*>(slots[root].out);
     for (int r = 0; r < p; ++r)
@@ -588,6 +721,10 @@ void Comm::allgather(std::span<const T> in, std::span<T> out) {
   const std::size_t n = in.size();
   const int p = size();
   PAC_REQUIRE(out.size() == n * static_cast<std::size_t>(p));
+  if (distributed_) {
+    dist_allgather(in.data(), out.data(), n * sizeof(T));
+    return;
+  }
   auto fold = [n, p](std::span<const CollectiveSlot> slots) {
     for (int d = 0; d < p; ++d) {
       T* dst = static_cast<T*>(slots[d].out);
@@ -609,6 +746,11 @@ void Comm::scatter(std::span<const T> in, std::span<T> out, int root) {
   const int p = size();
   if (rank() == root)
     PAC_REQUIRE(in.size() == n * static_cast<std::size_t>(p));
+  if (distributed_) {
+    dist_scatter(rank() == root ? in.data() : nullptr, out.data(),
+                 n * sizeof(T), root);
+    return;
+  }
   auto fold = [n, root, p](std::span<const CollectiveSlot> slots) {
     const T* src = static_cast<const T*>(slots[root].in);
     for (int r = 0; r < p; ++r)
@@ -625,16 +767,20 @@ void Comm::scan(std::span<const T> in, std::span<T> out, ReduceOp op) {
   PAC_REQUIRE(valid());
   PAC_REQUIRE(out.size() == in.size());
   const std::size_t n = in.size();
+  if (distributed_) {
+    dist_scan(in.data(), out.data(), n * sizeof(T), op,
+              &detail::combine_elems<T>, sizeof(T), /*exclusive=*/false);
+    return;
+  }
   const int p = size();
   auto fold = [n, op, p](std::span<const CollectiveSlot> slots) {
-    std::vector<T> running(n);
-    std::memcpy(running.data(), slots[0].in, n * sizeof(T));
-    std::memcpy(slots[0].out, running.data(), n * sizeof(T));
+    T* running =
+        reinterpret_cast<T*>(detail::scratch_buffer(0, n * sizeof(T)));
+    std::memcpy(running, slots[0].in, n * sizeof(T));
+    std::memcpy(slots[0].out, running, n * sizeof(T));
     for (int r = 1; r < p; ++r) {
-      const T* src = static_cast<const T*>(slots[r].in);
-      for (std::size_t i = 0; i < n; ++i)
-        running[i] = detail::apply_op(op, running[i], src[i]);
-      std::memcpy(slots[r].out, running.data(), n * sizeof(T));
+      detail::combine_elems<T>(op, running, slots[r].in, n);
+      std::memcpy(slots[r].out, running, n * sizeof(T));
     }
   };
   run_collective(net::CollectiveKind::kScan, n * sizeof(T), in.data(),
@@ -649,6 +795,10 @@ void Comm::alltoall(std::span<const T> in, std::span<T> out,
   const int p = size();
   PAC_REQUIRE(in.size() == block * static_cast<std::size_t>(p));
   PAC_REQUIRE(out.size() == block * static_cast<std::size_t>(p));
+  if (distributed_) {
+    dist_alltoall(in.data(), out.data(), block * sizeof(T));
+    return;
+  }
   auto fold = [block, p](std::span<const CollectiveSlot> slots) {
     for (int d = 0; d < p; ++d) {
       T* dst = static_cast<T*>(slots[d].out);
@@ -672,16 +822,20 @@ void Comm::reduce_scatter(std::span<const T> in, std::span<T> out,
   const int p = size();
   const std::size_t block = out.size();
   PAC_REQUIRE(in.size() == block * static_cast<std::size_t>(p));
+  if (distributed_) {
+    dist_reduce_scatter(in.data(), out.data(), block * sizeof(T), op,
+                        &detail::combine_elems<T>, sizeof(T));
+    return;
+  }
   auto fold = [block, op, p](std::span<const CollectiveSlot> slots) {
-    std::vector<T> tmp(block * static_cast<std::size_t>(p));
-    std::memcpy(tmp.data(), slots[0].in, tmp.size() * sizeof(T));
-    for (int r = 1; r < p; ++r) {
-      const T* src = static_cast<const T*>(slots[r].in);
-      for (std::size_t i = 0; i < tmp.size(); ++i)
-        tmp[i] = detail::apply_op(op, tmp[i], src[i]);
-    }
+    const std::size_t total = block * static_cast<std::size_t>(p);
+    T* tmp =
+        reinterpret_cast<T*>(detail::scratch_buffer(0, total * sizeof(T)));
+    std::memcpy(tmp, slots[0].in, total * sizeof(T));
+    for (int r = 1; r < p; ++r)
+      detail::combine_elems<T>(op, tmp, slots[r].in, total);
     for (int r = 0; r < p; ++r)
-      std::memcpy(slots[r].out, tmp.data() + static_cast<std::size_t>(r) * block,
+      std::memcpy(slots[r].out, tmp + static_cast<std::size_t>(r) * block,
                   block * sizeof(T));
   };
   run_collective(net::CollectiveKind::kReduceScatter, block * sizeof(T),
@@ -694,17 +848,24 @@ void Comm::exscan(std::span<const T> in, std::span<T> out, ReduceOp op) {
   PAC_REQUIRE(valid());
   PAC_REQUIRE(out.size() == in.size());
   const std::size_t n = in.size();
+  if (distributed_) {
+    dist_scan(in.data(), out.data(), n * sizeof(T), op,
+              &detail::combine_elems<T>, sizeof(T), /*exclusive=*/true);
+    return;
+  }
   const int p = size();
   auto fold = [n, op, p](std::span<const CollectiveSlot> slots) {
-    std::vector<T> running(n), contribution(n);
-    std::memcpy(running.data(), slots[0].in, n * sizeof(T));
+    T* running =
+        reinterpret_cast<T*>(detail::scratch_buffer(0, n * sizeof(T)));
+    T* contribution =
+        reinterpret_cast<T*>(detail::scratch_buffer(1, n * sizeof(T)));
+    std::memcpy(running, slots[0].in, n * sizeof(T));
     // Rank 0's output is left untouched by MPI_Exscan semantics.
     for (int r = 1; r < p; ++r) {
       // Read the contribution before writing: in/out may alias in-place.
-      std::memcpy(contribution.data(), slots[r].in, n * sizeof(T));
-      std::memcpy(slots[r].out, running.data(), n * sizeof(T));
-      for (std::size_t i = 0; i < n; ++i)
-        running[i] = detail::apply_op(op, running[i], contribution[i]);
+      std::memcpy(contribution, slots[r].in, n * sizeof(T));
+      std::memcpy(slots[r].out, running, n * sizeof(T));
+      detail::combine_elems<T>(op, running, contribution, n);
     }
   };
   run_collective(net::CollectiveKind::kExscan, n * sizeof(T), in.data(),

@@ -1,8 +1,28 @@
 #include "mp/mailbox.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace pac::mp {
+
+void Mailbox::throw_starved(int source, int tag) const {
+  std::ostringstream os;
+  if (!failure_reason_.empty()) {
+    os << "transport failed: " << failure_reason_;
+  } else if (source != kAnySource) {
+    os << "rank " << source << " closed its connection while a receive";
+    if (tag == kAnyTag)
+      os << " (tag=any)";
+    else
+      os << " (tag=" << tag << ")";
+    os << " from it was pending";
+  } else {
+    os << "every peer closed its connection while a wildcard receive";
+    if (tag != kAnyTag) os << " (tag=" << tag << ")";
+    os << " was pending";
+  }
+  throw TransportError(os.str());
+}
 
 void Mailbox::push(Message msg) {
   {
@@ -25,6 +45,7 @@ Message Mailbox::pop(int context, int source, int tag) {
       queue_.erase(it);
       return out;
     }
+    if (starved(source)) throw_starved(source, tag);
     cv_.wait(lock);
   }
 }
@@ -35,7 +56,10 @@ bool Mailbox::try_pop(int context, int source, int tag, Message& out) {
   const auto it = std::find_if(
       queue_.begin(), queue_.end(),
       [&](const Message& m) { return matches(m, context, source, tag); });
-  if (it == queue_.end()) return false;
+  if (it == queue_.end()) {
+    if (starved(source)) throw_starved(source, tag);
+    return false;
+  }
   out = std::move(*it);
   queue_.erase(it);
   return true;
@@ -56,6 +80,7 @@ void Mailbox::peek(int context, int source, int tag, int& matched_source,
       matched_bytes = it->payload.size();
       return;
     }
+    if (starved(source)) throw_starved(source, tag);
     cv_.wait(lock);
   }
 }
@@ -67,7 +92,10 @@ bool Mailbox::try_peek(int context, int source, int tag, int& matched_source,
   const auto it = std::find_if(
       queue_.begin(), queue_.end(),
       [&](const Message& m) { return matches(m, context, source, tag); });
-  if (it == queue_.end()) return false;
+  if (it == queue_.end()) {
+    if (starved(source)) throw_starved(source, tag);
+    return false;
+  }
   matched_source = it->source;
   matched_tag = it->tag;
   matched_bytes = it->payload.size();
@@ -91,6 +119,29 @@ void Mailbox::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   queue_.clear();
   aborted_ = false;
+  closed_sources_.clear();
+  failure_reason_.clear();
+}
+
+void Mailbox::set_expected_sources(int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expected_sources_ = n;
+}
+
+void Mailbox::mark_source_closed(int source) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_sources_.insert(source);
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::fail(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (failure_reason_.empty()) failure_reason_ = reason;
+  }
+  cv_.notify_all();
 }
 
 }  // namespace pac::mp

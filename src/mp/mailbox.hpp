@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "mp/status.hpp"
@@ -59,6 +61,23 @@ class Mailbox {
   /// Clear queue and abort flag (between World runs).
   void reset();
 
+  // ---- transport failure awareness (used by the socket backend; the
+  //      in-process path never calls these, so its behavior is unchanged) --
+
+  /// Declare how many distinct sources can feed this mailbox (world size).
+  /// Enables the all-sources-closed diagnosis for wildcard receives.
+  void set_expected_sources(int n);
+
+  /// Record that `source` can never deliver again (its stream reached a
+  /// clean shutdown or died).  A blocked pop/peek waiting specifically on
+  /// that source — or a wildcard wait once every source is closed — throws
+  /// TransportError instead of hanging forever.
+  void mark_source_closed(int source);
+
+  /// Hard transport failure (short read, protocol violation, reset): every
+  /// current and future blocking call throws TransportError(reason).
+  void fail(const std::string& reason);
+
  private:
   bool matches(const Message& m, int context, int source, int tag) const {
     return m.context == context &&
@@ -66,10 +85,27 @@ class Mailbox {
            (tag == kAnyTag || m.tag == tag);
   }
 
+  /// True when a wait matching (source, tag) can never be satisfied again:
+  /// the named source is closed (or, for wildcard waits, every source is).
+  /// Caller holds mutex_.
+  bool starved(int source) const {
+    if (!failure_reason_.empty()) return true;
+    if (source != kAnySource) return closed_sources_.count(source) > 0;
+    return expected_sources_ > 0 &&
+           static_cast<int>(closed_sources_.size()) >= expected_sources_;
+  }
+
+  /// Caller holds mutex_.  Throws the appropriate typed error for a wait
+  /// that can never complete.
+  [[noreturn]] void throw_starved(int source, int tag) const;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool aborted_ = false;
+  int expected_sources_ = 0;
+  std::set<int> closed_sources_;
+  std::string failure_reason_;
 };
 
 }  // namespace pac::mp

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <exception>
 
+#include "util/error.hpp"
+
 namespace pac::mp {
 
 /// Wildcard source for recv (matches any sender), like MPI_ANY_SOURCE.
@@ -28,6 +30,17 @@ class Aborted : public std::exception {
   const char* what() const noexcept override {
     return "minimpi world aborted (another rank failed)";
   }
+};
+
+/// Typed error for everything that can go wrong on a real (multi-process)
+/// transport: connection refused during rendezvous, a peer rank dying
+/// mid-collective, a short read on a framed stream, a send into a closed
+/// socket.  Carries a human-readable diagnosis naming the rank(s) and,
+/// where known, the tag involved, so a failed collective is debuggable
+/// from the message alone.
+class TransportError : public pac::Error {
+ public:
+  explicit TransportError(const std::string& what) : pac::Error(what) {}
 };
 
 }  // namespace pac::mp

@@ -1,0 +1,54 @@
+#include "mp/transport/env.hpp"
+
+#include <cstdlib>
+
+#include "mp/status.hpp"
+
+namespace pac::mp::transport {
+
+namespace {
+
+const char* get_env(const char* name) { return std::getenv(name); }
+
+int int_env(const char* name) {
+  const char* v = get_env(name);
+  if (v == nullptr || *v == '\0')
+    throw TransportError(std::string("pacnet: required environment variable ") +
+                         name + " is not set (run under pac_launch)");
+  char* end = nullptr;
+  const long value = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0')
+    throw TransportError(std::string("pacnet: malformed ") + name + "='" + v +
+                         "'");
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+bool pacnet_launched() { return get_env("PACNET_RANK") != nullptr; }
+
+int pacnet_rank() { return int_env("PACNET_RANK"); }
+
+int pacnet_size() { return int_env("PACNET_SIZE"); }
+
+std::string pacnet_address() {
+  const char* v = get_env("PACNET_ADDR");
+  if (v == nullptr || *v == '\0')
+    throw TransportError(
+        "pacnet: PACNET_ADDR is not set (run under pac_launch)");
+  return v;
+}
+
+bool apply_env_backend(World::Config& config) {
+  if (!pacnet_launched()) return false;
+  config.backend = World::Config::Backend::kSocket;
+  config.socket.rank = pacnet_rank();
+  config.socket.size = pacnet_size();
+  config.socket.address = pacnet_address();
+  config.num_ranks = config.socket.size;
+  return true;
+}
+
+bool is_primary() { return !pacnet_launched() || pacnet_rank() == 0; }
+
+}  // namespace pac::mp::transport

@@ -1,0 +1,41 @@
+// pacnet environment contract between pac_launch and rank processes.
+//
+// The launcher runs N copies of a program with these variables set:
+//
+//   PACNET_RANK  — this process's world rank (0..N-1)
+//   PACNET_SIZE  — world size N
+//   PACNET_ADDR  — rendezvous address ("unix:/path" or "host:port")
+//
+// A program opts in by calling apply_env_backend(config) on its
+// World::Config before constructing the World: when the variables are
+// present the config is switched to the socket backend with the
+// environment's rank/size/address; otherwise the config is left untouched
+// (the default modeled backend).  is_primary() gates output so an
+// N-process run prints once.
+#pragma once
+
+#include <string>
+
+#include "mp/comm.hpp"
+
+namespace pac::mp::transport {
+
+/// True when this process was started by pac_launch (PACNET_RANK is set).
+bool pacnet_launched();
+
+/// Environment values; throw TransportError when malformed or missing
+/// while PACNET_RANK is set.
+int pacnet_rank();
+int pacnet_size();
+std::string pacnet_address();
+
+/// Switch `config` to the socket backend from the environment.  Returns
+/// true when applied (PACNET_RANK present), false when the environment
+/// requests no distributed run.
+bool apply_env_backend(World::Config& config);
+
+/// True when this process should produce user-facing output: either not a
+/// pacnet rank at all, or world rank 0.
+bool is_primary();
+
+}  // namespace pac::mp::transport

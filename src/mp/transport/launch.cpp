@@ -1,0 +1,152 @@
+#include "mp/transport/launch.hpp"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "mp/status.hpp"
+
+namespace pac::mp::transport {
+
+namespace {
+
+std::string describe_status(int wstatus) {
+  std::ostringstream os;
+  if (WIFEXITED(wstatus)) {
+    os << "exited with code " << WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    os << "killed by signal " << WTERMSIG(wstatus) << " ("
+       << strsignal(WTERMSIG(wstatus)) << ")";
+  } else {
+    os << "ended with raw status " << wstatus;
+  }
+  return os.str();
+}
+
+int shell_status(int wstatus) {
+  if (WIFEXITED(wstatus)) return WEXITSTATUS(wstatus);
+  if (WIFSIGNALED(wstatus)) return 128 + WTERMSIG(wstatus);
+  return 1;
+}
+
+}  // namespace
+
+LaunchResult launch(const std::vector<std::string>& command,
+                    const LaunchOptions& options) {
+  if (command.empty())
+    throw TransportError("pac_launch: no command to run");
+  if (options.nprocs < 1 || options.nprocs > 1024)
+    throw TransportError("pac_launch: nprocs must be in [1, 1024], got " +
+                         std::to_string(options.nprocs));
+
+  std::string address = options.address;
+  bool generated_unix = false;
+  if (address.empty()) {
+    address = "unix:/tmp/pacnet." + std::to_string(::getpid()) + ".sock";
+    generated_unix = true;
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(command.size() + 1);
+  for (const std::string& a : command)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  std::map<pid_t, int> rank_of;
+  for (int rank = 0; rank < options.nprocs; ++rank) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Can't start the world: kill what we already started.
+      for (const auto& [started, r] : rank_of) ::kill(started, SIGKILL);
+      for (const auto& [started, r] : rank_of)
+        ::waitpid(started, nullptr, 0);
+      throw TransportError("pac_launch: fork failed: " +
+                           std::string(strerror(errno)));
+    }
+    if (pid == 0) {
+      ::setenv("PACNET_RANK", std::to_string(rank).c_str(), 1);
+      ::setenv("PACNET_SIZE", std::to_string(options.nprocs).c_str(), 1);
+      ::setenv("PACNET_ADDR", address.c_str(), 1);
+      for (const auto& [name, value] : options.extra_env)
+        ::setenv(name.c_str(), value.c_str(), 1);
+      ::execvp(argv[0], argv.data());
+      std::fprintf(stderr, "pac_launch: rank %d: cannot exec '%s': %s\n",
+                   rank, argv[0], strerror(errno));
+      ::_exit(127);
+    }
+    rank_of.emplace(pid, rank);
+  }
+
+  LaunchResult result;
+  // Phase 1: wait until every rank exits or the first failure appears.
+  while (!rank_of.empty() && result.failed_rank < 0) {
+    int wstatus = 0;
+    const pid_t pid = ::waitpid(-1, &wstatus, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("pac_launch: waitpid failed: " +
+                           std::string(strerror(errno)));
+    }
+    const auto it = rank_of.find(pid);
+    if (it == rank_of.end()) continue;  // not ours
+    const int rank = it->second;
+    rank_of.erase(it);
+    if (shell_status(wstatus) != 0) {
+      result.failed_rank = rank;
+      result.exit_status = shell_status(wstatus);
+      result.diagnosis =
+          "rank " + std::to_string(rank) + " " + describe_status(wstatus);
+      if (options.verbose)
+        std::fprintf(stderr, "pac_launch: %s\n", result.diagnosis.c_str());
+    }
+  }
+
+  // Phase 2: a rank failed — terminate the stragglers (SIGTERM, then
+  // SIGKILL after the grace period) so nobody hangs on a broken world.
+  if (result.failed_rank >= 0 && !rank_of.empty()) {
+    if (options.verbose)
+      std::fprintf(stderr,
+                   "pac_launch: terminating %zu remaining rank(s)\n",
+                   rank_of.size());
+    for (const auto& [pid, rank] : rank_of) ::kill(pid, SIGTERM);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options.kill_grace));
+    bool killed = false;
+    while (!rank_of.empty()) {
+      int wstatus = 0;
+      const pid_t pid = ::waitpid(-1, &wstatus, WNOHANG);
+      if (pid > 0) {
+        rank_of.erase(pid);
+        continue;
+      }
+      if (pid < 0 && errno != EINTR && errno != ECHILD) break;
+      if (!killed && std::chrono::steady_clock::now() >= deadline) {
+        for (const auto& [straggler, rank] : rank_of)
+          ::kill(straggler, SIGKILL);
+        killed = true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  if (generated_unix) {
+    // Best-effort cleanup of the rendezvous socket if rank 0 died before
+    // unlinking it itself.
+    ::unlink(address.c_str() + 5 /* strip "unix:" */);
+  }
+  return result;
+}
+
+}  // namespace pac::mp::transport

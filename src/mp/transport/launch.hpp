@@ -1,0 +1,47 @@
+// pac_launch core: fork/exec N rank processes and supervise them.
+//
+// launch() starts `command` N times with PACNET_RANK/PACNET_SIZE/
+// PACNET_ADDR set (see env.hpp), then waits for all ranks:
+//
+//   * every rank exits 0            -> returns 0;
+//   * a rank exits nonzero or dies
+//     on a signal                   -> the remaining ranks are sent
+//     SIGTERM, escalated to SIGKILL after a grace period, and the first
+//     failing rank's status is returned (128+signo for signal deaths);
+//
+// so a distributed run behaves like one process from the shell's point of
+// view.  Launcher-level problems (exec failure, fork failure, bad options)
+// throw TransportError rather than abort.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pac::mp::transport {
+
+struct LaunchOptions {
+  int nprocs = 1;
+  /// Rendezvous address.  Empty: a fresh "unix:/tmp/pacnet.<pid>.sock" is
+  /// generated (and unlinked afterwards).
+  std::string address;
+  /// Seconds between SIGTERM and SIGKILL for stragglers after a failure.
+  double kill_grace = 5.0;
+  /// Extra environment (name, value) pairs exported to every rank.
+  std::vector<std::pair<std::string, std::string>> extra_env;
+  /// Print per-rank failure diagnostics to stderr.
+  bool verbose = true;
+};
+
+/// Result of a launch: the shell-style exit status plus which rank failed
+/// first (-1 when all succeeded).
+struct LaunchResult {
+  int exit_status = 0;
+  int failed_rank = -1;
+  std::string diagnosis;  // human-readable failure summary ("" on success)
+};
+
+LaunchResult launch(const std::vector<std::string>& command,
+                    const LaunchOptions& options);
+
+}  // namespace pac::mp::transport

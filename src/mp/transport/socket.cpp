@@ -1,0 +1,253 @@
+#include "mp/transport/socket.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "mp/status.hpp"
+
+namespace pac::mp::transport {
+
+namespace {
+
+[[noreturn]] void raise(const std::string& what) { throw TransportError(what); }
+
+std::string errno_text(int err) {
+  char buf[256] = {};
+  // GNU strerror_r may return a static string instead of filling buf.
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  strerror_r(err, buf, sizeof(buf));
+  return std::string(buf);
+#endif
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path))
+    raise("unix socket path too long (" + std::to_string(path.size()) +
+          " bytes): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Resolved TCP address list (RAII over getaddrinfo).
+struct AddrInfo {
+  addrinfo* head = nullptr;
+  ~AddrInfo() {
+    if (head != nullptr) freeaddrinfo(head);
+  }
+};
+
+void resolve_tcp(const Endpoint& ep, bool passive, AddrInfo& out) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  const int rc = getaddrinfo(ep.host.empty() ? nullptr : ep.host.c_str(),
+                             ep.port.c_str(), &hints, &out.head);
+  if (rc != 0)
+    raise("cannot resolve '" + to_string(ep) + "': " + gai_strerror(rc));
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& address) {
+  Endpoint ep;
+  if (address.rfind("unix:", 0) == 0) {
+    ep.is_unix = true;
+    ep.path = address.substr(5);
+    if (ep.path.empty()) raise("empty unix socket path in '" + address + "'");
+    return ep;
+  }
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == address.size())
+    raise("malformed transport address '" + address +
+          "' (want unix:/path or host:port)");
+  ep.host = address.substr(0, colon);
+  ep.port = address.substr(colon + 1);
+  return ep;
+}
+
+std::string to_string(const Endpoint& ep) {
+  return ep.is_unix ? "unix:" + ep.path : ep.host + ":" + ep.port;
+}
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Fd::~Fd() { close(); }
+
+void Fd::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_on(const Endpoint& ep, std::string& bound_address_out, int backlog) {
+  if (ep.is_unix) {
+    ::unlink(ep.path.c_str());  // stale socket from a crashed run
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+      raise("socket(AF_UNIX) failed: " + errno_text(errno));
+    const sockaddr_un addr = unix_sockaddr(ep.path);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      raise("bind '" + to_string(ep) + "' failed: " + errno_text(errno));
+    if (::listen(fd.get(), backlog) != 0)
+      raise("listen '" + to_string(ep) + "' failed: " + errno_text(errno));
+    bound_address_out = to_string(ep);
+    return fd;
+  }
+  AddrInfo ai;
+  resolve_tcp(ep, /*passive=*/true, ai);
+  std::string last_error = "no addresses resolved";
+  for (addrinfo* a = ai.head; a != nullptr; a = a->ai_next) {
+    Fd fd(::socket(a->ai_family, a->ai_socktype, a->ai_protocol));
+    if (!fd.valid()) {
+      last_error = "socket: " + errno_text(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd.get(), a->ai_addr, a->ai_addrlen) != 0) {
+      last_error = "bind: " + errno_text(errno);
+      continue;
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+      last_error = "listen: " + errno_text(errno);
+      continue;
+    }
+    // Recover the concrete port (the caller may have asked for :0).
+    sockaddr_storage bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0)
+      raise("getsockname failed: " + errno_text(errno));
+    char host[NI_MAXHOST] = {}, serv[NI_MAXSERV] = {};
+    if (::getnameinfo(reinterpret_cast<sockaddr*>(&bound), len, host,
+                      sizeof(host), serv, sizeof(serv),
+                      NI_NUMERICHOST | NI_NUMERICSERV) != 0)
+      raise("getnameinfo failed");
+    bound_address_out =
+        (ep.host.empty() ? std::string(host) : ep.host) + ":" + serv;
+    return fd;
+  }
+  raise("cannot listen on '" + to_string(ep) + "': " + last_error);
+}
+
+Fd connect_to(const Endpoint& ep, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  std::string last_error;
+  for (;;) {
+    if (ep.is_unix) {
+      Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+      if (!fd.valid())
+        raise("socket(AF_UNIX) failed: " + errno_text(errno));
+      const sockaddr_un addr = unix_sockaddr(ep.path);
+      if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0)
+        return fd;
+      last_error = errno_text(errno);
+    } else {
+      AddrInfo ai;
+      resolve_tcp(ep, /*passive=*/false, ai);
+      for (addrinfo* a = ai.head; a != nullptr; a = a->ai_next) {
+        Fd fd(::socket(a->ai_family, a->ai_socktype, a->ai_protocol));
+        if (!fd.valid()) continue;
+        if (::connect(fd.get(), a->ai_addr, a->ai_addrlen) == 0) {
+          const int one = 1;
+          ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          return fd;
+        }
+        last_error = errno_text(errno);
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline)
+      raise("connection refused: cannot reach '" + to_string(ep) +
+            "' within " + std::to_string(timeout_seconds) +
+            " s (last error: " + last_error + ")");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Fd accept_from(const Fd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      Fd out(fd);
+      const int one = 1;
+      ::setsockopt(out.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return out;
+    }
+    if (errno == EINTR) continue;
+    raise("accept failed: " + errno_text(errno));
+  }
+}
+
+void write_full(const Fd& fd, const void* data, std::size_t n,
+                const char* what) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = n;
+  while (left > 0) {
+    const ssize_t w = ::send(fd.get(), p, left, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      std::ostringstream os;
+      os << what << ": write failed after " << (n - left) << "/" << n
+         << " bytes: " << errno_text(errno);
+      raise(os.str());
+    }
+    p += w;
+    left -= static_cast<std::size_t>(w);
+  }
+}
+
+bool read_full(const Fd& fd, void* data, std::size_t n, const char* what) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd.get(), p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      std::ostringstream os;
+      os << what << ": read failed after " << got << "/" << n
+         << " bytes: " << errno_text(errno);
+      raise(os.str());
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF on a frame boundary
+      std::ostringstream os;
+      os << what << ": short read — connection closed after " << got << "/"
+         << n << " bytes";
+      raise(os.str());
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void cleanup_endpoint(const Endpoint& ep) noexcept {
+  if (ep.is_unix) ::unlink(ep.path.c_str());
+}
+
+}  // namespace pac::mp::transport

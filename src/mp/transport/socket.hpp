@@ -1,0 +1,84 @@
+// Low-level socket plumbing for the pacnet socket backend.
+//
+// Address strings come in two flavours:
+//   "unix:/path/to/socket"  — Unix-domain stream socket
+//   "host:port"             — TCP (host resolved with getaddrinfo)
+//
+// All helpers throw pac::mp::TransportError with a diagnosis naming the
+// address and errno text; none of them abort.  read_full / write_full loop
+// over partial transfers and EINTR, and a short read (EOF mid-frame) is a
+// typed error, not silent truncation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pac::mp::transport {
+
+/// A parsed endpoint.
+struct Endpoint {
+  bool is_unix = false;
+  std::string path;  // unix: filesystem path
+  std::string host;  // tcp: host
+  std::string port;  // tcp: numeric service
+};
+
+/// Parse "unix:/path" or "host:port"; throws TransportError on malformed
+/// input.
+Endpoint parse_endpoint(const std::string& address);
+
+/// Render an endpoint back into its address string.
+std::string to_string(const Endpoint& ep);
+
+/// Owning file descriptor (move-only RAII).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd();
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Create a listening socket on `ep`.  For TCP a port of "0" binds an
+/// ephemeral port; `bound_address_out` receives the concrete address
+/// ("host:port" with the real port / the unix path) to advertise to peers.
+Fd listen_on(const Endpoint& ep, std::string& bound_address_out,
+             int backlog = 128);
+
+/// Connect to `ep`, retrying on ECONNREFUSED/ENOENT (the listener may not
+/// exist yet during rendezvous) until `timeout_seconds` elapses.  Throws
+/// TransportError("connection refused ...") on timeout.
+Fd connect_to(const Endpoint& ep, double timeout_seconds);
+
+/// Accept one connection; throws on error.
+Fd accept_from(const Fd& listener);
+
+/// Write exactly `n` bytes; loops over partial writes and EINTR.  Throws
+/// TransportError naming `what` on failure (EPIPE, ECONNRESET, ...).
+void write_full(const Fd& fd, const void* data, std::size_t n,
+                const char* what);
+
+/// Read exactly `n` bytes.  Returns false on clean EOF at offset 0 (peer
+/// closed between frames); throws TransportError naming `what` on a short
+/// read (EOF mid-frame) or any error.
+bool read_full(const Fd& fd, void* data, std::size_t n, const char* what);
+
+/// Best-effort unlink of a unix socket path (no-op for TCP endpoints).
+void cleanup_endpoint(const Endpoint& ep) noexcept;
+
+}  // namespace pac::mp::transport

@@ -1,0 +1,102 @@
+// SocketTransport: pacnet's real multi-process backend.
+//
+// Each world rank is an OS process.  World formation is a rank-0 rendezvous:
+//
+//   1. every rank opens a listening socket (rank 0 at the well-known
+//      rendezvous address; others at a derived address — an ephemeral TCP
+//      port or "<path>.<rank>" for Unix sockets);
+//   2. ranks 1..P-1 connect to rank 0 and send a Hello{magic, version,
+//      rank, world size, listen address};
+//   3. rank 0 validates the hellos (protocol version, matching world size,
+//      distinct ranks) and replies with the full address table;
+//   4. the mesh is completed pairwise: rank r connects to every q < r
+//      (the rank-0 channels from step 2 are kept as the 0<->r links), so
+//      every pair of ranks shares one ordered stream.
+//
+// Messages travel as length-prefixed frames (magic, kind, context, source,
+// tag, sequence number, payload length, payload).  One reader thread per
+// peer decodes frames into a Mailbox, which supplies MPI matching semantics
+// (wildcards + non-overtaking) exactly as in the in-process backend; TCP /
+// Unix stream ordering plus the per-peer sequence check give the
+// non-overtaking guarantee across the wire.
+//
+// Failure model: a clean shutdown frame marks the peer closed; an EOF
+// without one (the process died) or a short/invalid frame marks the stream
+// failed.  Any receive that can no longer complete throws TransportError
+// naming the rank (and tag) instead of hanging — see Mailbox.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mp/transport/socket.hpp"
+#include "mp/transport/time_source.hpp"
+#include "mp/transport/transport.hpp"
+
+namespace pac::mp::transport {
+
+struct SocketOptions {
+  /// Rendezvous address: rank 0's listener ("unix:/path" or "host:port").
+  std::string address;
+  int rank = -1;
+  int size = 0;
+  /// Seconds to keep retrying the rendezvous connect before giving up.
+  double connect_timeout = 30.0;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  /// Forms the world: blocks until the full mesh is connected.  Throws
+  /// TransportError on rendezvous failure (refused, version/size mismatch,
+  /// duplicate rank).
+  explicit SocketTransport(const SocketOptions& options);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  const char* name() const noexcept override { return "socket"; }
+  int world_rank() const noexcept override { return opts_.rank; }
+  int world_size() const noexcept override { return opts_.size; }
+
+  void send(int dest_world_rank, Message msg) override;
+  Message recv(int context, int source_world_rank, int tag) override;
+  bool try_recv(int context, int source_world_rank, int tag,
+                Message& out) override;
+  void peek(int context, int source_world_rank, int tag, int& matched_source,
+            int& matched_tag, std::size_t& matched_bytes) override;
+  bool try_peek(int context, int source_world_rank, int tag,
+                int& matched_source, int& matched_tag,
+                std::size_t& matched_bytes) override;
+  TransportStats stats() const noexcept override;
+
+  /// Wall clock started at world formation (shared time base of this rank).
+  TimeSource& time() noexcept { return time_; }
+
+ private:
+  void rendezvous();
+  void reader_loop(int peer);
+  /// Serialize one frame onto the peer's stream (caller must NOT hold the
+  /// peer's send mutex).  kind: kData | kShutdown.
+  void send_frame(int peer, std::uint32_t kind, const Message* msg);
+
+  SocketOptions opts_;
+  Endpoint listen_ep_{};             // this rank's listener (for cleanup)
+  std::vector<Fd> peers_;            // world rank -> stream (invalid at self)
+  std::vector<std::unique_ptr<std::mutex>> send_mutexes_;
+  std::vector<std::uint64_t> send_seq_;  // guarded by the peer's send mutex
+  std::vector<std::thread> readers_;
+  Mailbox inbox_;
+  WallClockTimeSource time_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+}  // namespace pac::mp::transport

@@ -1,0 +1,38 @@
+// Time sources for the message-passing runtime.
+//
+// The modeled (in-process) backend advances a *virtual* clock through the
+// Machine's cost book — byte-identical run to run, the basis of every paper
+// figure.  The socket backend runs ranks as real OS processes, so its time
+// is the host's: a WallClockTimeSource measures real elapsed seconds since
+// world formation.  Comm::now() reads whichever source its backend uses.
+#pragma once
+
+#include <chrono>
+
+namespace pac::mp::transport {
+
+/// Monotonic seconds since an implementation-defined epoch.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  virtual double now() const = 0;
+};
+
+/// Real elapsed seconds since construction (steady clock, immune to NTP
+/// steps).  Used by the socket backend so distributed runs report genuine
+/// wall time.
+class WallClockTimeSource final : public TimeSource {
+ public:
+  WallClockTimeSource() : start_(std::chrono::steady_clock::now()) {}
+
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pac::mp::transport

@@ -1,8 +1,11 @@
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <thread>
 
 #include "mp/comm.hpp"
+#include "mp/transport/inprocess.hpp"
+#include "mp/transport/socket_transport.hpp"
 #include "util/log.hpp"
 
 namespace pac::mp {
@@ -17,8 +20,16 @@ World::World(Config config) : config_(std::move(config)) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
 }
 
+World::~World() = default;
+
 RunStats World::run(const std::function<void(Comm&)>& fn) {
   PAC_REQUIRE(fn != nullptr);
+  if (config_.backend == Config::Backend::kSocket)
+    return run_distributed(fn);
+  return run_modeled(fn);
+}
+
+RunStats World::run_modeled(const std::function<void(Comm&)>& fn) {
   const int p = config_.num_ranks;
   detail::RunContext context(p);
   for (auto& box : mailboxes_) box->reset();
@@ -31,6 +42,15 @@ RunStats World::run(const std::function<void(Comm&)>& fn) {
   std::vector<std::exception_ptr> errors(p);
   std::vector<char> aborted(p, 0);
 
+  // The mailbox data path, factored behind the Transport interface: one
+  // instance per rank so recv/peek always act on the owner's inbox.
+  std::vector<Mailbox*> boxes;
+  boxes.reserve(p);
+  for (auto& box : mailboxes_) boxes.push_back(box.get());
+  std::vector<transport::InProcessTransport> transports;
+  transports.reserve(p);
+  for (int r = 0; r < p; ++r) transports.emplace_back(boxes, r);
+
   const auto start = std::chrono::steady_clock::now();
   auto body = [&](int rank) {
     Comm comm;
@@ -40,6 +60,7 @@ RunStats World::run(const std::function<void(Comm&)>& fn) {
     comm.engine_ = &context.world_engine;
     comm.network_ = config_.machine.network.get();
     comm.costs_ = &config_.machine.costs;
+    comm.transport_ = &transports[rank];
     comm.kahan_ = config_.kahan_reductions;
     comm.trace_ = config_.trace;
     comm.group_.resize(p);
@@ -129,6 +150,135 @@ RunStats World::run(const std::function<void(Comm&)>& fn) {
     if (mailboxes_[r]->pending() > 0) {
       PAC_LOG_WARN << "rank " << r << " finished with "
                    << mailboxes_[r]->pending() << " undelivered message(s)";
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+/// Per-rank stats snapshot exchanged at the end of a distributed run so
+/// every process returns the same RunStats.  Trivially copyable on purpose.
+struct StatBlock {
+  double finish = 0.0;
+  double compute = 0.0;
+  double comm = 0.0;
+  double idle = 0.0;
+  std::uint64_t collectives = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::array<std::uint64_t, kNumCollectiveKinds> calls{};
+  std::array<double, kNumCollectiveKinds> seconds{};
+};
+
+}  // namespace
+
+RunStats World::run_distributed(const std::function<void(Comm&)>& fn) {
+  const Config::Socket& sock = config_.socket;
+  PAC_REQUIRE_MSG(sock.size >= 1 && sock.rank >= 0 && sock.rank < sock.size,
+                  "socket backend needs a valid rank/size pair; run under "
+                  "pac_launch (transport::apply_env_backend) or fill "
+                  "Config::socket explicitly");
+  PAC_REQUIRE_MSG(config_.num_ranks == sock.size,
+                  "socket backend: num_ranks ("
+                      << config_.num_ranks << ") must equal socket.size ("
+                      << sock.size << ")");
+  if (socket_transport_ == nullptr) {
+    transport::SocketOptions opts;
+    opts.address = sock.address;
+    opts.rank = sock.rank;
+    opts.size = sock.size;
+    opts.connect_timeout = sock.connect_timeout;
+    socket_transport_ = std::make_unique<transport::SocketTransport>(opts);
+  }
+  const int p = sock.size;
+  const int me = sock.rank;
+
+  // This process hosts exactly one rank; peers run in their own processes.
+  detail::RunContext context(1);
+  context.ranks[0].world_rank = me;
+  if constexpr (trace::compiled_in()) {
+    if (config_.instrument)
+      context.ranks[0].init_instrumentation(config_.instrument_ring);
+  }
+
+  Comm comm;
+  comm.world_ = this;
+  comm.run_ = &context;
+  comm.state_ = &context.ranks[0];
+  comm.engine_ = nullptr;  // collectives run on pt2pt (comm_dist.cpp)
+  comm.network_ = config_.machine.network.get();
+  comm.costs_ = &config_.machine.costs;
+  comm.transport_ = socket_transport_.get();
+  comm.time_ = &socket_transport_->time();
+  comm.distributed_ = true;
+  comm.kahan_ = config_.kahan_reductions;
+  comm.trace_ = config_.trace;
+  comm.group_.resize(p);
+  std::iota(comm.group_.begin(), comm.group_.end(), 0);
+  comm.group_rank_ = me;
+  comm.context_ = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  comm.barrier();  // align rank start times before user work
+  fn(comm);
+
+  // Snapshot local stats, then allgather so every rank reports the whole
+  // world (the exchange itself is excluded from the snapshot).
+  const detail::RankState& rs = context.ranks[0];
+  StatBlock mine;
+  mine.finish = rs.clock;
+  mine.compute = rs.compute_time;
+  mine.comm = rs.comm_time;
+  mine.idle = rs.idle_time;
+  mine.collectives = rs.collectives;
+  mine.messages = rs.messages_sent;
+  mine.bytes = rs.bytes_sent;
+  mine.calls = rs.collective_calls;
+  mine.seconds = rs.collective_seconds;
+  std::vector<StatBlock> all(p);
+  comm.allgather<StatBlock>(std::span<const StatBlock>(&mine, 1),
+                            std::span<StatBlock>(all));
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunStats stats;
+  stats.num_ranks = p;
+  stats.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  stats.rank_finish.resize(p);
+  stats.rank_compute.resize(p);
+  stats.rank_comm.resize(p);
+  stats.rank_idle.resize(p);
+  for (int r = 0; r < p; ++r) {
+    const StatBlock& b = all[r];
+    stats.rank_finish[r] = b.finish;
+    stats.rank_compute[r] = b.compute;
+    stats.rank_comm[r] = b.comm;
+    stats.rank_idle[r] = b.idle;
+    stats.virtual_time = std::max(stats.virtual_time, b.finish);
+    stats.total_collectives += b.collectives;
+    stats.total_messages += b.messages;
+    stats.total_bytes += b.bytes;
+    for (std::size_t k = 0; k < b.calls.size(); ++k) {
+      stats.collective_calls[k] += b.calls[k];
+      stats.collective_seconds[k] += b.seconds[k];
+    }
+  }
+  // Trace / instrumentation views are per-process: only this rank's events
+  // and metrics are available locally (peers live in other address spaces).
+  if (config_.trace) {
+    stats.trace = std::move(context.ranks[0].trace);
+    std::stable_sort(stats.trace.begin(), stats.trace.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.start < b.start;
+                     });
+  }
+  if constexpr (trace::compiled_in()) {
+    if (config_.instrument && context.ranks[0].recorder != nullptr) {
+      stats.instrumented = true;
+      trace::Recorder& rec = *context.ranks[0].recorder;
+      stats.metrics.merge_from(rec.metrics());
+      stats.events = rec.events().snapshot();
+      stats.events_dropped = rec.events().dropped();
     }
   }
   return stats;

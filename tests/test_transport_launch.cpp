@@ -1,0 +1,251 @@
+// True multi-process transport tests: the binary re-execs ITSELF through
+// transport::launch(), so every rank is a separate OS process exactly as
+// under pac_launch.  A worker mode (selected by the PAC_TT_MODE environment
+// variable, set via LaunchOptions::extra_env) runs before gtest
+// initializes; without it the binary is a normal test runner.
+//
+// NOTE: this file has its own main() and links GTest::gtest only (not
+// gtest_main) — see tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autoclass/search.hpp"
+#include "core/pautoclass.hpp"
+#include "data/synth.hpp"
+#include "mp/comm.hpp"
+#include "mp/transport/env.hpp"
+#include "mp/transport/launch.hpp"
+
+namespace {
+
+const char* g_argv0 = "test_transport_launch";
+
+std::string self_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return std::string(g_argv0);
+}
+
+std::string out_path_for(const char* test) {
+  return "/tmp/pac_tt_" + std::string(test) + "." +
+         std::to_string(::getpid()) + ".txt";
+}
+
+// ---- the shared classification problem (built identically by the parent
+// ---- and by every worker process: same binary, same code, same seed) ----
+
+constexpr std::size_t kItems = 600;
+constexpr int kProcs = 4;
+
+pac::ac::SearchConfig search_config() {
+  pac::ac::SearchConfig search;
+  search.start_j_list = {2, 3};
+  search.max_tries = 2;
+  search.em.max_cycles = 8;
+  search.seed = 99;
+  return search;
+}
+
+pac::core::ParallelOutcome run_search(pac::mp::World& world) {
+  const pac::data::LabeledDataset labeled =
+      pac::data::paper_dataset(kItems, /*seed=*/42);
+  const pac::ac::Model model =
+      pac::ac::Model::default_model(labeled.dataset);
+  return pac::core::run_parallel_search(world, model, search_config());
+}
+
+// ---- worker modes (one rank process each) ----
+
+int worker_quickstart() {
+  using namespace pac;
+  mp::World::Config cfg;
+  cfg.num_ranks = 1;
+  if (!mp::transport::apply_env_backend(cfg)) return 11;
+  mp::World world(cfg);
+  const core::ParallelOutcome outcome = run_search(world);
+  if (!mp::transport::is_primary()) return 0;
+  const char* out = std::getenv("PAC_TT_OUT");
+  if (out == nullptr) return 12;
+  std::ofstream os(out);
+  const ac::Classification& best = outcome.search.top();
+  os << std::setprecision(17);
+  os << best.num_classes() << "\n" << best.cs_score << "\n";
+  for (std::size_t j = 0; j < best.num_classes(); ++j)
+    os << best.weight(j) << "\n";
+  return os.good() ? 0 : 13;
+}
+
+int worker_ring() {
+  using namespace pac;
+  mp::World::Config cfg;
+  cfg.num_ranks = 1;
+  if (!mp::transport::apply_env_backend(cfg)) return 11;
+  mp::World world(cfg);
+  int bad = 0;
+  world.run([&bad](mp::Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    if (comm.rank() == 0) {
+      comm.send_value<int>(next, 0, 1);
+      if (comm.recv_value<int>(prev, 0) != comm.size()) bad = 1;
+    } else {
+      comm.send_value<int>(next, 0, comm.recv_value<int>(prev, 0) + 1);
+    }
+    comm.barrier();
+  });
+  return bad == 0 ? 0 : 5;
+}
+
+int worker_die() {
+  using namespace pac;
+  // Survivors must live long enough to observe the dead peer even though
+  // the launcher SIGTERMs stragglers as soon as the failure is reaped.
+  ::signal(SIGTERM, SIG_IGN);
+  mp::World::Config cfg;
+  cfg.num_ranks = 1;
+  if (!mp::transport::apply_env_backend(cfg)) return 11;
+  const int rank = mp::transport::pacnet_rank();
+  try {
+    mp::World world(cfg);
+    world.run([](mp::Comm& comm) {
+      comm.barrier();
+      if (comm.rank() == 1) ::_exit(3);  // die mid-collective, no shutdown
+      std::vector<double> v(4, 1.0);
+      comm.allreduce_inplace<double>(v, mp::ReduceOp::kSum);
+    });
+  } catch (const mp::TransportError& e) {
+    const char* out = std::getenv("PAC_TT_OUT");
+    if (out != nullptr) {
+      std::ofstream os(std::string(out) + ".rank" + std::to_string(rank));
+      os << e.what();
+    }
+    return 7;
+  }
+  return rank == 1 ? 0 : 8;  // a survivor finishing normally is a bug
+}
+
+int worker_exitcode() { return pac::mp::transport::pacnet_rank() == 0 ? 9 : 0; }
+
+int worker_main(const std::string& mode) {
+  if (mode == "quickstart") return worker_quickstart();
+  if (mode == "ring") return worker_ring();
+  if (mode == "die") return worker_die();
+  if (mode == "exitcode") return worker_exitcode();
+  std::fprintf(stderr, "unknown PAC_TT_MODE '%s'\n", mode.c_str());
+  return 21;
+}
+
+// ---- parent-side tests ----
+
+using pac::mp::transport::LaunchOptions;
+using pac::mp::transport::LaunchResult;
+using pac::mp::transport::launch;
+
+LaunchOptions options_for(const char* mode, const std::string& out) {
+  LaunchOptions opts;
+  opts.nprocs = kProcs;
+  opts.verbose = false;
+  opts.extra_env = {{"PAC_TT_MODE", mode}};
+  if (!out.empty()) opts.extra_env.emplace_back("PAC_TT_OUT", out);
+  return opts;
+}
+
+TEST(TransportLaunch, QuickstartEquivalentToInProcess) {
+  // ISSUE acceptance: pac_launch -n 4 of a quickstart-style search must
+  // produce the same classification as the in-process backend — equal
+  // class count, weights within 1e-9.
+  const std::string out = out_path_for("quickstart");
+  const LaunchResult result =
+      launch({self_path()}, options_for("quickstart", out));
+  ASSERT_EQ(result.exit_status, 0) << result.diagnosis;
+
+  std::ifstream is(out);
+  ASSERT_TRUE(is.good()) << "worker rank 0 wrote no result file";
+  std::size_t classes = 0;
+  double cs_score = 0.0;
+  is >> classes >> cs_score;
+  std::vector<double> weights(classes, 0.0);
+  for (double& w : weights) is >> w;
+  ASSERT_TRUE(is.good());
+  ::unlink(out.c_str());
+
+  pac::mp::World::Config cfg;
+  cfg.num_ranks = kProcs;
+  cfg.machine = pac::net::ideal_machine();
+  pac::mp::World world(cfg);
+  const pac::core::ParallelOutcome reference = run_search(world);
+  const pac::ac::Classification& best = reference.search.top();
+  ASSERT_EQ(best.num_classes(), classes);
+  EXPECT_NEAR(best.cs_score, cs_score, 1e-6 * std::abs(best.cs_score));
+  for (std::size_t j = 0; j < classes; ++j)
+    EXPECT_NEAR(best.weight(j), weights[j], 1e-9) << "class " << j;
+}
+
+TEST(TransportLaunch, RingPassesTokenAcrossProcesses) {
+  const LaunchResult result = launch({self_path()}, options_for("ring", ""));
+  EXPECT_EQ(result.exit_status, 0) << result.diagnosis;
+  EXPECT_EQ(result.failed_rank, -1);
+}
+
+TEST(TransportLaunch, RankDeathFailsTheWorldCleanly) {
+  // Rank 1 dies mid-collective: the launcher must report a nonzero status,
+  // and every surviving rank must come down with a typed TransportError
+  // (recorded in a marker file) rather than hang.
+  const std::string out = out_path_for("die");
+  LaunchOptions opts = options_for("die", out);
+  opts.nprocs = 3;
+  opts.kill_grace = 10.0;
+  const LaunchResult result = launch({self_path()}, opts);
+  EXPECT_NE(result.exit_status, 0);
+  EXPECT_GE(result.failed_rank, 0);
+  EXPECT_FALSE(result.diagnosis.empty());
+  for (const int rank : {0, 2}) {
+    const std::string marker = out + ".rank" + std::to_string(rank);
+    std::ifstream is(marker);
+    ASSERT_TRUE(is.good()) << "survivor rank " << rank
+                           << " left no TransportError marker";
+    std::stringstream what;
+    what << is.rdbuf();
+    EXPECT_NE(what.str().find("rank"), std::string::npos)
+        << "error does not name the failing rank: " << what.str();
+    ::unlink(marker.c_str());
+  }
+}
+
+TEST(TransportLaunch, NonzeroExitPropagates) {
+  const LaunchResult result =
+      launch({self_path()}, options_for("exitcode", ""));
+  EXPECT_EQ(result.exit_status, 9);
+  EXPECT_EQ(result.failed_rank, 0);
+}
+
+TEST(TransportLaunch, RejectsBadOptions) {
+  EXPECT_THROW(launch({}, LaunchOptions{}), pac::mp::TransportError);
+  LaunchOptions opts;
+  opts.nprocs = 0;
+  EXPECT_THROW(launch({self_path()}, opts), pac::mp::TransportError);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 0) g_argv0 = argv[0];
+  if (const char* mode = std::getenv("PAC_TT_MODE"))
+    return worker_main(mode);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,393 @@
+// SocketTransport tests: loopback multi-rank worlds where every rank is a
+// thread of THIS process running its own World on the socket backend (the
+// transport only sees file descriptors, so threads stand in for processes
+// and the whole mesh — rendezvous, framing, reader threads, failure
+// detection — is exercised for real).  True multi-process coverage lives in
+// test_transport_launch.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mp/comm.hpp"
+#include "mp/transport/env.hpp"
+#include "util/error.hpp"
+
+namespace pac::mp {
+namespace {
+
+/// Fresh rendezvous address per world: unix sockets need paths that do not
+/// collide across tests (or across parallel ctest shards of this binary).
+std::string unique_address() {
+  static std::atomic<int> counter{0};
+  return "unix:/tmp/pacnet_test." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+World::Config socket_config(const std::string& address, int rank, int size) {
+  World::Config cfg;
+  cfg.num_ranks = size;
+  cfg.backend = World::Config::Backend::kSocket;
+  cfg.socket.address = address;
+  cfg.socket.rank = rank;
+  cfg.socket.size = size;
+  return cfg;
+}
+
+/// Run `fn` on an n-rank socket world, one thread per rank, each with its
+/// own World (exactly what n pac_launch'd processes would do).  Rethrows
+/// the first rank failure; returns every rank's RunStats.
+template <class Fn>
+std::vector<RunStats> run_socket_world(int n, Fn fn,
+                                       bool kahan_reductions = false) {
+  const std::string address = unique_address();
+  std::vector<RunStats> stats(static_cast<std::size_t>(n));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        World::Config cfg = socket_config(address, r, n);
+        cfg.kahan_reductions = kahan_reductions;
+        World world(cfg);
+        stats[static_cast<std::size_t>(r)] =
+            world.run([&](Comm& comm) { fn(comm); });
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return stats;
+}
+
+TEST(TransportSocket, ValueRoundTripAndStatus) {
+  run_socket_world(2, [](Comm& comm) {
+    EXPECT_TRUE(comm.distributed());
+    EXPECT_STREQ(comm.backend_name(), "socket");
+    std::vector<double> buf(64);
+    if (comm.rank() == 0) {
+      std::iota(buf.begin(), buf.end(), 0.5);
+      comm.send<double>(1, 3, buf);
+      comm.send_value<int>(1, 9, 1234);
+    } else {
+      const Status st = comm.recv<double>(0, 3, buf);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 3);
+      EXPECT_EQ(st.bytes, 64 * sizeof(double));
+      EXPECT_DOUBLE_EQ(buf[63], 63.5);
+      EXPECT_EQ(comm.recv_value<int>(0, 9), 1234);
+    }
+  });
+}
+
+TEST(TransportSocket, WildcardSourceAndTag) {
+  run_socket_world(3, [](Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value<int>(0, 10 + comm.rank(), comm.rank());
+    } else {
+      int mask = 0;
+      for (int k = 0; k < 2; ++k) {
+        Status st;
+        const int v = comm.recv_value<int>(kAnySource, kAnyTag, &st);
+        EXPECT_EQ(st.source, v);
+        EXPECT_EQ(st.tag, 10 + v);
+        mask |= 1 << v;
+      }
+      EXPECT_EQ(mask, 0b110);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(TransportSocket, TagMatchingOutOfOrderAndNonOvertaking) {
+  run_socket_world(2, [](Comm& comm) {
+    constexpr int kCount = 40;
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 10, 100);
+      comm.send_value<int>(1, 20, 200);
+      for (int i = 0; i < kCount; ++i) comm.send_value<int>(1, 4, i);
+    } else {
+      // Out of send order by tag; ordered within a (source, tag) stream.
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 200);
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 100);
+      for (int i = 0; i < kCount; ++i)
+        EXPECT_EQ(comm.recv_value<int>(0, 4), i);
+    }
+  });
+}
+
+TEST(TransportSocket, ProbeAndIprobe) {
+  run_socket_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<double>(1, 5, 2.75);
+    } else {
+      const Status probed = comm.probe(kAnySource, kAnyTag);
+      EXPECT_EQ(probed.source, 0);
+      EXPECT_EQ(probed.tag, 5);
+      EXPECT_EQ(probed.bytes, sizeof(double));
+      Status st;
+      EXPECT_TRUE(comm.iprobe(0, 5, st));
+      EXPECT_EQ(st.bytes, sizeof(double));
+      EXPECT_EQ(comm.recv_value<double>(0, 5), 2.75);
+      EXPECT_FALSE(comm.iprobe(0, 5, st));
+    }
+    comm.barrier();
+  });
+}
+
+TEST(TransportSocket, NonblockingSendRecvWaitAndTest) {
+  run_socket_world(2, [](Comm& comm) {
+    std::vector<int> payload(256);
+    std::iota(payload.begin(), payload.end(), 0);
+    if (comm.rank() == 0) {
+      Request req = comm.isend<int>(1, 6, payload);
+      comm.wait(req);
+      EXPECT_TRUE(req.done());
+      // Second message completed via the test() polling path.
+      Request req2 = comm.isend<int>(1, 7, payload);
+      while (!comm.test(req2)) std::this_thread::yield();
+    } else {
+      std::vector<int> buf(256, -1);
+      Request req = comm.irecv<int>(0, 6, buf);
+      comm.wait(req);
+      EXPECT_EQ(req.status().bytes, 256 * sizeof(int));
+      EXPECT_EQ(buf[255], 255);
+      std::vector<int> buf2(256, -1);
+      Request req2 = comm.irecv<int>(0, 7, buf2);
+      while (!comm.test(req2)) std::this_thread::yield();
+      EXPECT_EQ(buf2[128], 128);
+    }
+    comm.barrier();
+  });
+}
+
+/// Per-rank deterministic inputs for the collective equivalence suite.
+double input_value(int rank, std::size_t i) {
+  // Not associativity-friendly: different fold orders give different bits.
+  return (static_cast<double>(rank) + 1.0) * 0.1 +
+         static_cast<double>(i) * 0.7;
+}
+
+/// Every collective once, results appended to `sink` (identical call
+/// sequence on every backend, so the sinks must match bit for bit).
+void collective_suite(Comm& comm, std::vector<double>& sink) {
+  const int p = comm.size();
+  const std::size_t n = 5;
+  const auto up = static_cast<std::size_t>(p);
+  std::vector<double> in(n), out(n, -7.0);
+  for (std::size_t i = 0; i < n; ++i)
+    in[i] = input_value(comm.rank(), i);
+
+  comm.barrier();
+  std::vector<double> bcast = in;
+  comm.broadcast<double>(bcast, /*root=*/p - 1);
+  sink.insert(sink.end(), bcast.begin(), bcast.end());
+
+  for (const ReduceOp op :
+       {ReduceOp::kSum, ReduceOp::kMin, ReduceOp::kMax, ReduceOp::kProd}) {
+    std::fill(out.begin(), out.end(), -7.0);
+    comm.reduce<double>(in, out, op, /*root=*/0);
+    if (comm.rank() == 0) sink.insert(sink.end(), out.begin(), out.end());
+    std::fill(out.begin(), out.end(), -7.0);
+    comm.allreduce<double>(in, out, op);
+    sink.insert(sink.end(), out.begin(), out.end());
+  }
+  sink.push_back(comm.allreduce_scalar(in[0]));
+  sink.push_back(comm.allreduce_scalar(in[1], ReduceOp::kMax));
+
+  std::vector<double> gathered(up * n, -7.0);
+  comm.gather<double>(in, gathered, /*root=*/0);
+  if (comm.rank() == 0)
+    sink.insert(sink.end(), gathered.begin(), gathered.end());
+  std::fill(gathered.begin(), gathered.end(), -7.0);
+  comm.allgather<double>(in, gathered);
+  sink.insert(sink.end(), gathered.begin(), gathered.end());
+  const std::vector<int> ranks = comm.allgather_value<int>(comm.rank() * 3);
+  for (const int r : ranks) sink.push_back(static_cast<double>(r));
+
+  std::vector<double> root_blocks(up * n);
+  for (std::size_t i = 0; i < root_blocks.size(); ++i)
+    root_blocks[i] = static_cast<double>(i) * 0.3 - 1.0;
+  std::fill(out.begin(), out.end(), -7.0);
+  comm.scatter<double>(root_blocks, out, /*root=*/0);
+  sink.insert(sink.end(), out.begin(), out.end());
+
+  std::fill(out.begin(), out.end(), -7.0);
+  comm.scan<double>(in, out, ReduceOp::kSum);
+  sink.insert(sink.end(), out.begin(), out.end());
+  std::fill(out.begin(), out.end(), -7.0);
+  comm.exscan<double>(in, out, ReduceOp::kSum);
+  if (comm.rank() > 0) sink.insert(sink.end(), out.begin(), out.end());
+
+  std::vector<double> a2a_in(up * n), a2a_out(up * n, -7.0);
+  for (std::size_t i = 0; i < a2a_in.size(); ++i)
+    a2a_in[i] = input_value(comm.rank(), i);
+  comm.alltoall<double>(a2a_in, a2a_out, n);
+  sink.insert(sink.end(), a2a_out.begin(), a2a_out.end());
+
+  std::fill(out.begin(), out.end(), -7.0);
+  comm.reduce_scatter<double>(a2a_in, out, ReduceOp::kSum);
+  sink.insert(sink.end(), out.begin(), out.end());
+  comm.barrier();
+}
+
+void expect_bit_identical(const std::vector<std::vector<double>>& socket,
+                          const std::vector<std::vector<double>>& modeled) {
+  ASSERT_EQ(socket.size(), modeled.size());
+  for (std::size_t r = 0; r < socket.size(); ++r) {
+    ASSERT_EQ(socket[r].size(), modeled[r].size()) << "rank " << r;
+    EXPECT_EQ(std::memcmp(socket[r].data(), modeled[r].data(),
+                          socket[r].size() * sizeof(double)),
+              0)
+        << "rank " << r << " diverged from the in-process backend";
+  }
+}
+
+TEST(TransportSocket, CollectivesBitIdenticalToInProcess) {
+  constexpr int kRanks = 4;
+  std::vector<std::vector<double>> socket_sink(kRanks), modeled_sink(kRanks);
+  run_socket_world(kRanks, [&](Comm& comm) {
+    collective_suite(comm, socket_sink[static_cast<std::size_t>(comm.rank())]);
+  });
+  World::Config cfg;
+  cfg.num_ranks = kRanks;
+  cfg.machine = net::ideal_machine();
+  World world(cfg);
+  world.run([&](Comm& comm) {
+    collective_suite(comm,
+                     modeled_sink[static_cast<std::size_t>(comm.rank())]);
+  });
+  expect_bit_identical(socket_sink, modeled_sink);
+}
+
+TEST(TransportSocket, KahanAllreduceMatchesInProcess) {
+  // Catastrophic-cancellation inputs: naive vs compensated summation give
+  // different bits, so this pins the distributed root fold to the same
+  // per-element Kahan loop the modeled backend uses.
+  constexpr int kRanks = 4;
+  const double values[kRanks] = {1e16, 1.0, -1e16, 1.0};
+  const auto suite = [&](Comm& comm, std::vector<double>& sink) {
+    std::vector<double> v(3, values[comm.rank()]);
+    comm.allreduce_inplace<double>(v, ReduceOp::kSum);
+    sink.insert(sink.end(), v.begin(), v.end());
+    sink.push_back(comm.allreduce_scalar(values[comm.rank()]));
+  };
+  std::vector<std::vector<double>> socket_sink(kRanks), modeled_sink(kRanks);
+  run_socket_world(
+      kRanks,
+      [&](Comm& comm) {
+        suite(comm, socket_sink[static_cast<std::size_t>(comm.rank())]);
+      },
+      /*kahan_reductions=*/true);
+  World::Config cfg;
+  cfg.num_ranks = kRanks;
+  cfg.machine = net::ideal_machine();
+  cfg.kahan_reductions = true;
+  World world(cfg);
+  world.run([&](Comm& comm) {
+    suite(comm, modeled_sink[static_cast<std::size_t>(comm.rank())]);
+  });
+  expect_bit_identical(socket_sink, modeled_sink);
+  // And the compensated result is actually the exact one.
+  EXPECT_DOUBLE_EQ(socket_sink[0].back(), 2.0);
+}
+
+TEST(TransportSocket, SplitFormsWorkingSubgroups) {
+  run_socket_world(4, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 2);
+    // Parity subgroup sum: even ranks {0,2} -> 2, odd {1,3} -> 4.
+    const double sum = sub.allreduce_scalar(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(sum, comm.rank() % 2 == 0 ? 2.0 : 4.0);
+    // Subgroup pt2pt stays isolated from world traffic.
+    if (sub.rank() == 0) {
+      sub.send_value<int>(1, 1, 77 + comm.rank());
+    } else {
+      EXPECT_EQ(sub.recv_value<int>(0, 1), 77 + (comm.rank() - 2));
+    }
+    // Opting out with a negative color must not desync the others.
+    Comm none = comm.split(comm.rank() == 0 ? -1 : 0, comm.rank());
+    EXPECT_EQ(none.valid(), comm.rank() != 0);
+    if (none.valid()) EXPECT_EQ(none.size(), 3);
+    comm.barrier();
+  });
+}
+
+TEST(TransportSocket, RunStatsIdenticalOnEveryRank) {
+  const std::vector<RunStats> stats =
+      run_socket_world(3, [](Comm& comm) {
+        comm.allreduce_scalar(1.0);
+        if (comm.rank() == 0) comm.send_value<int>(2, 1, 5);
+        if (comm.rank() == 2) (void)comm.recv_value<int>(0, 1);
+        comm.barrier();
+      });
+  ASSERT_EQ(stats.size(), 3u);
+  for (const RunStats& s : stats) {
+    EXPECT_EQ(s.num_ranks, 3);
+    ASSERT_EQ(s.rank_finish.size(), 3u);
+    // End-of-run stat exchange: every rank reports the same world view.
+    EXPECT_EQ(s.total_messages, stats[0].total_messages);
+    EXPECT_EQ(s.total_bytes, stats[0].total_bytes);
+    EXPECT_EQ(s.total_collectives, stats[0].total_collectives);
+    EXPECT_EQ(s.rank_finish, stats[0].rank_finish);
+  }
+  EXPECT_GE(stats[0].total_messages, 1u);
+  EXPECT_GE(stats[0].total_bytes, sizeof(int));
+  EXPECT_GE(stats[0].total_collectives, 3u * 2u);  // allreduce + barrier
+}
+
+TEST(TransportSocket, WorldIsReusableAcrossRuns) {
+  // The socket mesh forms once and serves several run() calls.
+  const std::string address = unique_address();
+  constexpr int kRanks = 2;
+  std::vector<std::thread> ranks;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < kRanks; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        World world(socket_config(address, r, kRanks));
+        for (int round = 0; round < 3; ++round) {
+          world.run([round, &failures](Comm& comm) {
+            const double sum = comm.allreduce_scalar(
+                static_cast<double>(comm.rank() + round));
+            if (sum != static_cast<double>(1 + 2 * round))
+              failures.fetch_add(1);
+          });
+        }
+      } catch (...) {
+        failures.fetch_add(100);
+      }
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TransportSocket, ConnectionRefusedThrowsTransportError) {
+  // Rank 1 of a 2-rank world whose rank 0 never shows up: the rendezvous
+  // retries until the timeout, then reports a typed, rank-naming error.
+  World::Config cfg = socket_config(unique_address(), /*rank=*/1, /*size=*/2);
+  cfg.socket.connect_timeout = 0.2;
+  World world(cfg);
+  try {
+    world.run([](Comm&) {});
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pac::mp

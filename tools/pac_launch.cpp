@@ -1,0 +1,97 @@
+// pac_launch: run a program as an N-rank pacnet world.
+//
+//   pac_launch -n 4 ./build/examples/quickstart
+//   pac_launch -n 8 --addr 127.0.0.1:7777 ./build/examples/pautoclass_cli ...
+//
+// Each rank is a separate OS process started with PACNET_RANK / PACNET_SIZE /
+// PACNET_ADDR set; programs opt in with transport::apply_env_backend().  The
+// launcher's exit status mirrors the first failing rank (128+signo for signal
+// deaths), and stragglers are SIGTERM'd (then SIGKILL'd) after a failure so a
+// broken world never hangs the shell.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mp/status.hpp"
+#include "mp/transport/launch.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: pac_launch [options] [--] <command> [args...]\n"
+      "\n"
+      "Run <command> as an N-process pacnet (socket-backend) world.\n"
+      "\n"
+      "options:\n"
+      "  -n, --nprocs N     number of ranks (default 1)\n"
+      "  --addr ADDR        rendezvous address: unix:/path or host:port\n"
+      "                     (default: a fresh unix socket under /tmp)\n"
+      "  --kill-grace SEC   SIGTERM->SIGKILL grace after a failure "
+      "(default 5)\n"
+      "  -q, --quiet        suppress per-rank failure diagnostics\n"
+      "  -h, --help         show this help\n",
+      out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pac::mp::transport::LaunchOptions options;
+  std::vector<std::string> command;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pac_launch: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-n" || arg == "--nprocs") {
+      options.nprocs = std::atoi(value(arg.c_str()));
+    } else if (arg == "--addr") {
+      options.address = value("--addr");
+    } else if (arg == "--kill-grace") {
+      options.kill_grace = std::atof(value("--kill-grace"));
+    } else if (arg == "-q" || arg == "--quiet") {
+      options.verbose = false;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--") {
+      ++i;
+      break;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pac_launch: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      break;  // first non-option: start of the command
+    }
+  }
+  for (; i < argc; ++i) command.emplace_back(argv[i]);
+
+  if (command.empty()) {
+    std::fprintf(stderr, "pac_launch: missing command\n");
+    usage(stderr);
+    return 2;
+  }
+
+  try {
+    const pac::mp::transport::LaunchResult result =
+        pac::mp::transport::launch(command, options);
+    if (result.exit_status != 0 && options.verbose)
+      std::fprintf(stderr, "pac_launch: world failed: %s\n",
+                   result.diagnosis.c_str());
+    return result.exit_status;
+  } catch (const pac::mp::TransportError& e) {
+    std::fprintf(stderr, "pac_launch: %s\n", e.what());
+    return 1;
+  }
+}
