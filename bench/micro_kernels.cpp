@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -76,6 +77,128 @@ void BM_NormalLogProb(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NormalLogProb);
+
+// ---- E-step kernel benches: batched update_wts vs the scalar oracle ----
+
+/// Gaussian-heavy workload for the headline kernel-vs-scalar comparison:
+/// 8 real attributes x 8 classes is 64 per-item log_prob evaluations per
+/// E-step pass, the regime the batched term kernels were built for.
+data::LabeledDataset gaussian_heavy_dataset(std::size_t n) {
+  constexpr std::size_t kDim = 8;
+  std::vector<data::GaussianComponent> mix(4);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    mix[c].mean.assign(kDim, 0.0);
+    mix[c].sigma.assign(kDim, 1.0);
+    for (std::size_t a = 0; a < kDim; ++a) {
+      mix[c].mean[a] = static_cast<double>((c + a) % 4) * 2.5;
+      mix[c].sigma[a] = 0.6 + 0.1 * static_cast<double>(a % 3);
+    }
+  }
+  data::LabeledDataset ld = data::gaussian_mixture(mix, n, 17);
+  data::inject_missing(ld.dataset, 0.02, 5);
+  return ld;
+}
+
+/// One full E-step per iteration from a fixed post-M-step state.  `scalar`
+/// selects the per-item reference path instead of the batch kernels.
+void run_update_wts(benchmark::State& state, const ac::Model& model,
+                    std::size_t j, bool scalar) {
+  const std::size_t n = model.dataset().num_items();
+  ac::Reducer identity;
+  ac::EmWorker worker(model, data::ItemRange{0, n}, identity);
+  ac::Classification c(model, j);
+  worker.random_init(c, 7, 0, ac::EmConfig{});
+  worker.update_parameters(c);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(scalar ? worker.update_wts_scalar(c)
+                                    : worker.update_wts(c));
+  state.SetItemsProcessed(state.iterations() * n * j);
+}
+
+void BM_UpdateWtsGaussian(benchmark::State& state) {
+  const data::LabeledDataset ld = gaussian_heavy_dataset(4000);
+  run_update_wts(state, ac::Model::default_model(ld.dataset), 8, false);
+}
+BENCHMARK(BM_UpdateWtsGaussian);
+
+void BM_UpdateWtsScalarGaussian(benchmark::State& state) {
+  // The oracle on the identical workload: the kernel acceptance bar is
+  // BM_UpdateWtsGaussian at >= 2x this throughput.
+  const data::LabeledDataset ld = gaussian_heavy_dataset(4000);
+  run_update_wts(state, ac::Model::default_model(ld.dataset), 8, true);
+}
+BENCHMARK(BM_UpdateWtsScalarGaussian);
+
+void BM_UpdateWtsMultinomial(benchmark::State& state) {
+  std::vector<data::CategoricalComponent> mix(3);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    for (std::size_t a = 0; a < 6; ++a) {
+      std::vector<double> p(4, 0.15);
+      p[(a + c) % 4] = 0.55;
+      mix[c].probs.push_back(std::move(p));
+    }
+  }
+  data::LabeledDataset ld = data::categorical_mixture(mix, 4000, 19);
+  data::inject_missing(ld.dataset, 0.02, 5);
+  run_update_wts(state, ac::Model::default_model(ld.dataset), 4, false);
+}
+BENCHMARK(BM_UpdateWtsMultinomial);
+
+void BM_UpdateWtsMultiNormal(benchmark::State& state) {
+  constexpr std::size_t kDim = 4;
+  std::vector<data::CorrelatedComponent> mix(3);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    mix[c].mean.assign(kDim, static_cast<double>(c) * 3.0);
+    mix[c].chol.assign(kDim * kDim, 0.0);
+    for (std::size_t i = 0; i < kDim; ++i) {
+      mix[c].chol[i * kDim + i] = 0.8;
+      if (i > 0) mix[c].chol[i * kDim + i - 1] = 0.2;
+    }
+  }
+  // No missing values: the multi_normal term requires complete rows.
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 4000, 21);
+  run_update_wts(state, ac::Model::correlated_model(ld.dataset), 4, false);
+}
+BENCHMARK(BM_UpdateWtsMultiNormal);
+
+void BM_UpdateWtsLognormal(benchmark::State& state) {
+  const std::size_t n = 4000;
+  data::Dataset d(data::Schema({data::Attribute::real("x", 0.01),
+                                data::Attribute::real("y", 0.01)}),
+                  n);
+  Xoshiro256ss rng(23);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.set_real(i, 0, std::exp(0.4 + 0.5 * normal01(rng)));
+    d.set_real(i, 1, std::exp(-0.2 + 0.3 * normal01(rng)));
+  }
+  const ac::Model model(d, {{ac::TermKind::kSingleLognormal, {0}},
+                            {ac::TermKind::kSingleLognormal, {1}}});
+  run_update_wts(state, model, 4, false);
+}
+BENCHMARK(BM_UpdateWtsLognormal);
+
+void BM_UpdateWtsMixed(benchmark::State& state) {
+  // Mixed real + discrete + ignored attribute: exercises every kernel
+  // dispatch shape the default and explicit models produce.
+  std::vector<data::MixedComponent> mix(2);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    mix[c].mean = {static_cast<double>(c) * 2.0, 1.0 - static_cast<double>(c)};
+    mix[c].sigma = {1.0, 0.7};
+    mix[c].probs = {{0.2 + 0.5 * static_cast<double>(c),
+                     0.8 - 0.5 * static_cast<double>(c)}};
+  }
+  data::LabeledDataset ld = data::mixed_mixture(mix, 4000, 27);
+  data::inject_missing(ld.dataset, 0.02, 5);
+  const ac::Model model(ld.dataset, {{ac::TermKind::kSingleNormal, {0}},
+                                     {ac::TermKind::kIgnore, {1}},
+                                     {ac::TermKind::kSingleMultinomial, {2}}});
+  run_update_wts(state, model, 4, false);
+}
+BENCHMARK(BM_UpdateWtsMixed);
 
 void BM_EmBaseCycle(benchmark::State& state) {
   // Host throughput of one full base_cycle (sequential), items x classes.
@@ -162,6 +285,33 @@ bool check_scratch_fold_path() {
   return true;
 }
 
+/// Smoke-tier correctness gate for the batched E-step: update_wts and the
+/// scalar oracle must produce bit-identical weights and log-likelihood on
+/// the same workload the headline bench measures.
+bool check_estep_kernel_equality() {
+  const data::LabeledDataset ld = gaussian_heavy_dataset(1000);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  ac::Reducer ra, rb;
+  ac::EmWorker a(model, data::ItemRange{0, 1000}, ra);
+  ac::EmWorker b(model, data::ItemRange{0, 1000}, rb);
+  ac::Classification ca(model, 6), cb(model, 6);
+  a.random_init(ca, 9, 0, ac::EmConfig{});
+  b.random_init(cb, 9, 0, ac::EmConfig{});
+  a.update_parameters(ca);
+  b.update_parameters(cb);
+  const double la = a.update_wts(ca);
+  const double lb = b.update_wts_scalar(cb);
+  const auto wa = a.local_weights();
+  const auto wb = b.local_weights();
+  if (la != lb || wa.size() != wb.size() ||
+      std::memcmp(wa.data(), wb.data(), wa.size() * sizeof(double)) != 0) {
+    std::fprintf(stderr,
+                 "micro_kernels: E-step kernel-vs-scalar equality FAILED\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN() plus a --smoke flag: the CI tier maps it to a minimal
@@ -182,6 +332,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   if (smoke && !check_scratch_fold_path()) return 1;
+  if (smoke && !check_estep_kernel_equality()) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

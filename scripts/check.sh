@@ -52,6 +52,18 @@ for b in "$BUILD_DIR"/bench/*; do
     failures=$((failures + 1))
   fi
 done
+# Perf smoke: run the kernel micro-suite once more with a machine-readable
+# report.  CI uploads this JSON as the perf artifact; local baselines are
+# recorded under bench/baselines/ (see EXPERIMENTS.md).
+PERF_JSON="$BUILD_DIR/BENCH_micro_kernels.json"
+echo "== perf smoke: bench/micro_kernels $SMOKE -> $PERF_JSON =="
+if ! "$BUILD_DIR"/bench/micro_kernels $SMOKE \
+    --benchmark_out="$PERF_JSON" --benchmark_out_format=json \
+    --benchmark_filter='UpdateWts' >/dev/null; then
+  echo "!! FAILED: perf smoke (bench/micro_kernels)" >&2
+  failures=$((failures + 1))
+fi
+
 for e in "$BUILD_DIR"/examples/*; do
   [ -f "$e" ] && [ -x "$e" ] || continue
   echo "== $e =="

@@ -14,7 +14,66 @@ namespace {
 /// Stream ids for the counter-based RNG, one per random purpose, so adding
 /// a purpose never perturbs another purpose's draws.
 constexpr std::uint64_t kInitStream = 0x1A17;
+/// Fallback stream for seed-item redraws once the primary draw budget is
+/// exhausted; offset far past any plausible try_index so the two purpose
+/// stream families never overlap.
+constexpr std::uint64_t kSeedFallbackStream = kInitStream + (1ULL << 32);
+
+/// Items per E-step block: big enough to amortize the per-(term, class)
+/// kernel dispatch, small enough that a block of likelihood rows stays in
+/// L1/L2 alongside the term columns.
+constexpr std::size_t kEStepBlock = 256;
 }  // namespace
+
+namespace detail {
+
+std::vector<std::size_t> draw_seed_items(const CounterRng& rng, std::size_t n,
+                                         std::size_t j,
+                                         std::uint64_t try_index,
+                                         std::uint64_t primary_budget) {
+  PAC_REQUIRE(n > 0);
+  if (primary_budget == 0) primary_budget = 16 * static_cast<std::uint64_t>(j);
+  std::vector<std::size_t> seeds;
+  seeds.reserve(j);
+  const auto draw_index = [&](std::uint64_t stream, std::uint64_t counter) {
+    return std::min(
+        n - 1, static_cast<std::size_t>(rng.uniform(stream, seeds.size(),
+                                                    counter) *
+                                        static_cast<double>(n)));
+  };
+  std::uint64_t draw = 0;
+  while (seeds.size() < j) {
+    // Primary stream: byte-for-byte the historical draw sequence, so runs
+    // that never exhaust the budget (collisions are rare for j << n) keep
+    // their exact trajectories.
+    const std::size_t candidate = draw_index(kInitStream + try_index, draw);
+    ++draw;
+    if (std::find(seeds.begin(), seeds.end(), candidate) == seeds.end()) {
+      seeds.push_back(candidate);
+      continue;
+    }
+    if (draw <= primary_budget) continue;
+    if (seeds.size() >= n) {
+      // More classes than items: distinct seeds no longer exist, so the
+      // duplicate is accepted (the zero-separation classes are unavoidable
+      // and the J-ladder prunes them).
+      seeds.push_back(candidate);
+      continue;
+    }
+    // Budget exhausted with distinct seeds still available: redraw from the
+    // widened fallback stream and resolve any residual collision by probing
+    // to the next free index.  Still a pure counter function — identical on
+    // every rank and partitioning — and bounded, where the old code pushed
+    // the duplicate and produced two zero-separation classes.
+    std::size_t fallback = draw_index(kSeedFallbackStream + try_index, draw);
+    while (std::find(seeds.begin(), seeds.end(), fallback) != seeds.end())
+      fallback = (fallback + 1) % n;
+    seeds.push_back(fallback);
+  }
+  return seeds;
+}
+
+}  // namespace detail
 
 void Reducer::gather_weight_matrix(std::span<const double> local,
                                    std::span<double> full,
@@ -60,20 +119,8 @@ void EmWorker::random_init(Classification& c, std::uint64_t seed,
   // from the read-only dataset is semantically equivalent.)
   const CounterRng rng(seed);
   const std::size_t n = data_->num_items();
-  std::vector<std::size_t> seeds;
-  seeds.reserve(j);
-  std::uint64_t draw = 0;
-  while (seeds.size() < j) {
-    const auto candidate = std::min(
-        n - 1, static_cast<std::size_t>(
-                   rng.uniform(kInitStream + try_index, seeds.size(), draw) *
-                   static_cast<double>(n)));
-    ++draw;
-    // Prefer distinct seeds; give up on distinctness when J approaches n.
-    const bool taken =
-        std::find(seeds.begin(), seeds.end(), candidate) != seeds.end();
-    if (!taken || draw > 16 * j) seeds.push_back(candidate);
-  }
+  const std::vector<std::size_t> seeds =
+      detail::draw_seed_items(rng, n, j, try_index);
 
   std::vector<double> wj_and_loglike(j + 1, 0.0);
   for (std::size_t i = range_.begin; i < range_.end; ++i) {
@@ -106,37 +153,39 @@ void EmWorker::random_init(Classification& c, std::uint64_t seed,
   c.log_likelihood = 0.0;
 }
 
-double EmWorker::update_wts(Classification& c) {
-  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_wts");
-  const std::size_t j = c.num_classes();
-  PAC_CHECK_MSG(j == num_classes_, "call random_init before update_wts");
-  const std::size_t num_terms = model_->num_terms();
-
-  std::vector<double> wj_and_loglike(j + 1, 0.0);
-  KahanSum loglike;
-  for (std::size_t i = range_.begin; i < range_.end; ++i) {
-    double* row = weights_.data() + (i - range_.begin) * j;
-    // log L_ij = log pi_j + sum_t log p(x_i | theta_jt)
-    for (std::size_t k = 0; k < j; ++k) {
-      double lp = c.log_pi(k);
-      for (std::size_t t = 0; t < num_terms; ++t)
-        lp += model_->term(t).log_prob(i, c.param_block(k, t));
-      row[k] = lp;
-    }
-    const double lse = logsumexp(std::span<const double>(row, j));
-    loglike.add(lse);
-    for (std::size_t k = 0; k < j; ++k) {
-      row[k] = std::exp(row[k] - lse);
-      wj_and_loglike[k] += row[k];
-    }
+void EmWorker::normalize_row(std::size_t item, double* row, std::size_t j,
+                             std::span<double> wj, KahanSum& loglike) {
+  const double lse = logsumexp(std::span<const double>(row, j));
+  if (!std::isfinite(lse)) {
+    // Every class is at -inf (or a NaN crept in): exp-normalizing would
+    // turn the whole row into NaNs that silently poison the weight
+    // reduction.  Fail loudly, naming the item and its least-impossible
+    // class.
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < j; ++k)
+      if (row[k] > row[best]) best = k;
+    std::ostringstream os;
+    os << "update_wts: item " << item << " has log-likelihood " << lse
+       << " under every class (J=" << j << ", best class " << best << " at "
+       << row[best] << ") — zero-support value or emptied class; widen the "
+       << "priors or drop the offending attribute";
+    throw DegenerateRowError(os.str(), item, j);
   }
-  wj_and_loglike[j] = loglike.value();
+  loglike.add(lse);
+  for (std::size_t k = 0; k < j; ++k) {
+    row[k] = std::exp(row[k] - lse);
+    wj[k] += row[k];
+  }
+}
 
+double EmWorker::finish_update_wts(Classification& c,
+                                   std::span<double> wj_and_loglike) {
+  const std::size_t j = c.num_classes();
   reducer_->charge(PhaseWork{Phase::kUpdateWts, range_.size(), j,
                              model_->covered_attributes()});
   // Total exchange of the class weight sums and the log-likelihood
   // (the Allreduce of paper Fig. 4).
-  reducer_->reduce_weights(std::span<double>(wj_and_loglike));
+  reducer_->reduce_weights(wj_and_loglike);
 
   std::copy_n(wj_and_loglike.begin(), j, c.mutable_weights().begin());
   c.log_likelihood = wj_and_loglike[j];
@@ -149,6 +198,63 @@ double EmWorker::update_wts(Classification& c) {
         std::span<double>(full_weights_), range_, j);
   }
   return c.log_likelihood;
+}
+
+double EmWorker::update_wts(Classification& c) {
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_wts");
+  const std::size_t j = c.num_classes();
+  PAC_CHECK_MSG(j == num_classes_, "call random_init before update_wts");
+  const std::size_t num_terms = model_->num_terms();
+
+  std::vector<double> wj_and_loglike(j + 1, 0.0);
+  const std::span<double> wj(wj_and_loglike.data(), j);
+  KahanSum loglike;
+  for (std::size_t begin = range_.begin; begin < range_.end;
+       begin += kEStepBlock) {
+    const data::ItemRange block{begin,
+                                std::min(begin + kEStepBlock, range_.end)};
+    double* rows = weights_.data() + (begin - range_.begin) * j;
+    // log L_ij = log pi_j + sum_t log p(x_i | theta_jt), assembled
+    // term-major: seed every row with the log mixing weights, then let each
+    // (term, class) kernel accumulate one class-column across the whole
+    // block.  Per item this adds log pi first and then the terms in index
+    // order — exactly the scalar oracle's order, which is what keeps the
+    // two paths bit-identical.
+    for (std::size_t r = 0; r < block.size(); ++r)
+      for (std::size_t k = 0; k < j; ++k) rows[r * j + k] = c.log_pi(k);
+    for (std::size_t t = 0; t < num_terms; ++t)
+      for (std::size_t k = 0; k < j; ++k)
+        model_->term(t).log_prob_batch(block, c.param_block(k, t), rows + k,
+                                       j);
+    for (std::size_t r = 0; r < block.size(); ++r)
+      normalize_row(block.begin + r, rows + r * j, j, wj, loglike);
+  }
+  wj_and_loglike[j] = loglike.value();
+  return finish_update_wts(c, std::span<double>(wj_and_loglike));
+}
+
+double EmWorker::update_wts_scalar(Classification& c) {
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_wts_scalar");
+  const std::size_t j = c.num_classes();
+  PAC_CHECK_MSG(j == num_classes_, "call random_init before update_wts");
+  const std::size_t num_terms = model_->num_terms();
+
+  std::vector<double> wj_and_loglike(j + 1, 0.0);
+  const std::span<double> wj(wj_and_loglike.data(), j);
+  KahanSum loglike;
+  for (std::size_t i = range_.begin; i < range_.end; ++i) {
+    double* row = weights_.data() + (i - range_.begin) * j;
+    // log L_ij = log pi_j + sum_t log p(x_i | theta_jt)
+    for (std::size_t k = 0; k < j; ++k) {
+      double lp = c.log_pi(k);
+      for (std::size_t t = 0; t < num_terms; ++t)
+        lp += model_->term(t).log_prob(i, c.param_block(k, t));
+      row[k] = lp;
+    }
+    normalize_row(i, row, j, wj, loglike);
+  }
+  wj_and_loglike[j] = loglike.value();
+  return finish_update_wts(c, std::span<double>(wj_and_loglike));
 }
 
 void EmWorker::accumulate_statistics(const Classification& c) {

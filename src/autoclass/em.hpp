@@ -23,12 +23,46 @@
 
 #include "autoclass/classification.hpp"
 #include "data/dataset.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace pac {
+class CounterRng;
+}
 
 namespace pac::trace {
 class Recorder;
 }
 
 namespace pac::ac {
+
+/// E-step failure: an item's likelihood row degenerated to -inf (or NaN)
+/// under *every* class — e.g. a zero-support multinomial symbol in an
+/// emptied class — which would otherwise flow through logsumexp into NaN
+/// membership weights and silently poison the reduction.
+class DegenerateRowError : public Error {
+ public:
+  DegenerateRowError(std::string message, std::size_t bad_item,
+                     std::size_t classes)
+      : Error(std::move(message)), item(bad_item), num_classes(classes) {}
+
+  std::size_t item = 0;         // global item index of the degenerate row
+  std::size_t num_classes = 0;  // J of the classification being fit
+};
+
+namespace detail {
+/// Draw `j` seed-item indices over `[0, n)` for try `try_index` — a pure
+/// function of the counter RNG, identical on every rank and partitioning.
+/// Seeds are distinct whenever j <= n: collisions redraw from the primary
+/// stream until `primary_budget` draws are spent (0 = the default 16*j),
+/// after which a widened fallback stream plus deterministic probing to the
+/// next free index guarantees distinct seeds without unbounded looping.
+/// Exposed for tests, which shrink the budget to force the fallback.
+std::vector<std::size_t> draw_seed_items(const CounterRng& rng, std::size_t n,
+                                         std::size_t j,
+                                         std::uint64_t try_index,
+                                         std::uint64_t primary_budget = 0);
+}  // namespace detail
 
 /// Convergence test flavours (mirroring AutoClass C's converge functions).
 enum class ConvergenceKind {
@@ -139,8 +173,19 @@ class EmWorker {
 
   /// E-step over the local partition; fills the local weight matrix, the
   /// global class weights W_j, and the global observed log-likelihood
-  /// (returned and stored in c.log_likelihood).
+  /// (returned and stored in c.log_likelihood).  Runs the blocked,
+  /// term-major batch kernels (Term::log_prob_batch); per item the
+  /// accumulation order is log pi_j then terms in index order — the same as
+  /// update_wts_scalar, so both paths are bit-identical on every transport
+  /// backend.  Throws DegenerateRowError if any item's row is -inf under
+  /// every class.
   double update_wts(Classification& c);
+
+  /// Reference E-step: the per-item virtual log_prob chain the batch
+  /// kernels replaced.  Kept as the oracle the kernel-equality tests and
+  /// BM_UpdateWts benches diff against; identical reduction protocol and
+  /// results (bit-for-bit) as update_wts.
+  double update_wts_scalar(Classification& c);
 
   /// M-step: accumulate local statistics, make them global, and recompute
   /// every class's parameters and mixing weight.
@@ -168,6 +213,15 @@ class EmWorker {
 
  private:
   void accumulate_statistics(const Classification& c);
+  /// Shared E-step tail per item: logsumexp-normalize `row` in place (with
+  /// the degenerate-row guard), fold the lse into `loglike` and the
+  /// normalized weights into `wj`.  Both update_wts paths run this with the
+  /// identical per-item call order, which is what keeps them bit-identical.
+  void normalize_row(std::size_t item, double* row, std::size_t j,
+                     std::span<double> wj, KahanSum& loglike);
+  /// Common epilogue of both E-step paths: charge, reduce, store results.
+  double finish_update_wts(Classification& c,
+                           std::span<double> wj_and_loglike);
 
   const Model* model_;
   const data::Dataset* data_;

@@ -18,6 +18,13 @@ const char* to_string(TermKind kind) noexcept {
   return "?";
 }
 
+void Term::log_prob_batch(data::ItemRange range,
+                          std::span<const double> params, double* out,
+                          std::size_t stride) const {
+  for (std::size_t i = range.begin; i < range.end; ++i, out += stride)
+    *out += log_prob(i, params);
+}
+
 Model::Model(const data::Dataset& data, std::vector<TermSpec> specs,
              ModelConfig config)
     : data_(&data), config_(config) {

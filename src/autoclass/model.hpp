@@ -81,6 +81,23 @@ class Term {
   virtual double log_prob(std::size_t item,
                           std::span<const double> params) const = 0;
 
+  /// Batched E-step kernel: for every item i in `range`, *accumulate* this
+  /// term's log-probability under `params` into out[(i - range.begin) *
+  /// stride].  With `out` pointing at one class's column of a row-major
+  /// item x class buffer and `stride` = J, one call fills that column for a
+  /// whole item block.
+  ///
+  /// Contract: the value added per item must be bit-identical to
+  /// log_prob(item, params).  Overrides may hoist loop-invariant work out of
+  /// the item loop — parameter loads, logs of per-term constants, the
+  /// virtual dispatch itself — but must not rearrange the per-item floating
+  /// point expression.  The scalar log_prob stays the oracle the equality
+  /// tests diff against.  The default implementation loops over log_prob,
+  /// so new term families are correct before they are fast.
+  virtual void log_prob_batch(data::ItemRange range,
+                              std::span<const double> params, double* out,
+                              std::size_t stride) const;
+
   /// M-step accumulation: absorb `item` with membership weight `w`.
   virtual void accumulate(std::size_t item, double w,
                           std::span<double> stats) const = 0;

@@ -11,17 +11,29 @@ namespace pac::ac {
 
 namespace {
 
+/// Items per blocked report pass (matches the E-step's blocking).
+constexpr std::size_t kReportBlock = 256;
+
+/// Fill `rows` (block.size() x J, row-major) with the log joint
+/// log pi_j + log p(x_i | theta_j) via the batched term kernels — the same
+/// accumulation order as the E-step, so report values match the training
+/// path bit-for-bit.
+void fill_log_joint(const Classification& c, data::ItemRange block,
+                    double* rows) {
+  const Model& model = c.model();
+  const std::size_t j = c.num_classes();
+  for (std::size_t r = 0; r < block.size(); ++r)
+    for (std::size_t k = 0; k < j; ++k) rows[r * j + k] = c.log_pi(k);
+  for (std::size_t t = 0; t < model.num_terms(); ++t)
+    for (std::size_t k = 0; k < j; ++k)
+      model.term(t).log_prob_batch(block, c.param_block(k, t), rows + k, j);
+}
+
 /// Log joint log pi_j + log p(x_i | theta_j) for every class of item i.
 std::vector<double> log_joint(const Classification& c, std::size_t item) {
-  const Model& model = c.model();
-  PAC_REQUIRE(item < model.dataset().num_items());
+  PAC_REQUIRE(item < c.model().dataset().num_items());
   std::vector<double> row(c.num_classes());
-  for (std::size_t j = 0; j < c.num_classes(); ++j) {
-    double lp = c.log_pi(j);
-    for (std::size_t t = 0; t < model.num_terms(); ++t)
-      lp += model.term(t).log_prob(item, c.param_block(j, t));
-    row[j] = lp;
-  }
+  fill_log_joint(c, data::ItemRange{item, item + 1}, row.data());
   return row;
 }
 
@@ -76,11 +88,17 @@ double predict_log_likelihood(const Classification& c,
 
 std::vector<std::int32_t> assign_labels(const Classification& c) {
   const std::size_t n = c.model().dataset().num_items();
+  const std::size_t j = c.num_classes();
   std::vector<std::int32_t> labels(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto row = log_joint(c, i);
-    labels[i] = static_cast<std::int32_t>(
-        std::max_element(row.begin(), row.end()) - row.begin());
+  std::vector<double> rows(kReportBlock * j);
+  for (std::size_t begin = 0; begin < n; begin += kReportBlock) {
+    const data::ItemRange block{begin, std::min(begin + kReportBlock, n)};
+    fill_log_joint(c, block, rows.data());
+    for (std::size_t r = 0; r < block.size(); ++r) {
+      const double* row = rows.data() + r * j;
+      labels[block.begin + r] =
+          static_cast<std::int32_t>(std::max_element(row, row + j) - row);
+    }
   }
   return labels;
 }
@@ -132,10 +150,18 @@ void write_case_report(std::ostream& os, const Classification& c,
 double mean_max_membership(const Classification& c) {
   const std::size_t n = c.model().dataset().num_items();
   PAC_REQUIRE(n > 0);
+  const std::size_t j = c.num_classes();
   KahanSum sum;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto row = membership(c, i);
-    sum.add(*std::max_element(row.begin(), row.end()));
+  std::vector<double> rows(kReportBlock * j);
+  for (std::size_t begin = 0; begin < n; begin += kReportBlock) {
+    const data::ItemRange block{begin, std::min(begin + kReportBlock, n)};
+    fill_log_joint(c, block, rows.data());
+    for (std::size_t r = 0; r < block.size(); ++r) {
+      double* row = rows.data() + r * j;
+      const double lse = logsumexp(std::span<const double>(row, j));
+      // max_j exp(row_j - lse): exp is monotone, so normalize only the max.
+      sum.add(std::exp(*std::max_element(row, row + j) - lse));
+    }
   }
   return sum.value() / static_cast<double>(n);
 }

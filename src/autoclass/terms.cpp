@@ -67,6 +67,26 @@ class SingleNormalTerm final : public Term {
     return -0.5 * (kLog2Pi + z * z) - params[2] + std::log(error_);
   }
 
+  void log_prob_batch(data::ItemRange range, std::span<const double> params,
+                      double* out, std::size_t stride) const override {
+    // Hoisted per class-column: the parameter loads and log(error_) — the
+    // scalar path pays that transcendental per item.  The per-item
+    // expression is log_prob's, unchanged, so the column stays bit-identical.
+    const double mean = params[0];
+    const double sigma = params[1];
+    const double log_sigma = params[2];
+    const double log_error = std::log(error_);
+    const double* x = column_.data();
+    for (std::size_t i = range.begin; i < range.end; ++i, out += stride) {
+      double lp = 0.0;
+      if (!data::is_missing_real(x[i])) {
+        const double z = (x[i] - mean) / sigma;
+        lp = -0.5 * (kLog2Pi + z * z) - log_sigma + log_error;
+      }
+      *out += lp;
+    }
+  }
+
   void accumulate(std::size_t item, double w,
                   std::span<double> stats) const override {
     const double x = column_[item];
@@ -218,6 +238,19 @@ class SingleMultinomialTerm final : public Term {
     return params[static_cast<std::size_t>(v)];
   }
 
+  void log_prob_batch(data::ItemRange range, std::span<const double> params,
+                      double* out, std::size_t stride) const override {
+    // The class's params block *is* the log-probability lookup table; the
+    // batch path is a pure table walk with the missing policy hoisted.
+    const double missing_lp =
+        missing_as_value_ ? params[num_values_ - 1] : 0.0;
+    const std::int32_t* v = column_.data();
+    for (std::size_t i = range.begin; i < range.end; ++i, out += stride)
+      *out += v[i] == data::kMissingDiscrete
+                  ? missing_lp
+                  : params[static_cast<std::size_t>(v[i])];
+  }
+
   void accumulate(std::size_t item, double w,
                   std::span<double> stats) const override {
     const std::int32_t v = column_[item];
@@ -364,6 +397,26 @@ class MultiNormalTerm final : public Term {
     const double maha = spd::mahalanobis2(chol, d, diff);
     return -0.5 * (static_cast<double>(d) * kLog2Pi + logdet + maha) +
            log_error_sum_;
+  }
+
+  void log_prob_batch(data::ItemRange range, std::span<const double> params,
+                      double* out, std::size_t stride) const override {
+    // The Cholesky factor lives in the params block (computed once per
+    // M-step by update_params); hoist the factor/log-det loads and reuse
+    // them across the whole block.
+    const std::size_t d = dim_;
+    double diff_stack[32];
+    PAC_CHECK(d <= 32);
+    std::span<double> diff(diff_stack, d);
+    const std::span<const double> chol(params.data() + d, d * d);
+    const double logdet = params[d + d * d];
+    const double dd = static_cast<double>(d);
+    for (std::size_t i = range.begin; i < range.end; ++i, out += stride) {
+      for (std::size_t k = 0; k < d; ++k)
+        diff[k] = columns_[k][i] - params[k];
+      const double maha = spd::mahalanobis2(chol, d, diff);
+      *out += -0.5 * (dd * kLog2Pi + logdet + maha) + log_error_sum_;
+    }
   }
 
   void accumulate(std::size_t item, double w,
@@ -617,6 +670,25 @@ class SingleLognormalTerm final : public Term {
     return -0.5 * (kLog2Pi + z * z) - params[2] - lx + std::log(rel_error_);
   }
 
+  void log_prob_batch(data::ItemRange range, std::span<const double> params,
+                      double* out, std::size_t stride) const override {
+    // Same hoists as the normal kernel (parameter loads, log(rel_error_));
+    // log x itself is already precomputed in log_column_.
+    const double mean = params[0];
+    const double sigma = params[1];
+    const double log_sigma = params[2];
+    const double log_error = std::log(rel_error_);
+    const double* lx = log_column_.data();
+    for (std::size_t i = range.begin; i < range.end; ++i, out += stride) {
+      double lp = 0.0;
+      if (!data::is_missing_real(lx[i])) {
+        const double z = (lx[i] - mean) / sigma;
+        lp = -0.5 * (kLog2Pi + z * z) - log_sigma - lx[i] + log_error;
+      }
+      *out += lp;
+    }
+  }
+
   void accumulate(std::size_t item, double w,
                   std::span<double> stats) const override {
     const double lx = log_column_[item];
@@ -736,6 +808,14 @@ class IgnoreTerm final : public Term {
 
   double log_prob(std::size_t, std::span<const double>) const override {
     return 0.0;
+  }
+  // Genuinely add 0.0 per item rather than skipping the pass: += 0.0 turns
+  // a -0.0 accumulator into +0.0, so a no-op would not be bit-identical to
+  // the scalar chain on that (admittedly exotic) input.
+  void log_prob_batch(data::ItemRange range, std::span<const double>,
+                      double* out, std::size_t stride) const override {
+    for (std::size_t i = range.begin; i < range.end; ++i, out += stride)
+      *out += 0.0;
   }
   void accumulate(std::size_t, double, std::span<double>) const override {}
   void update_params(std::span<const double>,

@@ -39,6 +39,72 @@ int shell_status(int wstatus) {
   return 1;
 }
 
+// SIGINT/SIGTERM handling: an interrupted launcher must take its rank
+// processes down with it, or an aborted distributed run leaves orphan
+// ranks holding the rendezvous socket and ports.  The handler only sets a
+// flag; the waitpid loop (entered without SA_RESTART, so the signal breaks
+// it out with EINTR) notices and diverts to the straggler-termination path.
+volatile sig_atomic_t g_interrupt_signal = 0;
+
+void on_interrupt(int signo) { g_interrupt_signal = signo; }
+
+/// Installs the interrupt handler for SIGINT/SIGTERM for the duration of a
+/// launch and restores the previous handlers on scope exit.  The ranks are
+/// unaffected: execvp resets their dispositions to the defaults.
+class ScopedInterruptGuard {
+ public:
+  ScopedInterruptGuard() {
+    g_interrupt_signal = 0;
+    struct sigaction action {};
+    action.sa_handler = on_interrupt;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: waitpid must return EINTR
+    ::sigaction(SIGINT, &action, &old_int_);
+    ::sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~ScopedInterruptGuard() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  ScopedInterruptGuard(const ScopedInterruptGuard&) = delete;
+  ScopedInterruptGuard& operator=(const ScopedInterruptGuard&) = delete;
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+/// Terminate and reap every remaining rank: SIGTERM first, escalating to
+/// SIGKILL once the grace period expires.
+void reap_stragglers(std::map<pid_t, int>& rank_of,
+                     const LaunchOptions& options) {
+  if (rank_of.empty()) return;
+  if (options.verbose)
+    std::fprintf(stderr, "pac_launch: terminating %zu remaining rank(s)\n",
+                 rank_of.size());
+  for (const auto& [pid, rank] : rank_of) ::kill(pid, SIGTERM);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.kill_grace));
+  bool killed = false;
+  while (!rank_of.empty()) {
+    int wstatus = 0;
+    const pid_t pid = ::waitpid(-1, &wstatus, WNOHANG);
+    if (pid > 0) {
+      rank_of.erase(pid);
+      continue;
+    }
+    if (pid < 0 && errno != EINTR && errno != ECHILD) break;
+    if (!killed && std::chrono::steady_clock::now() >= deadline) {
+      for (const auto& [straggler, rank] : rank_of)
+        ::kill(straggler, SIGKILL);
+      killed = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
 }  // namespace
 
 LaunchResult launch(const std::vector<std::string>& command,
@@ -88,12 +154,15 @@ LaunchResult launch(const std::vector<std::string>& command,
   }
 
   LaunchResult result;
-  // Phase 1: wait until every rank exits or the first failure appears.
-  while (!rank_of.empty() && result.failed_rank < 0) {
+  const ScopedInterruptGuard interrupt_guard;
+  // Phase 1: wait until every rank exits, the first failure appears, or the
+  // launcher itself is interrupted.
+  while (!rank_of.empty() && result.failed_rank < 0 &&
+         g_interrupt_signal == 0) {
     int wstatus = 0;
     const pid_t pid = ::waitpid(-1, &wstatus, 0);
     if (pid < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // signal: loop re-checks the flag
       throw TransportError("pac_launch: waitpid failed: " +
                            std::string(strerror(errno)));
     }
@@ -111,35 +180,22 @@ LaunchResult launch(const std::vector<std::string>& command,
     }
   }
 
-  // Phase 2: a rank failed — terminate the stragglers (SIGTERM, then
-  // SIGKILL after the grace period) so nobody hangs on a broken world.
-  if (result.failed_rank >= 0 && !rank_of.empty()) {
+  // Interrupted launcher: report the conventional 128+signo status and fall
+  // through to straggler termination, so Ctrl-C (or a supervisor's SIGTERM)
+  // cannot leave orphan ranks behind.
+  if (g_interrupt_signal != 0 && result.failed_rank < 0) {
+    const int signo = static_cast<int>(g_interrupt_signal);
+    result.exit_status = 128 + signo;
+    result.diagnosis = "launcher interrupted by signal " +
+                       std::to_string(signo) + " (" + strsignal(signo) + ")";
     if (options.verbose)
-      std::fprintf(stderr,
-                   "pac_launch: terminating %zu remaining rank(s)\n",
-                   rank_of.size());
-    for (const auto& [pid, rank] : rank_of) ::kill(pid, SIGTERM);
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(options.kill_grace));
-    bool killed = false;
-    while (!rank_of.empty()) {
-      int wstatus = 0;
-      const pid_t pid = ::waitpid(-1, &wstatus, WNOHANG);
-      if (pid > 0) {
-        rank_of.erase(pid);
-        continue;
-      }
-      if (pid < 0 && errno != EINTR && errno != ECHILD) break;
-      if (!killed && std::chrono::steady_clock::now() >= deadline) {
-        for (const auto& [straggler, rank] : rank_of)
-          ::kill(straggler, SIGKILL);
-        killed = true;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    }
+      std::fprintf(stderr, "pac_launch: %s\n", result.diagnosis.c_str());
   }
+
+  // Phase 2: a rank failed or the launcher was interrupted — terminate the
+  // stragglers (SIGTERM, then SIGKILL after the grace period) so nobody
+  // hangs on a broken world.
+  if (result.exit_status != 0) reap_stragglers(rank_of, options);
 
   if (generated_unix) {
     // Best-effort cleanup of the rendezvous socket if rank 0 died before

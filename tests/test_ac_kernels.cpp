@@ -1,0 +1,384 @@
+// Kernel-layer tests: the batched Term::log_prob_batch kernels and the
+// blocked update_wts E-step must be *bit-identical* to the scalar oracle
+// (per-item virtual log_prob chain) for every term family, with and
+// without missing values — the determinism contract of DESIGN.md's kernel
+// section.  Also covers the degenerate-row guard and the seed-item draw
+// fallback fix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <set>
+
+#include "autoclass/em.hpp"
+#include "autoclass/report.hpp"
+#include "data/synth.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pac::ac {
+namespace {
+
+using data::Attribute;
+using data::Dataset;
+using data::Schema;
+
+void expect_bit_identical(std::span<const double> a,
+                          std::span<const double> b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+}
+
+// ---- term-level: log_prob_batch vs the scalar log_prob oracle ----
+
+/// Fit one class's parameters over the whole dataset (w = 1) so the batch
+/// kernels are exercised at realistic parameter values.
+std::vector<double> fit_term_params(const Term& term, std::size_t n) {
+  std::vector<double> stats(term.stats_size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) term.accumulate(i, 1.0, stats);
+  std::vector<double> params(term.param_size(), 0.0);
+  term.update_params(stats, params);
+  return params;
+}
+
+/// Batch accumulation into a non-trivial base row, at stride 1 and a
+/// strided layout, must match per-item scalar accumulation bit-for-bit.
+void expect_term_batch_matches_scalar(const Model& model) {
+  const std::size_t n = model.dataset().num_items();
+  for (std::size_t t = 0; t < model.num_terms(); ++t) {
+    const Term& term = model.term(t);
+    const std::vector<double> params = fit_term_params(term, n);
+    std::vector<double> scalar(n), batch(n);
+    for (std::size_t i = 0; i < n; ++i)
+      scalar[i] = batch[i] = -0.25 * static_cast<double>(i % 7);
+    for (std::size_t i = 0; i < n; ++i)
+      scalar[i] += term.log_prob(i, params);
+    term.log_prob_batch(data::ItemRange{0, n}, params, batch.data(), 1);
+    expect_bit_identical(batch, scalar);
+
+    // Strided (one class-column of a J=3 row buffer), partial range.
+    const data::ItemRange part{n / 4, n - n / 7};
+    std::vector<double> strided(n * 3, 1.0);
+    term.log_prob_batch(part, params, strided.data() + n / 4 * 3 + 1, 3);
+    for (std::size_t i = part.begin; i < part.end; ++i) {
+      const double expected = 1.0 + term.log_prob(i, params);
+      ASSERT_EQ(strided[i * 3 + 1], expected) << "term " << t << " item " << i;
+      ASSERT_EQ(strided[i * 3], 1.0);      // neighbours untouched
+      ASSERT_EQ(strided[i * 3 + 2], 1.0);
+    }
+  }
+}
+
+TEST(TermKernels, SingleNormalWithMissing) {
+  data::LabeledDataset ld = data::paper_dataset(700, 21);
+  data::inject_missing(ld.dataset, 0.2, 5);
+  expect_term_batch_matches_scalar(Model::default_model(ld.dataset));
+}
+
+TEST(TermKernels, SingleMultinomialWithMissing) {
+  const std::vector<data::CategoricalComponent> mix = {
+      {0.5, {{0.7, 0.2, 0.1}, {0.6, 0.4}}},
+      {0.5, {{0.1, 0.2, 0.7}, {0.3, 0.7}}},
+  };
+  data::LabeledDataset ld = data::categorical_mixture(mix, 600, 22);
+  data::inject_missing(ld.dataset, 0.2, 6);
+  expect_term_batch_matches_scalar(Model::default_model(ld.dataset));
+  // Missing-as-extra-symbol policy changes the missing branch: cover both.
+  ModelConfig config;
+  config.missing_as_extra_value = true;
+  expect_term_batch_matches_scalar(Model::default_model(ld.dataset, config));
+}
+
+TEST(TermKernels, MultiNormalBlock) {
+  const double r = 0.8;
+  const std::vector<data::CorrelatedComponent> mix = {
+      {0.5, {0.0, 0.0}, {1.0, 0.0, r, std::sqrt(1 - r * r)}},
+      {0.5, {3.0, 1.0}, {1.0, 0.0, -r, std::sqrt(1 - r * r)}},
+  };
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 500, 23);
+  expect_term_batch_matches_scalar(Model::correlated_model(ld.dataset));
+}
+
+TEST(TermKernels, SingleLognormalWithMissing) {
+  Dataset d(Schema({Attribute::real("x", 0.01)}), 400);
+  Xoshiro256ss rng(24);
+  for (std::size_t i = 0; i < 400; ++i)
+    d.set_real(i, 0, std::exp(0.5 + 0.8 * normal01(rng)));
+  for (std::size_t i = 0; i < 400; i += 9) d.set_missing(i, 0);
+  TermSpec spec;
+  spec.kind = TermKind::kSingleLognormal;
+  spec.attributes = {0};
+  expect_term_batch_matches_scalar(Model(d, {spec}));
+}
+
+TEST(TermKernels, IgnoreTermIsANoOp) {
+  const data::LabeledDataset ld = data::paper_dataset(100, 25);
+  TermSpec normal{TermKind::kSingleNormal, {0}};
+  TermSpec ignore{TermKind::kIgnore, {1}};
+  const Model model(ld.dataset, {normal, ignore});
+  expect_term_batch_matches_scalar(model);
+}
+
+// ---- EM-level: blocked update_wts vs the scalar oracle ----
+
+/// Run `cycles` M/E cycles twice over the same init — once through the
+/// batch kernels, once through the scalar oracle — and require bit-equal
+/// weight matrices, class weights, and log-likelihoods at every step.
+void expect_estep_bit_equal(const Model& model, std::size_t j,
+                            std::uint64_t seed, int cycles = 3) {
+  const data::ItemRange all{0, model.dataset().num_items()};
+  Reducer ra, rb;
+  EmWorker a(model, all, ra);
+  EmWorker b(model, all, rb);
+  Classification ca(model, j), cb(model, j);
+  a.random_init(ca, seed, 0, EmConfig{});
+  b.random_init(cb, seed, 0, EmConfig{});
+  expect_bit_identical(a.local_weights(), b.local_weights());
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    a.update_parameters(ca);
+    b.update_parameters(cb);
+    const double la = a.update_wts(ca);
+    const double lb = b.update_wts_scalar(cb);
+    ASSERT_EQ(la, lb) << "cycle " << cycle;
+    expect_bit_identical(a.local_weights(), b.local_weights());
+    for (std::size_t k = 0; k < j; ++k)
+      ASSERT_EQ(ca.weight(k), cb.weight(k)) << "cycle " << cycle;
+  }
+}
+
+TEST(UpdateWtsKernel, GaussianWithMissingBitEqualsScalar) {
+  data::LabeledDataset ld = data::paper_dataset(1100, 26);
+  data::inject_missing(ld.dataset, 0.15, 7);
+  expect_estep_bit_equal(Model::default_model(ld.dataset), 4, 101);
+}
+
+TEST(UpdateWtsKernel, MultinomialWithMissingBitEqualsScalar) {
+  const std::vector<data::CategoricalComponent> mix = {
+      {0.4, {{0.8, 0.1, 0.1}, {0.9, 0.1}}},
+      {0.6, {{0.1, 0.1, 0.8}, {0.2, 0.8}}},
+  };
+  data::LabeledDataset ld = data::categorical_mixture(mix, 900, 27);
+  data::inject_missing(ld.dataset, 0.1, 8);
+  expect_estep_bit_equal(Model::default_model(ld.dataset), 3, 102);
+  ModelConfig config;
+  config.missing_as_extra_value = true;
+  expect_estep_bit_equal(Model::default_model(ld.dataset, config), 3, 102);
+}
+
+TEST(UpdateWtsKernel, MultiNormalBitEqualsScalar) {
+  const double r = 0.9;
+  const std::vector<data::CorrelatedComponent> mix = {
+      {0.5, {0.0, 0.0}, {1.0, 0.0, r, std::sqrt(1 - r * r)}},
+      {0.5, {0.0, 5.0}, {1.0, 0.0, -r, std::sqrt(1 - r * r)}},
+  };
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 800, 28);
+  expect_estep_bit_equal(Model::correlated_model(ld.dataset), 3, 103);
+}
+
+TEST(UpdateWtsKernel, LognormalWithMissingBitEqualsScalar) {
+  Dataset d(Schema({Attribute::real("mass", 0.01)}), 777);
+  Xoshiro256ss rng(29);
+  for (std::size_t i = 0; i < 777; ++i)
+    d.set_real(i, 0, std::exp(1.0 + 0.5 * normal01(rng)));
+  for (std::size_t i = 3; i < 777; i += 11) d.set_missing(i, 0);
+  TermSpec spec;
+  spec.kind = TermKind::kSingleLognormal;
+  spec.attributes = {0};
+  expect_estep_bit_equal(Model(d, {spec}), 3, 104);
+}
+
+TEST(UpdateWtsKernel, MixedModelWithIgnoreBitEqualsScalar) {
+  // All five families in one model: normal, multinomial, and an ignored
+  // attribute, over mixed-type data with missing entries.
+  std::vector<data::MixedComponent> mix(2);
+  mix[0] = {0.6, {0.0, 1.0}, {1.0, 0.5}, {{0.9, 0.1}}};
+  mix[1] = {0.4, {6.0, -1.0}, {1.0, 0.5}, {{0.1, 0.9}}};
+  data::LabeledDataset ld = data::mixed_mixture(mix, 1000, 31);
+  data::inject_missing(ld.dataset, 0.1, 9);
+  std::vector<TermSpec> specs = {
+      {TermKind::kSingleNormal, {0}},
+      {TermKind::kIgnore, {1}},
+      {TermKind::kSingleMultinomial, {2}},
+  };
+  expect_estep_bit_equal(Model(ld.dataset, std::move(specs)), 3, 105);
+}
+
+TEST(UpdateWtsKernel, PartitionedRanksBitEqualScalarRanks) {
+  // The per-rank partition boundaries must not disturb equality: compare a
+  // 3-rank kernel E-step against 3-rank scalar E-steps block by block.
+  data::LabeledDataset ld = data::paper_dataset(1000, 35);
+  data::inject_missing(ld.dataset, 0.1, 12);
+  const Model model = Model::default_model(ld.dataset);
+  for (int rank = 0; rank < 3; ++rank) {
+    const data::ItemRange part = data::block_partition(1000, 3, rank);
+    Reducer ra, rb;
+    EmWorker a(model, part, ra);
+    EmWorker b(model, part, rb);
+    Classification ca(model, 4), cb(model, 4);
+    a.random_init(ca, 7, 0, EmConfig{});
+    b.random_init(cb, 7, 0, EmConfig{});
+    a.update_parameters(ca);
+    b.update_parameters(cb);
+    a.update_wts(ca);
+    b.update_wts_scalar(cb);
+    expect_bit_identical(a.local_weights(), b.local_weights());
+  }
+}
+
+// ---- report paths routed through the kernels ----
+
+TEST(ReportKernels, MembershipMatchesScalarJoint) {
+  const data::LabeledDataset ld = data::paper_dataset(300, 36);
+  const Model model = Model::default_model(ld.dataset);
+  Reducer identity;
+  EmWorker worker(model, data::ItemRange{0, 300}, identity);
+  Classification c(model, 3);
+  EmConfig config;
+  worker.random_init(c, 47, 0, config);
+  worker.converge(c, config);
+  for (std::size_t i = 0; i < 300; i += 13) {
+    // Scalar joint row, normalized exactly as report.cpp does.
+    std::vector<double> row(3);
+    for (std::size_t k = 0; k < 3; ++k) {
+      double lp = c.log_pi(k);
+      for (std::size_t t = 0; t < model.num_terms(); ++t)
+        lp += model.term(t).log_prob(i, c.param_block(k, t));
+      row[k] = lp;
+    }
+    const double lse = logsumexp(row);
+    for (double& v : row) v = std::exp(v - lse);
+    const auto m = membership(c, i);
+    expect_bit_identical(m, row);
+  }
+}
+
+TEST(ReportKernels, AssignLabelsMatchesPerItemMembership) {
+  const data::LabeledDataset ld = data::paper_dataset(600, 37);
+  const Model model = Model::default_model(ld.dataset);
+  Reducer identity;
+  EmWorker worker(model, data::ItemRange{0, 600}, identity);
+  Classification c(model, 4);
+  EmConfig config;
+  worker.random_init(c, 49, 0, config);
+  worker.converge(c, config);
+  const auto labels = assign_labels(c);
+  ASSERT_EQ(labels.size(), 600u);
+  for (std::size_t i = 0; i < 600; i += 29) {
+    const auto m = membership(c, i);
+    const auto best = static_cast<std::int32_t>(
+        std::max_element(m.begin(), m.end()) - m.begin());
+    EXPECT_EQ(labels[i], best) << "item " << i;
+  }
+}
+
+// ---- degenerate-row guard ----
+
+TEST(DegenerateRow, AllInfRowRaisesTypedErrorNamingItem) {
+  Dataset d(Schema({Attribute::discrete("s", 2)}), 6);
+  for (std::size_t i = 0; i < 6; ++i)
+    d.set_discrete(i, 0, i == 4 ? 1 : 0);
+  const Model model = Model::default_model(d);
+  Reducer identity;
+  EmWorker worker(model, data::ItemRange{0, 6}, identity);
+  Classification c(model, 2);
+  worker.random_init(c, 3, 0, EmConfig{});
+  worker.update_parameters(c);
+  // Zero-support symbol: both classes rule out symbol 1, so item 4's row
+  // is -inf under every class.
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < 2; ++k) c.param_block(k, 0)[1] = -inf;
+  try {
+    worker.update_wts(c);
+    FAIL() << "expected DegenerateRowError";
+  } catch (const DegenerateRowError& e) {
+    EXPECT_EQ(e.item, 4u);
+    EXPECT_EQ(e.num_classes, 2u);
+    EXPECT_NE(std::string(e.what()).find("item 4"), std::string::npos);
+  }
+  // The scalar oracle guards identically.
+  EXPECT_THROW(worker.update_wts_scalar(c), DegenerateRowError);
+}
+
+TEST(DegenerateRow, FiniteRowsStillConverge) {
+  // The guard must not fire on ordinary data (including missing values).
+  data::LabeledDataset ld = data::paper_dataset(400, 39);
+  data::inject_missing(ld.dataset, 0.2, 13);
+  const Model model = Model::default_model(ld.dataset);
+  Reducer identity;
+  EmWorker worker(model, data::ItemRange{0, 400}, identity);
+  Classification c(model, 3);
+  EmConfig config;
+  worker.random_init(c, 51, 0, config);
+  EXPECT_NO_THROW(worker.converge(c, config));
+}
+
+// ---- seed-item draw fallback ----
+
+TEST(SeedDraws, DefaultBudgetDistinctWhenPossible) {
+  const CounterRng rng(123);
+  for (std::uint64_t try_index = 0; try_index < 8; ++try_index) {
+    const auto seeds = detail::draw_seed_items(rng, 16, 16, try_index);
+    ASSERT_EQ(seeds.size(), 16u);
+    const std::set<std::size_t> unique(seeds.begin(), seeds.end());
+    // j == n: every item must be picked exactly once — the old fallback
+    // pushed duplicates here and produced zero-separation classes.
+    EXPECT_EQ(unique.size(), 16u) << "try " << try_index;
+  }
+}
+
+TEST(SeedDraws, TinyPrimaryBudgetForcesDistinctFallback) {
+  const CounterRng rng(7);
+  // A budget of 1 draw forces the widened-stream fallback almost every
+  // collision; seeds must still be distinct and in range.
+  const auto seeds = detail::draw_seed_items(rng, 10, 10, 0, 1);
+  ASSERT_EQ(seeds.size(), 10u);
+  std::set<std::size_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const std::size_t s : seeds) EXPECT_LT(s, 10u);
+}
+
+TEST(SeedDraws, DeterministicAcrossCalls) {
+  const CounterRng rng(99);
+  const auto a = detail::draw_seed_items(rng, 50, 12, 3, 2);
+  const auto b = detail::draw_seed_items(rng, 50, 12, 3, 2);
+  EXPECT_EQ(a, b);
+  // Different tries draw from different streams.
+  const auto c = detail::draw_seed_items(rng, 50, 12, 4, 2);
+  EXPECT_NE(a, c);
+}
+
+TEST(SeedDraws, MoreClassesThanItemsStillTerminates) {
+  const CounterRng rng(5);
+  const auto seeds = detail::draw_seed_items(rng, 3, 9, 0);
+  ASSERT_EQ(seeds.size(), 9u);
+  const std::set<std::size_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 3u);  // every item used before duplicates
+  for (const std::size_t s : seeds) EXPECT_LT(s, 3u);
+}
+
+TEST(SeedDraws, CommonCaseMatchesHistoricalPrimaryStream) {
+  // Collision-free draws must still come from the primary stream with the
+  // historical (stream, index, counter) coordinates, so pre-fix EM
+  // trajectories are preserved.
+  const std::size_t n = 100000;
+  const CounterRng rng(2024);
+  const auto seeds = detail::draw_seed_items(rng, n, 4, 2);
+  std::vector<std::size_t> expected;
+  std::uint64_t draw = 0;
+  while (expected.size() < 4) {
+    const auto candidate = std::min(
+        n - 1,
+        static_cast<std::size_t>(
+            rng.uniform(0x1A17 + 2, expected.size(), draw) *
+            static_cast<double>(n)));
+    ++draw;
+    if (std::find(expected.begin(), expected.end(), candidate) ==
+        expected.end())
+      expected.push_back(candidate);
+  }
+  EXPECT_EQ(seeds, expected);
+}
+
+}  // namespace
+}  // namespace pac::ac

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cmath>
@@ -140,11 +141,26 @@ int worker_die() {
 
 int worker_exitcode() { return pac::mp::transport::pacnet_rank() == 0 ? 9 : 0; }
 
+int worker_sleep() {
+  // Report our pid, then idle: the parent test interrupts the launcher and
+  // verifies it reaps us.  The loop only bounds the damage if it doesn't.
+  const char* out = std::getenv("PAC_TT_OUT");
+  if (out == nullptr) return 12;
+  {
+    std::ofstream os(std::string(out) + ".rank" +
+                     std::to_string(pac::mp::transport::pacnet_rank()));
+    os << ::getpid();
+  }
+  for (int i = 0; i < 300; ++i) ::usleep(100 * 1000);
+  return 0;
+}
+
 int worker_main(const std::string& mode) {
   if (mode == "quickstart") return worker_quickstart();
   if (mode == "ring") return worker_ring();
   if (mode == "die") return worker_die();
   if (mode == "exitcode") return worker_exitcode();
+  if (mode == "sleep") return worker_sleep();
   std::fprintf(stderr, "unknown PAC_TT_MODE '%s'\n", mode.c_str());
   return 21;
 }
@@ -231,6 +247,48 @@ TEST(TransportLaunch, NonzeroExitPropagates) {
       launch({self_path()}, options_for("exitcode", ""));
   EXPECT_EQ(result.exit_status, 9);
   EXPECT_EQ(result.failed_rank, 0);
+}
+
+TEST(TransportLaunch, InterruptedLauncherReapsRankProcesses) {
+  // An interrupted launcher (Ctrl-C, or a supervisor's SIGTERM) must take
+  // its rank processes down with it — an aborted distributed run may not
+  // leave orphan ranks holding the rendezvous socket.  The launcher runs in
+  // a forked child so we can signal it like a shell would.
+  constexpr int kSleepRanks = 3;
+  const std::string out = out_path_for("interrupt");
+  const pid_t launcher = ::fork();
+  ASSERT_GE(launcher, 0);
+  if (launcher == 0) {
+    LaunchOptions opts = options_for("sleep", out);
+    opts.nprocs = kSleepRanks;
+    const LaunchResult result = launch({self_path()}, opts);
+    ::_exit(result.exit_status);
+  }
+  // Wait for every rank to report its pid, then interrupt the launcher.
+  std::vector<pid_t> rank_pids;
+  for (int rank = 0; rank < kSleepRanks; ++rank) {
+    const std::string marker = out + ".rank" + std::to_string(rank);
+    pid_t pid = 0;
+    for (int spin = 0; spin < 200 && pid == 0; ++spin) {
+      std::ifstream is(marker);
+      if (!(is >> pid)) {
+        pid = 0;
+        ::usleep(50 * 1000);
+      }
+    }
+    ASSERT_GT(pid, 0) << "rank " << rank << " never reported its pid";
+    rank_pids.push_back(pid);
+    ::unlink(marker.c_str());
+  }
+  ASSERT_EQ(::kill(launcher, SIGTERM), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(launcher, &wstatus, 0), launcher);
+  ASSERT_TRUE(WIFEXITED(wstatus)) << "launcher died instead of exiting";
+  EXPECT_EQ(WEXITSTATUS(wstatus), 128 + SIGTERM);
+  // The launcher reaps its ranks before returning, so by the time it has
+  // exited the rank pids must be gone (no zombies: it waitpid'd them).
+  for (const pid_t pid : rank_pids)
+    EXPECT_NE(::kill(pid, 0), 0) << "rank process " << pid << " survived";
 }
 
 TEST(TransportLaunch, RejectsBadOptions) {

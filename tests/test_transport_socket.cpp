@@ -16,6 +16,9 @@
 #include <thread>
 #include <vector>
 
+#include "autoclass/em.hpp"
+#include "core/pautoclass.hpp"
+#include "data/synth.hpp"
 #include "mp/comm.hpp"
 #include "mp/transport/env.hpp"
 #include "util/error.hpp"
@@ -373,6 +376,64 @@ TEST(TransportSocket, WorldIsReusableAcrossRuns) {
   }
   for (std::thread& t : ranks) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+/// One rank's E-step for the kernel-equality smoke: init + M-step + E-step
+/// over this rank's block partition, appending the local membership weights,
+/// the global class weights W_j, and the global log-likelihood to `sink`.
+void estep_suite(Comm& comm, const ac::Model& model, bool scalar,
+                 std::vector<double>& sink) {
+  core::ParallelConfig pc;
+  pc.charge_costs = false;
+  core::ParallelReducer reducer(comm, model, pc);
+  const data::ItemRange part = data::block_partition(
+      model.dataset().num_items(), comm.size(), comm.rank());
+  ac::EmWorker worker(model, part, reducer);
+  ac::Classification c(model, 3);
+  worker.random_init(c, 2026, 0, ac::EmConfig{});
+  worker.update_parameters(c);
+  const double loglike =
+      scalar ? worker.update_wts_scalar(c) : worker.update_wts(c);
+  const std::span<const double> w = worker.local_weights();
+  sink.insert(sink.end(), w.begin(), w.end());
+  for (std::size_t j = 0; j < c.num_classes(); ++j) sink.push_back(c.weight(j));
+  sink.push_back(loglike);
+}
+
+TEST(TransportSocket, EStepKernelBitIdenticalToScalarAndInProcess) {
+  // Kernel-vs-scalar smoke on the real transport: the batched E-step and the
+  // per-item scalar oracle must agree bit for bit over socket reductions AND
+  // match the in-process backend.  Full per-family kernel coverage lives in
+  // test_ac_kernels; this runs a mixed real+discrete model with missing
+  // values through the whole distributed pipeline.
+  constexpr int kRanks = 3;
+  data::LabeledDataset ld = data::mixed_mixture(
+      {{0.5, {0.0, 1.0}, {1.0, 0.5}, {{0.8, 0.2}, {0.1, 0.6, 0.3}}},
+       {0.5, {3.0, -1.0}, {0.7, 1.2}, {{0.3, 0.7}, {0.5, 0.2, 0.3}}}},
+      600, 11);
+  data::inject_missing(ld.dataset, 0.05, 7);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+
+  std::vector<std::vector<double>> kernel(kRanks), scalar(kRanks),
+      modeled(kRanks);
+  run_socket_world(kRanks, [&](Comm& comm) {
+    estep_suite(comm, model, /*scalar=*/false,
+                kernel[static_cast<std::size_t>(comm.rank())]);
+  });
+  run_socket_world(kRanks, [&](Comm& comm) {
+    estep_suite(comm, model, /*scalar=*/true,
+                scalar[static_cast<std::size_t>(comm.rank())]);
+  });
+  World::Config cfg;
+  cfg.num_ranks = kRanks;
+  cfg.machine = net::ideal_machine();
+  World world(cfg);
+  world.run([&](Comm& comm) {
+    estep_suite(comm, model, /*scalar=*/false,
+                modeled[static_cast<std::size_t>(comm.rank())]);
+  });
+  expect_bit_identical(kernel, scalar);
+  expect_bit_identical(kernel, modeled);
 }
 
 TEST(TransportSocket, ConnectionRefusedThrowsTransportError) {
