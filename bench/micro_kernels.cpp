@@ -200,6 +200,125 @@ void BM_UpdateWtsMixed(benchmark::State& state) {
 }
 BENCHMARK(BM_UpdateWtsMixed);
 
+// ---- M-step kernel benches: batched update_parameters vs the oracle ----
+
+/// One full M-step per iteration from a fixed post-E-step state.  `scalar`
+/// selects the per-item virtual accumulate chain instead of the
+/// accumulate_batch kernels; `threads` sizes the intra-rank pool.
+void run_update_params(benchmark::State& state, const ac::Model& model,
+                       std::size_t j, bool scalar, int threads = 1) {
+  const std::size_t n = model.dataset().num_items();
+  ac::Reducer identity;
+  ac::EmWorker worker(model, data::ItemRange{0, n}, identity);
+  ac::Classification c(model, j);
+  ac::EmConfig config;
+  config.threads = threads;
+  worker.random_init(c, 7, 0, config);
+  worker.update_parameters(c);
+  worker.update_wts(c);
+  for (auto _ : state) {
+    if (scalar) {
+      worker.update_parameters_scalar(c);
+    } else {
+      worker.update_parameters(c);
+    }
+    benchmark::DoNotOptimize(c.all_params().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * j);
+}
+
+void BM_UpdateParamsGaussian(benchmark::State& state) {
+  const data::LabeledDataset ld = gaussian_heavy_dataset(4000);
+  run_update_params(state, ac::Model::default_model(ld.dataset), 8, false);
+}
+BENCHMARK(BM_UpdateParamsGaussian);
+
+void BM_UpdateParamsScalarGaussian(benchmark::State& state) {
+  // The oracle on the identical workload: the kernel acceptance bar is
+  // BM_UpdateParamsGaussian at >= 2x this throughput at 1 thread.
+  const data::LabeledDataset ld = gaussian_heavy_dataset(4000);
+  run_update_params(state, ac::Model::default_model(ld.dataset), 8, true);
+}
+BENCHMARK(BM_UpdateParamsScalarGaussian);
+
+void BM_UpdateParamsGaussianThreads4(benchmark::State& state) {
+  // The hybrid layer on the same workload.  Wall-clock scaling tracks the
+  // host's core count (a single-core container shows none); results are
+  // bit-identical to the 1-thread bench by construction.
+  const data::LabeledDataset ld = gaussian_heavy_dataset(4000);
+  run_update_params(state, ac::Model::default_model(ld.dataset), 8, false,
+                    4);
+}
+BENCHMARK(BM_UpdateParamsGaussianThreads4);
+
+void BM_UpdateParamsMultinomial(benchmark::State& state) {
+  std::vector<data::CategoricalComponent> mix(3);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    for (std::size_t a = 0; a < 6; ++a) {
+      std::vector<double> p(4, 0.15);
+      p[(a + c) % 4] = 0.55;
+      mix[c].probs.push_back(std::move(p));
+    }
+  }
+  data::LabeledDataset ld = data::categorical_mixture(mix, 4000, 19);
+  data::inject_missing(ld.dataset, 0.02, 5);
+  run_update_params(state, ac::Model::default_model(ld.dataset), 4, false);
+}
+BENCHMARK(BM_UpdateParamsMultinomial);
+
+void BM_UpdateParamsMultiNormal(benchmark::State& state) {
+  constexpr std::size_t kDim = 4;
+  std::vector<data::CorrelatedComponent> mix(3);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    mix[c].mean.assign(kDim, static_cast<double>(c) * 3.0);
+    mix[c].chol.assign(kDim * kDim, 0.0);
+    for (std::size_t i = 0; i < kDim; ++i) {
+      mix[c].chol[i * kDim + i] = 0.8;
+      if (i > 0) mix[c].chol[i * kDim + i - 1] = 0.2;
+    }
+  }
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 4000, 21);
+  run_update_params(state, ac::Model::correlated_model(ld.dataset), 4,
+                    false);
+}
+BENCHMARK(BM_UpdateParamsMultiNormal);
+
+void BM_UpdateParamsLognormal(benchmark::State& state) {
+  const std::size_t n = 4000;
+  data::Dataset d(data::Schema({data::Attribute::real("x", 0.01),
+                                data::Attribute::real("y", 0.01)}),
+                  n);
+  Xoshiro256ss rng(23);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.set_real(i, 0, std::exp(0.4 + 0.5 * normal01(rng)));
+    d.set_real(i, 1, std::exp(-0.2 + 0.3 * normal01(rng)));
+  }
+  const ac::Model model(d, {{ac::TermKind::kSingleLognormal, {0}},
+                            {ac::TermKind::kSingleLognormal, {1}}});
+  run_update_params(state, model, 4, false);
+}
+BENCHMARK(BM_UpdateParamsLognormal);
+
+void BM_UpdateParamsMixed(benchmark::State& state) {
+  std::vector<data::MixedComponent> mix(2);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    mix[c].mean = {static_cast<double>(c) * 2.0, 1.0 - static_cast<double>(c)};
+    mix[c].sigma = {1.0, 0.7};
+    mix[c].probs = {{0.2 + 0.5 * static_cast<double>(c),
+                     0.8 - 0.5 * static_cast<double>(c)}};
+  }
+  data::LabeledDataset ld = data::mixed_mixture(mix, 4000, 27);
+  data::inject_missing(ld.dataset, 0.02, 5);
+  const ac::Model model(ld.dataset, {{ac::TermKind::kSingleNormal, {0}},
+                                     {ac::TermKind::kIgnore, {1}},
+                                     {ac::TermKind::kSingleMultinomial, {2}}});
+  run_update_params(state, model, 4, false);
+}
+BENCHMARK(BM_UpdateParamsMixed);
+
 void BM_EmBaseCycle(benchmark::State& state) {
   // Host throughput of one full base_cycle (sequential), items x classes.
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -312,6 +431,52 @@ bool check_estep_kernel_equality() {
   return true;
 }
 
+/// Smoke-tier correctness gate for the batched M-step: update_parameters
+/// and the scalar oracle must produce bit-identical statistics and
+/// parameters on the bench workload, at 1 thread and through the pool.
+bool check_mstep_kernel_equality() {
+  const data::LabeledDataset ld = gaussian_heavy_dataset(1000);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  std::vector<std::vector<double>> stats, params;
+  struct Variant {
+    bool scalar;
+    int threads;
+  };
+  for (const Variant v :
+       {Variant{false, 1}, Variant{true, 1}, Variant{false, 4}}) {
+    ac::Reducer identity;
+    ac::EmWorker worker(model, data::ItemRange{0, 1000}, identity);
+    ac::Classification c(model, 6);
+    ac::EmConfig config;
+    config.threads = v.threads;
+    worker.random_init(c, 9, 0, config);
+    if (v.scalar) {
+      worker.update_parameters_scalar(c);
+    } else {
+      worker.update_parameters(c);
+    }
+    const auto s = worker.statistics();
+    stats.emplace_back(s.begin(), s.end());
+    const auto p = c.all_params();
+    params.emplace_back(p.begin(), p.end());
+  }
+  for (std::size_t v = 1; v < stats.size(); ++v) {
+    if (stats[v].size() != stats[0].size() ||
+        std::memcmp(stats[v].data(), stats[0].data(),
+                    stats[0].size() * sizeof(double)) != 0 ||
+        params[v].size() != params[0].size() ||
+        std::memcmp(params[v].data(), params[0].data(),
+                    params[0].size() * sizeof(double)) != 0) {
+      std::fprintf(
+          stderr,
+          "micro_kernels: M-step kernel-vs-scalar equality FAILED (%zu)\n",
+          v);
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN() plus a --smoke flag: the CI tier maps it to a minimal
@@ -333,6 +498,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   if (smoke && !check_scratch_fold_path()) return 1;
   if (smoke && !check_estep_kernel_equality()) return 1;
+  if (smoke && !check_mstep_kernel_equality()) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

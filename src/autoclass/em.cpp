@@ -6,6 +6,7 @@
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace pac::ac {
@@ -19,10 +20,25 @@ constexpr std::uint64_t kInitStream = 0x1A17;
 /// stream families never overlap.
 constexpr std::uint64_t kSeedFallbackStream = kInitStream + (1ULL << 32);
 
-/// Items per E-step block: big enough to amortize the per-(term, class)
-/// kernel dispatch, small enough that a block of likelihood rows stays in
-/// L1/L2 alongside the term columns.
+/// Items per E-step / M-step block: big enough to amortize the per-(term,
+/// class) kernel dispatch, small enough that a block of likelihood rows
+/// stays in L1/L2 alongside the term columns.  Also the unit of intra-rank
+/// work sharing: per-block partials are folded in block-index order, so
+/// every EM result is a pure function of this constant and never of the
+/// thread count.
 constexpr std::size_t kEStepBlock = 256;
+
+/// Number of kEStepBlock blocks covering [begin, end).
+std::size_t block_count(std::size_t begin, std::size_t end) {
+  return (end - begin + kEStepBlock - 1) / kEStepBlock;
+}
+
+/// The b-th block of [begin, end).
+data::ItemRange block_range(std::size_t begin, std::size_t end,
+                            std::size_t b) {
+  const std::size_t lo = begin + b * kEStepBlock;
+  return data::ItemRange{lo, std::min(lo + kEStepBlock, end)};
+}
 }  // namespace
 
 namespace detail {
@@ -93,6 +109,17 @@ EmWorker::EmWorker(const Model& model, data::ItemRange range,
   PAC_REQUIRE(range.end <= data_->num_items());
 }
 
+EmWorker::~EmWorker() = default;
+
+void EmWorker::run_blocks(std::size_t blocks,
+                          const std::function<void(std::size_t)>& fn) {
+  if (pool_ != nullptr) {
+    pool_->run(blocks, fn);
+    return;
+  }
+  for (std::size_t b = 0; b < blocks; ++b) fn(b);
+}
+
 void EmWorker::random_init(Classification& c, std::uint64_t seed,
                            std::uint64_t try_index, const EmConfig& config) {
   // Try-generation span: seed drawing, initial soft assignment, and the
@@ -103,7 +130,12 @@ void EmWorker::random_init(Classification& c, std::uint64_t seed,
   weights_.assign(range_.size() * j, 0.0);
   if (!partition_params_)
     full_weights_.assign(data_->num_items() * j, 0.0);
-  scratch_.assign(j, 0.0);
+  threads_ = ThreadPool::resolve(config.threads);
+  if (threads_ <= 1) {
+    pool_.reset();
+  } else if (pool_ == nullptr || pool_->threads() != threads_) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+  }
 
   PAC_REQUIRE(config.init_hard_weight > 0.0 && config.init_hard_weight <= 1.0);
   const double rest =
@@ -200,20 +232,53 @@ double EmWorker::finish_update_wts(Classification& c,
   return c.log_likelihood;
 }
 
-double EmWorker::update_wts(Classification& c) {
-  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_wts");
+template <typename FillBlock>
+double EmWorker::update_wts_blocked(Classification& c, FillBlock&& fill) {
   const std::size_t j = c.num_classes();
   PAC_CHECK_MSG(j == num_classes_, "call random_init before update_wts");
-  const std::size_t num_terms = model_->num_terms();
+  const std::size_t blocks = block_count(range_.begin, range_.end);
 
+  // Per-block partials: one W_j row and one compensated log-likelihood per
+  // block, plus the block's deferred error.  Blocks are claimed by whatever
+  // thread is free; determinism comes from the block-ordered fold below.
+  std::vector<double> block_wj(blocks * j, 0.0);
+  std::vector<KahanSum> block_loglike(blocks);
+  std::vector<std::exception_ptr> block_error(blocks);
+  run_blocks(blocks, [&](std::size_t b) {
+    const data::ItemRange block = block_range(range_.begin, range_.end, b);
+    double* rows = weights_.data() + (block.begin - range_.begin) * j;
+    try {
+      fill(block, rows);
+      const std::span<double> wj(block_wj.data() + b * j, j);
+      for (std::size_t r = 0; r < block.size(); ++r)
+        normalize_row(block.begin + r, rows + r * j, j, wj,
+                      block_loglike[b]);
+    } catch (...) {
+      block_error[b] = std::current_exception();
+    }
+  });
+
+  // Block-ordered fold: the lowest-indexed block error wins (whatever
+  // thread hit it), then W_j and the log-likelihood fold block by block —
+  // a pure function of kEStepBlock, bit-identical for any thread count.
+  for (std::size_t b = 0; b < blocks; ++b)
+    if (block_error[b]) std::rethrow_exception(block_error[b]);
   std::vector<double> wj_and_loglike(j + 1, 0.0);
-  const std::span<double> wj(wj_and_loglike.data(), j);
   KahanSum loglike;
-  for (std::size_t begin = range_.begin; begin < range_.end;
-       begin += kEStepBlock) {
-    const data::ItemRange block{begin,
-                                std::min(begin + kEStepBlock, range_.end)};
-    double* rows = weights_.data() + (begin - range_.begin) * j;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t k = 0; k < j; ++k)
+      wj_and_loglike[k] += block_wj[b * j + k];
+    loglike.add(block_loglike[b].value());
+  }
+  wj_and_loglike[j] = loglike.value();
+  return finish_update_wts(c, std::span<double>(wj_and_loglike));
+}
+
+double EmWorker::update_wts(Classification& c) {
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_wts");
+  const std::size_t num_terms = model_->num_terms();
+  const std::size_t j = c.num_classes();
+  return update_wts_blocked(c, [&](data::ItemRange block, double* rows) {
     // log L_ij = log pi_j + sum_t log p(x_i | theta_jt), assembled
     // term-major: seed every row with the log mixing weights, then let each
     // (term, class) kernel accumulate one class-column across the whole
@@ -226,69 +291,107 @@ double EmWorker::update_wts(Classification& c) {
       for (std::size_t k = 0; k < j; ++k)
         model_->term(t).log_prob_batch(block, c.param_block(k, t), rows + k,
                                        j);
-    for (std::size_t r = 0; r < block.size(); ++r)
-      normalize_row(block.begin + r, rows + r * j, j, wj, loglike);
-  }
-  wj_and_loglike[j] = loglike.value();
-  return finish_update_wts(c, std::span<double>(wj_and_loglike));
+  });
 }
 
 double EmWorker::update_wts_scalar(Classification& c) {
   PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_wts_scalar");
-  const std::size_t j = c.num_classes();
-  PAC_CHECK_MSG(j == num_classes_, "call random_init before update_wts");
   const std::size_t num_terms = model_->num_terms();
-
-  std::vector<double> wj_and_loglike(j + 1, 0.0);
-  const std::span<double> wj(wj_and_loglike.data(), j);
-  KahanSum loglike;
-  for (std::size_t i = range_.begin; i < range_.end; ++i) {
-    double* row = weights_.data() + (i - range_.begin) * j;
-    // log L_ij = log pi_j + sum_t log p(x_i | theta_jt)
-    for (std::size_t k = 0; k < j; ++k) {
-      double lp = c.log_pi(k);
-      for (std::size_t t = 0; t < num_terms; ++t)
-        lp += model_->term(t).log_prob(i, c.param_block(k, t));
-      row[k] = lp;
+  const std::size_t j = c.num_classes();
+  return update_wts_blocked(c, [&](data::ItemRange block, double* rows) {
+    // log L_ij = log pi_j + sum_t log p(x_i | theta_jt), per item.
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      double* row = rows + (i - block.begin) * j;
+      for (std::size_t k = 0; k < j; ++k) {
+        double lp = c.log_pi(k);
+        for (std::size_t t = 0; t < num_terms; ++t)
+          lp += model_->term(t).log_prob(i, c.param_block(k, t));
+        row[k] = lp;
+      }
     }
-    normalize_row(i, row, j, wj, loglike);
+  });
+}
+
+template <typename AccumulateBlock>
+void EmWorker::accumulate_statistics_blocked(const Classification& c,
+                                             AccumulateBlock&& accumulate) {
+  const std::size_t j = c.num_classes();
+  const std::size_t spc = model_->stats_per_class();
+  const bool full = !partition_params_;
+  const std::size_t begin = full ? 0 : range_.begin;
+  const std::size_t end = full ? data_->num_items() : range_.end;
+  const double* weights = full ? full_weights_.data() : weights_.data();
+  const std::size_t weight_base = full ? 0 : range_.begin;
+
+  // Per-block J x stats_per_class partials, folded below in block-index
+  // order — the same determinism structure as the E-step.
+  const std::size_t blocks = block_count(begin, end);
+  block_stats_.assign(blocks * j * spc, 0.0);
+  run_blocks(blocks, [&](std::size_t b) {
+    const data::ItemRange block = block_range(begin, end, b);
+    const double* block_weights = weights + (block.begin - weight_base) * j;
+    accumulate(block, block_weights,
+               std::span<double>(block_stats_.data() + b * j * spc,
+                                 j * spc));
+  });
+
+  stats_.assign(j * spc, 0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const double* partial = block_stats_.data() + b * j * spc;
+    for (std::size_t s = 0; s < j * spc; ++s) stats_[s] += partial[s];
   }
-  wj_and_loglike[j] = loglike.value();
-  return finish_update_wts(c, std::span<double>(wj_and_loglike));
 }
 
 void EmWorker::accumulate_statistics(const Classification& c) {
   const std::size_t j = c.num_classes();
   const std::size_t spc = model_->stats_per_class();
-  stats_.assign(j * spc, 0.0);
-  const bool full = !partition_params_;
-  const std::size_t begin = full ? 0 : range_.begin;
-  const std::size_t end = full ? data_->num_items() : range_.end;
-  const double* weights =
-      full ? full_weights_.data() : weights_.data();
-  const std::size_t weight_base = full ? 0 : range_.begin;
-  for (std::size_t i = begin; i < end; ++i) {
-    const double* row = weights + (i - weight_base) * j;
-    for (std::size_t k = 0; k < j; ++k) {
-      const double w = row[k];
-      if (w <= 0.0) continue;
-      double* class_stats = stats_.data() + k * spc;
-      for (std::size_t t = 0; t < model_->num_terms(); ++t)
-        model_->term(t).accumulate(
-            i, w,
-            std::span<double>(class_stats + model_->stats_offset(t),
-                              model_->term(t).stats_size()));
-    }
-  }
+  accumulate_statistics_blocked(
+      c, [&](data::ItemRange block, const double* weights,
+             std::span<double> stats) {
+        // (class, term)-major: each Term::accumulate_batch call folds one
+        // class's weight column over the whole block — the virtual
+        // dispatch, column pointers, and moment registers hoisted out of
+        // the item loop.  Within every stats slot the items still fold in
+        // increasing order, so the block partial is bit-identical to the
+        // scalar chain's.
+        for (std::size_t k = 0; k < j; ++k) {
+          double* class_stats = stats.data() + k * spc;
+          for (std::size_t t = 0; t < model_->num_terms(); ++t)
+            model_->term(t).accumulate_batch(
+                block, weights + k, j,
+                std::span<double>(class_stats + model_->stats_offset(t),
+                                  model_->term(t).stats_size()));
+        }
+      });
 }
 
-void EmWorker::update_parameters(Classification& c) {
-  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_parameters");
+void EmWorker::accumulate_statistics_scalar(const Classification& c) {
   const std::size_t j = c.num_classes();
-  PAC_CHECK_MSG(j == num_classes_, "call random_init before update_parameters");
   const std::size_t spc = model_->stats_per_class();
+  accumulate_statistics_blocked(
+      c, [&](data::ItemRange block, const double* weights,
+             std::span<double> stats) {
+        // The reference chain: item-major, per-class w <= 0 skip, one
+        // virtual accumulate per (item, class, term).
+        for (std::size_t i = block.begin; i < block.end; ++i) {
+          const double* row = weights + (i - block.begin) * j;
+          for (std::size_t k = 0; k < j; ++k) {
+            const double w = row[k];
+            if (w <= 0.0) continue;
+            double* class_stats = stats.data() + k * spc;
+            for (std::size_t t = 0; t < model_->num_terms(); ++t)
+              model_->term(t).accumulate(
+                  i, w,
+                  std::span<double>(class_stats + model_->stats_offset(t),
+                                    model_->term(t).stats_size()));
+          }
+        }
+      });
+}
 
-  accumulate_statistics(c);
+void EmWorker::finish_update_parameters(Classification& c) {
+  const std::size_t j = c.num_classes();
+  const std::size_t spc = model_->stats_per_class();
   const std::size_t accumulated_items =
       partition_params_ ? range_.size() : data_->num_items();
   reducer_->charge(PhaseWork{Phase::kUpdateParams, accumulated_items, j,
@@ -307,6 +410,22 @@ void EmWorker::update_parameters(Classification& c) {
           c.param_block(k, t));
   }
   c.update_log_pi_from_weights(static_cast<double>(data_->num_items()));
+}
+
+void EmWorker::update_parameters(Classification& c) {
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_parameters");
+  PAC_CHECK_MSG(c.num_classes() == num_classes_,
+                "call random_init before update_parameters");
+  accumulate_statistics(c);
+  finish_update_parameters(c);
+}
+
+void EmWorker::update_parameters_scalar(Classification& c) {
+  PAC_TRACE_SCOPE(reducer_->recorder(), "em", "update_parameters_scalar");
+  PAC_CHECK_MSG(c.num_classes() == num_classes_,
+                "call random_init before update_parameters");
+  accumulate_statistics_scalar(c);
+  finish_update_parameters(c);
 }
 
 void EmWorker::update_approximations(Classification& c) {
@@ -416,6 +535,10 @@ Classification EmWorker::prune_and_refit(const Classification& c,
   // Refit: one E-step to rebuild weights for the survivors, then one full
   // cycle so parameters and scores are consistent.
   num_classes_ = pruned.num_classes();
+  // The refit is try-level overhead on top of the charged cycles: the
+  // weight reshape and survivor bookkeeping scan the rank's items once,
+  // like random_init's setup pass.
+  reducer_->charge(PhaseWork{Phase::kTryOverhead, range_.size(), num_classes_, 0});
   weights_.assign(range_.size() * num_classes_, 0.0);
   if (!partition_params_)
     full_weights_.assign(data_->num_items() * num_classes_, 0.0);

@@ -15,9 +15,18 @@
 // Because the initial weights come from a counter-based per-item RNG and the
 // reductions fold in rank order, the EM trajectory is the same whatever the
 // partitioning — the property the equivalence tests pin down.
+//
+// Inside a rank, the E- and M-step item loops are blocked (kEStepBlock
+// items) and may be work-shared across a small persistent ThreadPool
+// (EmConfig::threads / PAC_EM_THREADS).  Each block fills its own partial
+// accumulators, which the owner folds in block-index order — so every
+// result is a pure function of the block size, bit-identical across 1/2/N
+// threads and across both transport backends (DESIGN.md §5).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,6 +37,7 @@
 
 namespace pac {
 class CounterRng;
+class ThreadPool;
 }
 
 namespace pac::trace {
@@ -93,6 +103,13 @@ struct EmConfig {
   /// Initial membership weight given to the randomly drawn home class
   /// (the rest is spread uniformly): a "smoothed hard" initialization.
   double init_hard_weight = 0.9;
+  /// Intra-rank worker threads work-sharing the E-step and M-step block
+  /// loops (the hybrid SPMD x threads layer).  0 = read the PAC_EM_THREADS
+  /// environment variable, defaulting to 1 (no pool, today's behavior).
+  /// Results are deterministic in the block size and *invariant in the
+  /// thread count*: per-block partials are folded in block-index order, so
+  /// every value is bit-identical for any setting.
+  int threads = 0;
 };
 
 /// Cost-charging phases (matching the paper's profile of base_cycle).
@@ -162,6 +179,10 @@ class EmWorker {
   /// statistics.
   EmWorker(const Model& model, data::ItemRange range, Reducer& reducer,
            bool partition_params = true);
+  ~EmWorker();
+
+  EmWorker(const EmWorker&) = delete;
+  EmWorker& operator=(const EmWorker&) = delete;
 
   const Model& model() const noexcept { return *model_; }
   data::ItemRange range() const noexcept { return range_; }
@@ -177,19 +198,35 @@ class EmWorker {
   /// term-major batch kernels (Term::log_prob_batch); per item the
   /// accumulation order is log pi_j then terms in index order — the same as
   /// update_wts_scalar, so both paths are bit-identical on every transport
-  /// backend.  Throws DegenerateRowError if any item's row is -inf under
-  /// every class.
+  /// backend.  Blocks are work-shared across the configured thread pool and
+  /// the per-block (W_j, log-likelihood) partials are folded in block-index
+  /// order, so every result is a pure function of the block size —
+  /// bit-identical across thread counts.  Throws DegenerateRowError if any
+  /// item's row is -inf under every class (the lowest-indexed offending
+  /// block wins, whatever thread found it).
   double update_wts(Classification& c);
 
   /// Reference E-step: the per-item virtual log_prob chain the batch
-  /// kernels replaced.  Kept as the oracle the kernel-equality tests and
-  /// BM_UpdateWts benches diff against; identical reduction protocol and
-  /// results (bit-for-bit) as update_wts.
+  /// kernels replaced, run through the identical blocked reduction
+  /// structure (per-block partials, block-ordered fold).  Kept as the
+  /// oracle the kernel-equality tests and BM_UpdateWts benches diff
+  /// against; identical reduction protocol and results (bit-for-bit) as
+  /// update_wts.
   double update_wts_scalar(Classification& c);
 
-  /// M-step: accumulate local statistics, make them global, and recompute
-  /// every class's parameters and mixing weight.
+  /// M-step: accumulate local statistics — blocked, (class, term)-major
+  /// over the membership matrix via Term::accumulate_batch, work-shared
+  /// across the thread pool with per-block partial statistics folded in
+  /// block-index order — make them global, and recompute every class's
+  /// parameters and mixing weight.
   void update_parameters(Classification& c);
+
+  /// Reference M-step: the per-item x per-class x per-term virtual
+  /// accumulate chain the batch kernels replaced, through the identical
+  /// blocked partial fold (accumulate_statistics_scalar).  The oracle the
+  /// M-step equality tests and BM_UpdateParams benches diff against;
+  /// bit-identical results to update_parameters.
+  void update_parameters_scalar(Classification& c);
 
   /// Score bookkeeping: Cheeseman-Stutz and BIC scores from the current
   /// global statistics (cheap; paper Sec. 3 measures it as negligible).
@@ -212,7 +249,23 @@ class EmWorker {
   std::span<const double> statistics() const noexcept { return stats_; }
 
  private:
+  /// Batched statistics accumulation (Term::accumulate_batch) and its
+  /// per-item virtual oracle.  Both are blocked with per-block partials
+  /// folded in block-index order, so they are bit-identical to each other
+  /// and invariant in thread count.
   void accumulate_statistics(const Classification& c);
+  void accumulate_statistics_scalar(const Classification& c);
+  /// Shared M-step scaffolding around the two accumulation paths.
+  template <typename AccumulateBlock>
+  void accumulate_statistics_blocked(const Classification& c,
+                                     AccumulateBlock&& accumulate);
+  /// Common epilogue of both M-step paths: charge, reduce, MAP updates.
+  void finish_update_parameters(Classification& c);
+  /// Shared E-step scaffolding: block the partition, run `fill` per block
+  /// (work-shared), normalize rows into per-block partials, fold them in
+  /// block order, and finish.
+  template <typename FillBlock>
+  double update_wts_blocked(Classification& c, FillBlock&& fill);
   /// Shared E-step tail per item: logsumexp-normalize `row` in place (with
   /// the degenerate-row guard), fold the lse into `loglike` and the
   /// normalized weights into `wj`.  Both update_wts paths run this with the
@@ -222,6 +275,10 @@ class EmWorker {
   /// Common epilogue of both E-step paths: charge, reduce, store results.
   double finish_update_wts(Classification& c,
                            std::span<double> wj_and_loglike);
+  /// Run fn(b) for every block index in [0, blocks): through the pool when
+  /// one is configured, inline otherwise.  fn must not throw.
+  void run_blocks(std::size_t blocks,
+                  const std::function<void(std::size_t)>& fn);
 
   const Model* model_;
   const data::Dataset* data_;
@@ -233,7 +290,9 @@ class EmWorker {
   std::vector<double> weights_;      // local items x J
   std::vector<double> full_weights_; // all items x J (WtsOnly only)
   std::vector<double> stats_;        // J x stats_per_class
-  std::vector<double> scratch_;      // per-item log-likelihood row
+  std::vector<double> block_stats_;  // per-block J x stats_per_class partials
+  std::size_t threads_ = 1;          // resolved at random_init
+  std::unique_ptr<ThreadPool> pool_; // non-null only when threads_ > 1
 };
 
 }  // namespace pac::ac

@@ -25,6 +25,16 @@ void Term::log_prob_batch(data::ItemRange range,
     *out += log_prob(i, params);
 }
 
+void Term::accumulate_batch(data::ItemRange range, const double* weights,
+                            std::size_t stride,
+                            std::span<double> stats) const {
+  for (std::size_t i = range.begin; i < range.end; ++i, weights += stride) {
+    const double w = *weights;
+    if (w <= 0.0) continue;
+    accumulate(i, w, stats);
+  }
+}
+
 Model::Model(const data::Dataset& data, std::vector<TermSpec> specs,
              ModelConfig config)
     : data_(&data), config_(config) {

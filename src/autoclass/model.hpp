@@ -102,6 +102,27 @@ class Term {
   virtual void accumulate(std::size_t item, double w,
                           std::span<double> stats) const = 0;
 
+  /// Batched M-step kernel: absorb every item i in `range` with membership
+  /// weight weights[(i - range.begin) * stride] into `stats`.  With
+  /// `weights` pointing at one class's column of the row-major item x class
+  /// membership matrix and `stride` = J, one call folds that class's share
+  /// of a whole item block into the class's statistics.
+  ///
+  /// Contract (mirror of log_prob_batch): the additions into each stats
+  /// slot must be the ones accumulate(item, w, stats) would perform, in the
+  /// same increasing-item order, and items with w <= 0 are skipped exactly
+  /// as EmWorker's scalar M-step skips them — so the fold stays
+  /// bit-identical to the per-item virtual chain.  Overrides may hoist
+  /// loop-invariant work (column pointers, parameter-table loads, running
+  /// moment registers, the virtual dispatch itself) but must not
+  /// reassociate the per-item floating-point expression or reorder items
+  /// within a slot.  The scalar accumulate stays the oracle the equality
+  /// tests diff against; the default implementation loops over it, so new
+  /// term families are correct before they are fast.
+  virtual void accumulate_batch(data::ItemRange range, const double* weights,
+                                std::size_t stride,
+                                std::span<double> stats) const;
+
   /// MAP update: statistics -> parameters (applies the term's prior).
   virtual void update_params(std::span<const double> stats,
                              std::span<double> params) const = 0;

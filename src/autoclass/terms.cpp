@@ -96,6 +96,28 @@ class SingleNormalTerm final : public Term {
     stats[2] += w * x * x;
   }
 
+  void accumulate_batch(data::ItemRange range, const double* weights,
+                        std::size_t stride,
+                        std::span<double> stats) const override {
+    // The three weighted moments fold in registers instead of through the
+    // stats span (and the virtual dispatch happens once per block, not per
+    // item); the per-item additions are accumulate's, in item order, so
+    // the folded block is bit-identical to the scalar chain.
+    const double* x = column_.data();
+    double sw = stats[0], swx = stats[1], swx2 = stats[2];
+    for (std::size_t i = range.begin; i < range.end; ++i, weights += stride) {
+      const double w = *weights;
+      if (w <= 0.0) continue;
+      if (data::is_missing_real(x[i])) continue;
+      sw += w;
+      swx += w * x[i];
+      swx2 += w * x[i] * x[i];
+    }
+    stats[0] = sw;
+    stats[1] = swx;
+    stats[2] = swx2;
+  }
+
   void update_params(std::span<const double> stats,
                      std::span<double> params) const override {
     const double sw = stats[0];
@@ -259,6 +281,28 @@ class SingleMultinomialTerm final : public Term {
       return;
     }
     stats[static_cast<std::size_t>(v)] += w;
+  }
+
+  void accumulate_batch(data::ItemRange range, const double* weights,
+                        std::size_t stride,
+                        std::span<double> stats) const override {
+    // A weighted bincount over the same symbol indices the param table
+    // uses, with the missing policy and the counts pointer hoisted out of
+    // the item loop.  Each count slot receives accumulate's additions in
+    // item order.
+    const std::int32_t* v = column_.data();
+    double* counts = stats.data();
+    double* missing_slot = missing_as_value_ ? counts + num_values_ - 1
+                                             : nullptr;
+    for (std::size_t i = range.begin; i < range.end; ++i, weights += stride) {
+      const double w = *weights;
+      if (w <= 0.0) continue;
+      if (v[i] == data::kMissingDiscrete) {
+        if (missing_slot != nullptr) *missing_slot += w;
+        continue;
+      }
+      counts[static_cast<std::size_t>(v[i])] += w;
+    }
   }
 
   void update_params(std::span<const double> stats,
@@ -428,6 +472,34 @@ class MultiNormalTerm final : public Term {
       stats[1 + k] += w * xk;
       for (std::size_t l = 0; l <= k; ++l)
         stats[1 + d + k * d + l] += w * xk * columns_[l][item];
+    }
+  }
+
+  void accumulate_batch(data::ItemRange range, const double* weights,
+                        std::size_t stride,
+                        std::span<double> stats) const override {
+    // Weighted outer-product accumulation with the span indirections
+    // hoisted: raw column pointers and the item's row cached once, then the
+    // same lower-triangle additions as accumulate, in the same order.
+    // (w * xk) is reused across the row — a pure recomputation hoist; the
+    // per-slot expression (w * xk) * xl is unchanged.
+    const std::size_t d = dim_;
+    PAC_CHECK(d <= 32);
+    const double* cols[32];
+    double xs[32];
+    for (std::size_t k = 0; k < d; ++k) cols[k] = columns_[k].data();
+    double* s = stats.data();
+    for (std::size_t i = range.begin; i < range.end; ++i, weights += stride) {
+      const double w = *weights;
+      if (w <= 0.0) continue;
+      s[0] += w;
+      for (std::size_t k = 0; k < d; ++k) xs[k] = cols[k][i];
+      for (std::size_t k = 0; k < d; ++k) {
+        const double wxk = w * xs[k];
+        s[1 + k] += wxk;
+        double* row = s + 1 + d + k * d;
+        for (std::size_t l = 0; l <= k; ++l) row[l] += wxk * xs[l];
+      }
     }
   }
 
@@ -698,6 +770,26 @@ class SingleLognormalTerm final : public Term {
     stats[2] += w * lx * lx;
   }
 
+  void accumulate_batch(data::ItemRange range, const double* weights,
+                        std::size_t stride,
+                        std::span<double> stats) const override {
+    // Same register fold as the normal kernel over the precomputed log x
+    // column.
+    const double* lx = log_column_.data();
+    double sw = stats[0], swl = stats[1], swl2 = stats[2];
+    for (std::size_t i = range.begin; i < range.end; ++i, weights += stride) {
+      const double w = *weights;
+      if (w <= 0.0) continue;
+      if (data::is_missing_real(lx[i])) continue;
+      sw += w;
+      swl += w * lx[i];
+      swl2 += w * lx[i] * lx[i];
+    }
+    stats[0] = sw;
+    stats[1] = swl;
+    stats[2] = swl2;
+  }
+
   void update_params(std::span<const double> stats,
                      std::span<double> params) const override {
     const double sw = stats[0];
@@ -818,6 +910,10 @@ class IgnoreTerm final : public Term {
       *out += 0.0;
   }
   void accumulate(std::size_t, double, std::span<double>) const override {}
+  // Zero statistics slots: there is nothing to add, so (unlike
+  // log_prob_batch's += 0.0) a true no-op is already bit-identical.
+  void accumulate_batch(data::ItemRange, const double*, std::size_t,
+                        std::span<double>) const override {}
   void update_params(std::span<const double>,
                      std::span<double>) const override {}
   double log_marginal(std::span<const double>) const override { return 0.0; }

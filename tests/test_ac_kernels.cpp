@@ -1,12 +1,16 @@
-// Kernel-layer tests: the batched Term::log_prob_batch kernels and the
-// blocked update_wts E-step must be *bit-identical* to the scalar oracle
-// (per-item virtual log_prob chain) for every term family, with and
-// without missing values — the determinism contract of DESIGN.md's kernel
-// section.  Also covers the degenerate-row guard and the seed-item draw
-// fallback fix.
+// Kernel-layer tests: the batched Term::log_prob_batch E-step kernels and
+// the Term::accumulate_batch M-step kernels must be *bit-identical* to
+// their scalar oracles (the per-item virtual log_prob / accumulate chains)
+// for every term family, with and without missing values — the determinism
+// contract of DESIGN.md's kernel section.  The blocked EM drivers must in
+// turn be invariant in the thread count (EmConfig::threads /
+// PAC_EM_THREADS): per-block partials folded in block-index order make
+// every trajectory a pure function of the block size.  Also covers the
+// degenerate-row guard and the seed-item draw fallback fix.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <set>
@@ -120,6 +124,97 @@ TEST(TermKernels, IgnoreTermIsANoOp) {
   expect_term_batch_matches_scalar(model);
 }
 
+// ---- term-level: accumulate_batch vs the scalar accumulate oracle ----
+
+/// Synthetic membership column: varied magnitudes with exact zeros and
+/// negatives sprinkled in (the w <= 0 entries the scalar M-step skips).
+std::vector<double> synthetic_weights(std::size_t n, std::size_t stride) {
+  std::vector<double> w(n * stride, -1.0);  // off-column slots are poison
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0.05 + 0.9 * static_cast<double>((i * 37) % 101) / 101.0;
+    if (i % 5 == 0) v = 0.0;          // skipped
+    if (i % 11 == 3) v = -0.25;       // skipped
+    if (i % 7 == 2) v = 1e-12;        // kept: tiny but positive
+    w[i * stride] = v;
+  }
+  return w;
+}
+
+/// Batched accumulation over a partial range and a strided (J=3 column)
+/// weight layout must match the per-item scalar chain bit-for-bit,
+/// including the w <= 0 skips.
+void expect_term_accumulate_matches_scalar(const Model& model) {
+  const std::size_t n = model.dataset().num_items();
+  const data::ItemRange part{n / 5, n - n / 9};
+  for (std::size_t t = 0; t < model.num_terms(); ++t) {
+    const Term& term = model.term(t);
+    for (const std::size_t stride : {std::size_t{1}, std::size_t{3}}) {
+      const std::vector<double> w = synthetic_weights(n, stride);
+      // Non-zero base stats so additions (not overwrites) are checked.
+      std::vector<double> scalar(term.stats_size(), 0.125);
+      std::vector<double> batch = scalar;
+      for (std::size_t i = part.begin; i < part.end; ++i) {
+        const double wi = w[(i - part.begin) * stride];
+        if (wi <= 0.0) continue;
+        term.accumulate(i, wi, scalar);
+      }
+      term.accumulate_batch(part, w.data(), stride, batch);
+      expect_bit_identical(batch, scalar);
+    }
+  }
+}
+
+TEST(TermMStepKernels, SingleNormalWithMissing) {
+  data::LabeledDataset ld = data::paper_dataset(700, 21);
+  data::inject_missing(ld.dataset, 0.2, 5);
+  expect_term_accumulate_matches_scalar(Model::default_model(ld.dataset));
+}
+
+TEST(TermMStepKernels, SingleMultinomialWithMissing) {
+  const std::vector<data::CategoricalComponent> mix = {
+      {0.5, {{0.7, 0.2, 0.1}, {0.6, 0.4}}},
+      {0.5, {{0.1, 0.2, 0.7}, {0.3, 0.7}}},
+  };
+  data::LabeledDataset ld = data::categorical_mixture(mix, 600, 22);
+  data::inject_missing(ld.dataset, 0.2, 6);
+  expect_term_accumulate_matches_scalar(Model::default_model(ld.dataset));
+  // Missing-as-extra-symbol redirects missing items to the extra count
+  // slot instead of skipping them: cover both policies.
+  ModelConfig config;
+  config.missing_as_extra_value = true;
+  expect_term_accumulate_matches_scalar(
+      Model::default_model(ld.dataset, config));
+}
+
+TEST(TermMStepKernels, MultiNormalBlock) {
+  const double r = 0.8;
+  const std::vector<data::CorrelatedComponent> mix = {
+      {0.5, {0.0, 0.0}, {1.0, 0.0, r, std::sqrt(1 - r * r)}},
+      {0.5, {3.0, 1.0}, {1.0, 0.0, -r, std::sqrt(1 - r * r)}},
+  };
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 500, 23);
+  expect_term_accumulate_matches_scalar(Model::correlated_model(ld.dataset));
+}
+
+TEST(TermMStepKernels, SingleLognormalWithMissing) {
+  Dataset d(Schema({Attribute::real("x", 0.01)}), 400);
+  Xoshiro256ss rng(24);
+  for (std::size_t i = 0; i < 400; ++i)
+    d.set_real(i, 0, std::exp(0.5 + 0.8 * normal01(rng)));
+  for (std::size_t i = 0; i < 400; i += 9) d.set_missing(i, 0);
+  TermSpec spec;
+  spec.kind = TermKind::kSingleLognormal;
+  spec.attributes = {0};
+  expect_term_accumulate_matches_scalar(Model(d, {spec}));
+}
+
+TEST(TermMStepKernels, IgnoreTermIsANoOp) {
+  const data::LabeledDataset ld = data::paper_dataset(100, 25);
+  TermSpec normal{TermKind::kSingleNormal, {0}};
+  TermSpec ignore{TermKind::kIgnore, {1}};
+  expect_term_accumulate_matches_scalar(Model(ld.dataset, {normal, ignore}));
+}
+
 // ---- EM-level: blocked update_wts vs the scalar oracle ----
 
 /// Run `cycles` M/E cycles twice over the same init — once through the
@@ -223,6 +318,282 @@ TEST(UpdateWtsKernel, PartitionedRanksBitEqualScalarRanks) {
     a.update_wts(ca);
     b.update_wts_scalar(cb);
     expect_bit_identical(a.local_weights(), b.local_weights());
+  }
+}
+
+// ---- EM-level: blocked update_parameters vs the scalar oracle ----
+
+/// Run `cycles` full cycles twice over the same init — once through the
+/// accumulate_batch kernels, once through the per-item scalar chain — and
+/// require bit-equal statistics, parameters, and E-step results every step.
+void expect_mstep_bit_equal(const Model& model, std::size_t j,
+                            std::uint64_t seed, int cycles = 3) {
+  const data::ItemRange all{0, model.dataset().num_items()};
+  Reducer ra, rb;
+  EmWorker a(model, all, ra);
+  EmWorker b(model, all, rb);
+  Classification ca(model, j), cb(model, j);
+  a.random_init(ca, seed, 0, EmConfig{});
+  b.random_init(cb, seed, 0, EmConfig{});
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    a.update_parameters(ca);
+    b.update_parameters_scalar(cb);
+    expect_bit_identical(a.statistics(), b.statistics());
+    expect_bit_identical(ca.all_params(), cb.all_params());
+    const double la = a.update_wts(ca);
+    const double lb = b.update_wts(cb);
+    ASSERT_EQ(la, lb) << "cycle " << cycle;
+    expect_bit_identical(a.local_weights(), b.local_weights());
+  }
+}
+
+TEST(UpdateParamsKernel, GaussianWithMissingBitEqualsScalar) {
+  data::LabeledDataset ld = data::paper_dataset(1100, 26);
+  data::inject_missing(ld.dataset, 0.15, 7);
+  expect_mstep_bit_equal(Model::default_model(ld.dataset), 4, 101);
+}
+
+TEST(UpdateParamsKernel, MultinomialWithMissingBitEqualsScalar) {
+  const std::vector<data::CategoricalComponent> mix = {
+      {0.4, {{0.8, 0.1, 0.1}, {0.9, 0.1}}},
+      {0.6, {{0.1, 0.1, 0.8}, {0.2, 0.8}}},
+  };
+  data::LabeledDataset ld = data::categorical_mixture(mix, 900, 27);
+  data::inject_missing(ld.dataset, 0.1, 8);
+  expect_mstep_bit_equal(Model::default_model(ld.dataset), 3, 102);
+  ModelConfig config;
+  config.missing_as_extra_value = true;
+  expect_mstep_bit_equal(Model::default_model(ld.dataset, config), 3, 102);
+}
+
+TEST(UpdateParamsKernel, MultiNormalBitEqualsScalar) {
+  const double r = 0.9;
+  const std::vector<data::CorrelatedComponent> mix = {
+      {0.5, {0.0, 0.0}, {1.0, 0.0, r, std::sqrt(1 - r * r)}},
+      {0.5, {0.0, 5.0}, {1.0, 0.0, -r, std::sqrt(1 - r * r)}},
+  };
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 800, 28);
+  expect_mstep_bit_equal(Model::correlated_model(ld.dataset), 3, 103);
+}
+
+TEST(UpdateParamsKernel, LognormalWithMissingBitEqualsScalar) {
+  Dataset d(Schema({Attribute::real("mass", 0.01)}), 777);
+  Xoshiro256ss rng(29);
+  for (std::size_t i = 0; i < 777; ++i)
+    d.set_real(i, 0, std::exp(1.0 + 0.5 * normal01(rng)));
+  for (std::size_t i = 3; i < 777; i += 11) d.set_missing(i, 0);
+  TermSpec spec;
+  spec.kind = TermKind::kSingleLognormal;
+  spec.attributes = {0};
+  expect_mstep_bit_equal(Model(d, {spec}), 3, 104);
+}
+
+TEST(UpdateParamsKernel, MixedModelWithIgnoreBitEqualsScalar) {
+  std::vector<data::MixedComponent> mix(2);
+  mix[0] = {0.6, {0.0, 1.0}, {1.0, 0.5}, {{0.9, 0.1}}};
+  mix[1] = {0.4, {6.0, -1.0}, {1.0, 0.5}, {{0.1, 0.9}}};
+  data::LabeledDataset ld = data::mixed_mixture(mix, 1000, 31);
+  data::inject_missing(ld.dataset, 0.1, 9);
+  std::vector<TermSpec> specs = {
+      {TermKind::kSingleNormal, {0}},
+      {TermKind::kIgnore, {1}},
+      {TermKind::kSingleMultinomial, {2}},
+  };
+  expect_mstep_bit_equal(Model(ld.dataset, std::move(specs)), 3, 105);
+}
+
+TEST(UpdateParamsKernel, PartitionedRanksBitEqualScalarRanks) {
+  // Per-rank partition boundaries must not disturb M-step equality either.
+  data::LabeledDataset ld = data::paper_dataset(1000, 35);
+  data::inject_missing(ld.dataset, 0.1, 12);
+  const Model model = Model::default_model(ld.dataset);
+  for (int rank = 0; rank < 3; ++rank) {
+    const data::ItemRange part = data::block_partition(1000, 3, rank);
+    Reducer ra, rb;
+    EmWorker a(model, part, ra);
+    EmWorker b(model, part, rb);
+    Classification ca(model, 4), cb(model, 4);
+    a.random_init(ca, 7, 0, EmConfig{});
+    b.random_init(cb, 7, 0, EmConfig{});
+    a.update_parameters(ca);
+    b.update_parameters_scalar(cb);
+    expect_bit_identical(a.statistics(), b.statistics());
+    expect_bit_identical(ca.all_params(), cb.all_params());
+  }
+}
+
+// ---- thread-count invariance ----
+
+/// One converged run at a given thread count, reduced to its observable
+/// outputs: final weights matrix, parameters, scores, and hard labels.
+struct ThreadRun {
+  std::vector<double> weights;
+  std::vector<double> params;
+  std::vector<double> class_weights;
+  double log_likelihood = 0.0;
+  double cs_score = 0.0;
+  double bic_score = 0.0;
+  std::vector<std::int32_t> labels;
+};
+
+ThreadRun run_with_threads(const Model& model, std::size_t j,
+                           std::uint64_t seed, int threads) {
+  Reducer identity;
+  EmWorker worker(model, data::ItemRange{0, model.dataset().num_items()},
+                  identity);
+  Classification c(model, j);
+  EmConfig config;
+  config.threads = threads;
+  config.max_cycles = 25;
+  worker.random_init(c, seed, 0, config);
+  worker.converge(c, config);
+  ThreadRun run;
+  const std::span<const double> w = worker.local_weights();
+  run.weights.assign(w.begin(), w.end());
+  const std::span<const double> p = c.all_params();
+  run.params.assign(p.begin(), p.end());
+  for (std::size_t k = 0; k < c.num_classes(); ++k)
+    run.class_weights.push_back(c.weight(k));
+  run.log_likelihood = c.log_likelihood;
+  run.cs_score = c.cs_score;
+  run.bic_score = c.bic_score;
+  run.labels = assign_labels(c);
+  return run;
+}
+
+/// Converged EM trajectories must be bit-identical at 1, 2, and 4 threads:
+/// the block-ordered partial fold makes every value a pure function of the
+/// block size, not of the thread count (DESIGN.md §5).
+void expect_thread_invariant(const Model& model, std::size_t j,
+                             std::uint64_t seed) {
+  const ThreadRun one = run_with_threads(model, j, seed, 1);
+  for (const int threads : {2, 4}) {
+    const ThreadRun t = run_with_threads(model, j, seed, threads);
+    expect_bit_identical(t.weights, one.weights);
+    expect_bit_identical(t.params, one.params);
+    expect_bit_identical(t.class_weights, one.class_weights);
+    ASSERT_EQ(t.log_likelihood, one.log_likelihood) << threads << " threads";
+    ASSERT_EQ(t.cs_score, one.cs_score) << threads << " threads";
+    ASSERT_EQ(t.bic_score, one.bic_score) << threads << " threads";
+    ASSERT_EQ(t.labels, one.labels) << threads << " threads";
+  }
+}
+
+TEST(ThreadInvariance, GaussianWithMissing) {
+  data::LabeledDataset ld = data::paper_dataset(900, 41);
+  data::inject_missing(ld.dataset, 0.15, 14);
+  expect_thread_invariant(Model::default_model(ld.dataset), 4, 201);
+}
+
+TEST(ThreadInvariance, MultinomialWithMissing) {
+  const std::vector<data::CategoricalComponent> mix = {
+      {0.4, {{0.8, 0.1, 0.1}, {0.9, 0.1}}},
+      {0.6, {{0.1, 0.1, 0.8}, {0.2, 0.8}}},
+  };
+  data::LabeledDataset ld = data::categorical_mixture(mix, 800, 42);
+  data::inject_missing(ld.dataset, 0.1, 15);
+  expect_thread_invariant(Model::default_model(ld.dataset), 3, 202);
+}
+
+TEST(ThreadInvariance, MultiNormal) {
+  const double r = 0.85;
+  const std::vector<data::CorrelatedComponent> mix = {
+      {0.5, {0.0, 0.0}, {1.0, 0.0, r, std::sqrt(1 - r * r)}},
+      {0.5, {4.0, 2.0}, {1.0, 0.0, -r, std::sqrt(1 - r * r)}},
+  };
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 700, 43);
+  expect_thread_invariant(Model::correlated_model(ld.dataset), 3, 203);
+}
+
+TEST(ThreadInvariance, LognormalWithMissing) {
+  Dataset d(Schema({Attribute::real("mass", 0.01)}), 650);
+  Xoshiro256ss rng(44);
+  for (std::size_t i = 0; i < 650; ++i)
+    d.set_real(i, 0, std::exp(1.0 + 0.5 * normal01(rng)));
+  for (std::size_t i = 2; i < 650; i += 13) d.set_missing(i, 0);
+  TermSpec spec;
+  spec.kind = TermKind::kSingleLognormal;
+  spec.attributes = {0};
+  expect_thread_invariant(Model(d, {spec}), 3, 204);
+}
+
+TEST(ThreadInvariance, MixedModelWithIgnore) {
+  std::vector<data::MixedComponent> mix(2);
+  mix[0] = {0.6, {0.0, 1.0}, {1.0, 0.5}, {{0.9, 0.1}}};
+  mix[1] = {0.4, {6.0, -1.0}, {1.0, 0.5}, {{0.1, 0.9}}};
+  data::LabeledDataset ld = data::mixed_mixture(mix, 850, 45);
+  data::inject_missing(ld.dataset, 0.1, 16);
+  std::vector<TermSpec> specs = {
+      {TermKind::kSingleNormal, {0}},
+      {TermKind::kIgnore, {1}},
+      {TermKind::kSingleMultinomial, {2}},
+  };
+  expect_thread_invariant(Model(ld.dataset, std::move(specs)), 3, 205);
+}
+
+TEST(ThreadInvariance, EnvVariableMatchesExplicitConfig) {
+  // EmConfig::threads = 0 reads PAC_EM_THREADS; the trajectory must match
+  // the same count requested explicitly.
+  data::LabeledDataset ld = data::paper_dataset(500, 46);
+  const Model model = Model::default_model(ld.dataset);
+  const ThreadRun explicit_two = run_with_threads(model, 3, 206, 2);
+  setenv("PAC_EM_THREADS", "2", 1);
+  const ThreadRun via_env = run_with_threads(model, 3, 206, 0);
+  unsetenv("PAC_EM_THREADS");
+  expect_bit_identical(via_env.weights, explicit_two.weights);
+  expect_bit_identical(via_env.params, explicit_two.params);
+  ASSERT_EQ(via_env.cs_score, explicit_two.cs_score);
+}
+
+TEST(ThreadInvariance, ScalarOraclesAreAlsoThreadInvariant) {
+  // The scalar E/M oracles share the blocked drivers, so they too must be
+  // invariant — otherwise the equality tests would only hold at 1 thread.
+  data::LabeledDataset ld = data::paper_dataset(600, 47);
+  data::inject_missing(ld.dataset, 0.1, 17);
+  const Model model = Model::default_model(ld.dataset);
+  const data::ItemRange all{0, 600};
+  std::vector<std::vector<double>> weights;
+  std::vector<double> loglikes;
+  for (const int threads : {1, 4}) {
+    Reducer identity;
+    EmWorker worker(model, all, identity);
+    Classification c(model, 3);
+    EmConfig config;
+    config.threads = threads;
+    worker.random_init(c, 207, 0, config);
+    worker.update_parameters_scalar(c);
+    loglikes.push_back(worker.update_wts_scalar(c));
+    const std::span<const double> w = worker.local_weights();
+    weights.emplace_back(w.begin(), w.end());
+  }
+  ASSERT_EQ(loglikes[0], loglikes[1]);
+  expect_bit_identical(weights[0], weights[1]);
+}
+
+TEST(ThreadInvariance, DegenerateRowErrorIsDeterministic) {
+  // Two degenerate items in different blocks: every thread count must
+  // report the *lowest-indexed* one (block-ordered error fold).
+  const std::size_t n = 600;  // > 2 blocks of 256
+  Dataset d(Schema({Attribute::discrete("s", 2)}), n);
+  for (std::size_t i = 0; i < n; ++i)
+    d.set_discrete(i, 0, (i == 300 || i == 580) ? 1 : 0);
+  const Model model = Model::default_model(d);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const int threads : {1, 2, 4}) {
+    Reducer identity;
+    EmWorker worker(model, data::ItemRange{0, n}, identity);
+    Classification c(model, 2);
+    EmConfig config;
+    config.threads = threads;
+    worker.random_init(c, 3, 0, config);
+    worker.update_parameters(c);
+    for (std::size_t k = 0; k < 2; ++k) c.param_block(k, 0)[1] = -inf;
+    try {
+      worker.update_wts(c);
+      FAIL() << "expected DegenerateRowError at " << threads << " threads";
+    } catch (const DegenerateRowError& e) {
+      EXPECT_EQ(e.item, 300u) << threads << " threads";
+    }
   }
 }
 

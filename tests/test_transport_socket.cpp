@@ -436,6 +436,77 @@ TEST(TransportSocket, EStepKernelBitIdenticalToScalarAndInProcess) {
   expect_bit_identical(kernel, modeled);
 }
 
+/// One rank's full cycle for the M-step-kernel / thread smoke: init, M-step
+/// (batch kernels or the scalar oracle), E-step — at a given intra-rank
+/// thread count — appending the global statistics, the parameters, and the
+/// E-step outputs to `sink`.
+void cycle_suite(Comm& comm, const ac::Model& model, bool scalar, int threads,
+                 std::vector<double>& sink) {
+  core::ParallelConfig pc;
+  pc.charge_costs = false;
+  core::ParallelReducer reducer(comm, model, pc);
+  const data::ItemRange part = data::block_partition(
+      model.dataset().num_items(), comm.size(), comm.rank());
+  ac::EmWorker worker(model, part, reducer);
+  ac::Classification c(model, 3);
+  ac::EmConfig config;
+  config.threads = threads;
+  worker.random_init(c, 2027, 0, config);
+  if (scalar) {
+    worker.update_parameters_scalar(c);
+  } else {
+    worker.update_parameters(c);
+  }
+  const std::span<const double> stats = worker.statistics();
+  sink.insert(sink.end(), stats.begin(), stats.end());
+  const std::span<const double> params = c.all_params();
+  sink.insert(sink.end(), params.begin(), params.end());
+  sink.push_back(worker.update_wts(c));
+  const std::span<const double> w = worker.local_weights();
+  sink.insert(sink.end(), w.begin(), w.end());
+}
+
+TEST(TransportSocket, MStepKernelAndThreadsBitIdenticalAcrossBackends) {
+  // M-step smoke on the real transport: batched statistics vs the scalar
+  // oracle, 1 vs 2 intra-rank threads, and the in-process modeled backend
+  // must all agree bit for bit after socket reductions.  Full per-family
+  // and thread-matrix coverage lives in test_ac_kernels; this pins the
+  // hybrid ranks x threads layer to the distributed pipeline.
+  constexpr int kRanks = 3;
+  data::LabeledDataset ld = data::mixed_mixture(
+      {{0.5, {0.0, 1.0}, {1.0, 0.5}, {{0.8, 0.2}, {0.1, 0.6, 0.3}}},
+       {0.5, {3.0, -1.0}, {0.7, 1.2}, {{0.3, 0.7}, {0.5, 0.2, 0.3}}}},
+      600, 13);
+  data::inject_missing(ld.dataset, 0.05, 8);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+
+  std::vector<std::vector<double>> kernel(kRanks), scalar(kRanks),
+      threaded(kRanks), modeled(kRanks);
+  run_socket_world(kRanks, [&](Comm& comm) {
+    cycle_suite(comm, model, /*scalar=*/false, /*threads=*/1,
+                kernel[static_cast<std::size_t>(comm.rank())]);
+  });
+  run_socket_world(kRanks, [&](Comm& comm) {
+    cycle_suite(comm, model, /*scalar=*/true, /*threads=*/1,
+                scalar[static_cast<std::size_t>(comm.rank())]);
+  });
+  run_socket_world(kRanks, [&](Comm& comm) {
+    cycle_suite(comm, model, /*scalar=*/false, /*threads=*/2,
+                threaded[static_cast<std::size_t>(comm.rank())]);
+  });
+  World::Config cfg;
+  cfg.num_ranks = kRanks;
+  cfg.machine = net::ideal_machine();
+  World world(cfg);
+  world.run([&](Comm& comm) {
+    cycle_suite(comm, model, /*scalar=*/false, /*threads=*/4,
+                modeled[static_cast<std::size_t>(comm.rank())]);
+  });
+  expect_bit_identical(kernel, scalar);
+  expect_bit_identical(kernel, threaded);
+  expect_bit_identical(kernel, modeled);
+}
+
 TEST(TransportSocket, ConnectionRefusedThrowsTransportError) {
   // Rank 1 of a 2-rank world whose rank 0 never shows up: the rendezvous
   // retries until the timeout, then reports a typed, rank-naming error.

@@ -1,12 +1,17 @@
-// Tests for Table, CLI parsing, error macros, and the logger.
+// Tests for Table, CLI parsing, error macros, the thread pool, and the
+// logger.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <sstream>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pac {
 namespace {
@@ -178,6 +183,70 @@ TEST(ErrorMacros, MessageIsStreamed) {
 TEST(ErrorMacros, PassingChecksAreSilent) {
   EXPECT_NO_THROW(PAC_CHECK(true));
   EXPECT_NO_THROW(PAC_REQUIRE(2 + 2 == 4));
+}
+
+// ---- thread pool ----
+
+TEST(ThreadPool, RunCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  constexpr std::size_t kCount = 500;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.run(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  // One pool serves many job generations (the EM loop submits two jobs per
+  // cycle for hundreds of cycles).
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.run(17, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPool, DegenerateShapes) {
+  ThreadPool one(1);  // no OS threads: run() is a plain loop
+  EXPECT_EQ(one.threads(), 1u);
+  std::atomic<int> calls{0};
+  one.run(5, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 5);
+  ThreadPool wide(8);  // more threads than work
+  calls.store(0);
+  wide.run(2, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 2);
+  wide.run(0, [&](std::size_t) { calls.fetch_add(1); });  // no-op
+  EXPECT_EQ(calls.load(), 2);
+  ThreadPool zero(0);  // clamped to 1
+  EXPECT_EQ(zero.threads(), 1u);
+}
+
+TEST(ThreadPool, ResolveExplicitAndEnv) {
+  // An explicit request wins over the environment.
+  setenv("PAC_EM_THREADS", "7", 1);
+  EXPECT_EQ(ThreadPool::resolve(3), 3u);
+  // 0 = read PAC_EM_THREADS.
+  EXPECT_EQ(ThreadPool::resolve(0), 7u);
+  // Unset / empty / garbage / non-positive all fall back to 1.
+  unsetenv("PAC_EM_THREADS");
+  EXPECT_EQ(ThreadPool::resolve(0), 1u);
+  setenv("PAC_EM_THREADS", "", 1);
+  EXPECT_EQ(ThreadPool::resolve(0), 1u);
+  setenv("PAC_EM_THREADS", "two", 1);
+  EXPECT_EQ(ThreadPool::resolve(0), 1u);
+  setenv("PAC_EM_THREADS", "4x", 1);
+  EXPECT_EQ(ThreadPool::resolve(0), 1u);
+  setenv("PAC_EM_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::resolve(0), 1u);
+  setenv("PAC_EM_THREADS", "-2", 1);
+  EXPECT_EQ(ThreadPool::resolve(0), 1u);
+  // Huge values clamp instead of exploding.
+  setenv("PAC_EM_THREADS", "100000", 1);
+  EXPECT_EQ(ThreadPool::resolve(0), ThreadPool::kMaxThreads);
+  EXPECT_EQ(ThreadPool::resolve(1 << 20), ThreadPool::kMaxThreads);
+  unsetenv("PAC_EM_THREADS");
 }
 
 // ---- logger ----
