@@ -3,6 +3,7 @@
 // time, for performance-regression tracking of the implementation itself.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -14,6 +15,7 @@
 #include "mp/comm.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -28,6 +30,17 @@ void BM_LogSumExp(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_LogSumExp)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_LogSumExpFast(benchmark::State& state) {
+  // The reassociated 4-lane fold of the PAC_FAST_MATH tier.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256ss rng(1);
+  std::vector<double> v(n);
+  for (double& x : v) x = uniform_in(rng, -30.0, 0.0);
+  for (auto _ : state) benchmark::DoNotOptimize(logsumexp_fast(v));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LogSumExpFast)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_KahanSum(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -101,14 +114,22 @@ data::LabeledDataset gaussian_heavy_dataset(std::size_t n) {
 }
 
 /// One full E-step per iteration from a fixed post-M-step state.  `scalar`
-/// selects the per-item reference path instead of the batch kernels.
+/// selects the per-item reference path instead of the batch kernels;
+/// `level` pins the SIMD dispatch for the whole measurement so the legacy
+/// benches keep scalar-batch-kernel semantics on vector-capable hosts and
+/// the *Simd variants measure the vector tier (clamped to what the host
+/// supports, so they degenerate to the scalar numbers on scalar-only CPUs).
 void run_update_wts(benchmark::State& state, const ac::Model& model,
-                    std::size_t j, bool scalar) {
+                    std::size_t j, bool scalar,
+                    simd::Level level = simd::Level::kScalar) {
+  const simd::ScopedForceLevel pin(level);
   const std::size_t n = model.dataset().num_items();
   ac::Reducer identity;
   ac::EmWorker worker(model, data::ItemRange{0, n}, identity);
   ac::Classification c(model, j);
-  worker.random_init(c, 7, 0, ac::EmConfig{});
+  ac::EmConfig config;
+  config.fast_math = -1;  // pin the exact tier regardless of PAC_FAST_MATH
+  worker.random_init(c, 7, 0, config);
   worker.update_parameters(c);
   for (auto _ : state)
     benchmark::DoNotOptimize(scalar ? worker.update_wts_scalar(c)
@@ -129,6 +150,15 @@ void BM_UpdateWtsScalarGaussian(benchmark::State& state) {
   run_update_wts(state, ac::Model::default_model(ld.dataset), 8, true);
 }
 BENCHMARK(BM_UpdateWtsScalarGaussian);
+
+void BM_UpdateWtsGaussianSimd(benchmark::State& state) {
+  // The vectorized E-step on the headline workload; bit-identical results
+  // to BM_UpdateWtsGaussian, measured at the host's best dispatch level.
+  const data::LabeledDataset ld = gaussian_heavy_dataset(4000);
+  run_update_wts(state, ac::Model::default_model(ld.dataset), 8, false,
+                 simd::Level::kAvx2);
+}
+BENCHMARK(BM_UpdateWtsGaussianSimd);
 
 void BM_UpdateWtsMultinomial(benchmark::State& state) {
   std::vector<data::CategoricalComponent> mix(3);
@@ -164,6 +194,25 @@ void BM_UpdateWtsMultiNormal(benchmark::State& state) {
 }
 BENCHMARK(BM_UpdateWtsMultiNormal);
 
+void BM_UpdateWtsMultiNormalSimd(benchmark::State& state) {
+  // Lane-parallel forward-solve E-step for the correlated block term.
+  constexpr std::size_t kDim = 4;
+  std::vector<data::CorrelatedComponent> mix(3);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    mix[c].mean.assign(kDim, static_cast<double>(c) * 3.0);
+    mix[c].chol.assign(kDim * kDim, 0.0);
+    for (std::size_t i = 0; i < kDim; ++i) {
+      mix[c].chol[i * kDim + i] = 0.8;
+      if (i > 0) mix[c].chol[i * kDim + i - 1] = 0.2;
+    }
+  }
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 4000, 21);
+  run_update_wts(state, ac::Model::correlated_model(ld.dataset), 4, false,
+                 simd::Level::kAvx2);
+}
+BENCHMARK(BM_UpdateWtsMultiNormalSimd);
+
 void BM_UpdateWtsLognormal(benchmark::State& state) {
   const std::size_t n = 4000;
   data::Dataset d(data::Schema({data::Attribute::real("x", 0.01),
@@ -179,6 +228,24 @@ void BM_UpdateWtsLognormal(benchmark::State& state) {
   run_update_wts(state, model, 4, false);
 }
 BENCHMARK(BM_UpdateWtsLognormal);
+
+void BM_UpdateWtsMultinomialSimd(benchmark::State& state) {
+  // Masked-gather table lookup E-step for the discrete term.
+  std::vector<data::CategoricalComponent> mix(3);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    for (std::size_t a = 0; a < 6; ++a) {
+      std::vector<double> p(4, 0.15);
+      p[(a + c) % 4] = 0.55;
+      mix[c].probs.push_back(std::move(p));
+    }
+  }
+  data::LabeledDataset ld = data::categorical_mixture(mix, 4000, 19);
+  data::inject_missing(ld.dataset, 0.02, 5);
+  run_update_wts(state, ac::Model::default_model(ld.dataset), 4, false,
+                 simd::Level::kAvx2);
+}
+BENCHMARK(BM_UpdateWtsMultinomialSimd);
 
 void BM_UpdateWtsMixed(benchmark::State& state) {
   // Mixed real + discrete + ignored attribute: exercises every kernel
@@ -204,15 +271,24 @@ BENCHMARK(BM_UpdateWtsMixed);
 
 /// One full M-step per iteration from a fixed post-E-step state.  `scalar`
 /// selects the per-item virtual accumulate chain instead of the
-/// accumulate_batch kernels; `threads` sizes the intra-rank pool.
+/// accumulate_batch kernels; `threads` sizes the intra-rank pool;
+/// `fast_math` > 0 routes accumulation through the reassociated
+/// accumulate_batch_fast folds (the tier the *FastMath variants measure);
+/// `level` pins the SIMD dispatch for the measurement.  The default-tier
+/// M-step fold is order-pinned and has no vector form, so the interesting
+/// vector numbers here are the fast-tier ones.
 void run_update_params(benchmark::State& state, const ac::Model& model,
-                       std::size_t j, bool scalar, int threads = 1) {
+                       std::size_t j, bool scalar, int threads = 1,
+                       int fast_math = -1,
+                       simd::Level level = simd::Level::kScalar) {
+  const simd::ScopedForceLevel pin(level);
   const std::size_t n = model.dataset().num_items();
   ac::Reducer identity;
   ac::EmWorker worker(model, data::ItemRange{0, n}, identity);
   ac::Classification c(model, j);
   ac::EmConfig config;
   config.threads = threads;
+  config.fast_math = fast_math;
   worker.random_init(c, 7, 0, config);
   worker.update_parameters(c);
   worker.update_wts(c);
@@ -232,6 +308,15 @@ void BM_UpdateParamsGaussian(benchmark::State& state) {
   run_update_params(state, ac::Model::default_model(ld.dataset), 8, false);
 }
 BENCHMARK(BM_UpdateParamsGaussian);
+
+void BM_UpdateParamsGaussianFastMath(benchmark::State& state) {
+  // The opt-in PAC_FAST_MATH tier on the headline M-step workload: the
+  // vectorized moment folds, measured at the host's best dispatch level.
+  const data::LabeledDataset ld = gaussian_heavy_dataset(4000);
+  run_update_params(state, ac::Model::default_model(ld.dataset), 8, false,
+                    /*threads=*/1, /*fast_math=*/1, simd::Level::kAvx2);
+}
+BENCHMARK(BM_UpdateParamsGaussianFastMath);
 
 void BM_UpdateParamsScalarGaussian(benchmark::State& state) {
   // The oracle on the identical workload: the kernel acceptance bar is
@@ -284,6 +369,25 @@ void BM_UpdateParamsMultiNormal(benchmark::State& state) {
                     false);
 }
 BENCHMARK(BM_UpdateParamsMultiNormal);
+
+void BM_UpdateParamsMultiNormalFastMath(benchmark::State& state) {
+  // Fast-tier lane-parallel scatter accumulation for the block term.
+  constexpr std::size_t kDim = 4;
+  std::vector<data::CorrelatedComponent> mix(3);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    mix[c].weight = 1.0;
+    mix[c].mean.assign(kDim, static_cast<double>(c) * 3.0);
+    mix[c].chol.assign(kDim * kDim, 0.0);
+    for (std::size_t i = 0; i < kDim; ++i) {
+      mix[c].chol[i * kDim + i] = 0.8;
+      if (i > 0) mix[c].chol[i * kDim + i - 1] = 0.2;
+    }
+  }
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 4000, 21);
+  run_update_params(state, ac::Model::correlated_model(ld.dataset), 4, false,
+                    /*threads=*/1, /*fast_math=*/1, simd::Level::kAvx2);
+}
+BENCHMARK(BM_UpdateParamsMultiNormalFastMath);
 
 void BM_UpdateParamsLognormal(benchmark::State& state) {
   const std::size_t n = 4000;
@@ -477,14 +581,100 @@ bool check_mstep_kernel_equality() {
   return true;
 }
 
+/// Smoke-tier correctness gate for the SIMD tier: the E-step under the
+/// host's best dispatch level must be bit-identical to the forced-scalar
+/// batch kernels on the bench workload.  Degenerates to a self-comparison
+/// on scalar-only hosts (still exercises the dispatch plumbing).
+bool check_simd_kernel_equality() {
+  const data::LabeledDataset ld = gaussian_heavy_dataset(1000);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  std::vector<std::vector<double>> weights;
+  std::vector<double> loglikes;
+  for (const pac::simd::Level level :
+       {pac::simd::Level::kAvx2, pac::simd::Level::kScalar}) {
+    const pac::simd::ScopedForceLevel pin(level);
+    ac::Reducer identity;
+    ac::EmWorker worker(model, data::ItemRange{0, 1000}, identity);
+    ac::Classification c(model, 6);
+    worker.random_init(c, 9, 0, ac::EmConfig{});
+    worker.update_parameters(c);
+    loglikes.push_back(worker.update_wts(c));
+    const auto w = worker.local_weights();
+    weights.emplace_back(w.begin(), w.end());
+  }
+  if (loglikes[0] != loglikes[1] || weights[0].size() != weights[1].size() ||
+      std::memcmp(weights[0].data(), weights[1].data(),
+                  weights[0].size() * sizeof(double)) != 0) {
+    std::fprintf(stderr,
+                 "micro_kernels: SIMD-vs-scalar E-step equality FAILED\n");
+    return false;
+  }
+  return true;
+}
+
+/// Smoke-tier gate for the PAC_FAST_MATH tier: the reassociated M-step must
+/// stay within tolerance of the exact fold AND be dispatch-level invariant
+/// (the fixed association is part of the contract, so AVX2 and portable
+/// fast folds must agree bit for bit).
+bool check_fast_math_tolerance() {
+  const data::LabeledDataset ld = gaussian_heavy_dataset(1000);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  std::vector<std::vector<double>> stats;
+  struct Variant {
+    int fast_math;
+    pac::simd::Level level;
+  };
+  for (const Variant v : {Variant{-1, pac::simd::Level::kScalar},
+                          Variant{1, pac::simd::Level::kAvx2},
+                          Variant{1, pac::simd::Level::kScalar}}) {
+    const pac::simd::ScopedForceLevel pin(v.level);
+    ac::Reducer identity;
+    ac::EmWorker worker(model, data::ItemRange{0, 1000}, identity);
+    ac::Classification c(model, 6);
+    ac::EmConfig config;
+    config.fast_math = v.fast_math;
+    worker.random_init(c, 9, 0, config);
+    worker.update_parameters(c);
+    const auto s = worker.statistics();
+    stats.emplace_back(s.begin(), s.end());
+  }
+  for (std::size_t i = 0; i < stats[0].size(); ++i) {
+    const double denom =
+        std::max(std::max(std::abs(stats[0][i]), std::abs(stats[1][i])), 1.0);
+    if (std::abs(stats[1][i] - stats[0][i]) > 1e-10 * denom) {
+      std::fprintf(stderr,
+                   "micro_kernels: fast-math tolerance FAILED (slot %zu)\n",
+                   i);
+      return false;
+    }
+  }
+  if (stats[1].size() != stats[2].size() ||
+      std::memcmp(stats[1].data(), stats[2].data(),
+                  stats[1].size() * sizeof(double)) != 0) {
+    std::fprintf(
+        stderr,
+        "micro_kernels: fast-math dispatch-level invariance FAILED\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN() plus a --smoke flag: the CI tier maps it to a minimal
 // measurement time so every kernel still executes once under sanitizers.
+// --print-simd reports the resolved dispatch level and exits (used by
+// scripts/check.sh to label its output).  The resolved level is also
+// attached to the JSON context as "pac_simd" so committed baselines record
+// what they measured.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool smoke = false;
   for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--print-simd") == 0) {
+      std::printf("%s\n", pac::simd::describe());
+      return 0;
+    }
     if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
       continue;
@@ -496,9 +686,22 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::AddCustomContext("pac_simd", pac::simd::describe());
+  // The project's own build flavor (context.library_build_type describes
+  // the google-benchmark library, not this code).  bench_diff.py matches
+  // candidate and baseline on this key: debug and release runs have very
+  // different kernel-vs-oracle ratios.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("pac_build", "release");
+#else
+  benchmark::AddCustomContext("pac_build", "debug");
+#endif
+  std::fprintf(stderr, "micro_kernels: %s\n", pac::simd::describe());
   if (smoke && !check_scratch_fold_path()) return 1;
   if (smoke && !check_estep_kernel_equality()) return 1;
   if (smoke && !check_mstep_kernel_equality()) return 1;
+  if (smoke && !check_simd_kernel_equality()) return 1;
+  if (smoke && !check_fast_math_tolerance()) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

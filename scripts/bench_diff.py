@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the kernel micro-benchmarks.
+
+Compares a freshly measured google-benchmark JSON report (the candidate,
+typically from ``bench/micro_kernels --smoke``) against a committed
+baseline snapshot under ``bench/baselines/``.
+
+Absolute times are not comparable across machines (the baselines are
+recorded on a dev box, the candidate on whatever CI runner picked up the
+job), so the gate checks *speedup ratios measured within one run*: for
+each (reference, kernel) pair below, ``speedup = time(reference) /
+time(kernel)`` cancels the machine factor.  A regression is a candidate
+speedup that drops more than ``--tolerance`` (default 0.35, i.e. 35%)
+below the baseline speedup for the same pair.
+
+The tolerance is deliberately loose: smoke-tier measurements use
+``--benchmark_min_time=0.01`` and run on shared, noisy CI hardware.  The
+gate is meant to catch structural regressions (a kernel silently falling
+back to the scalar path, an accidental O(n) -> O(n^2) edit), not
+single-digit-percent drift.  Tighten locally with ``--tolerance 0.1``
+when measuring on quiet hardware.
+
+Exit codes: 0 = no regression, 1 = regression detected, 2 = usage or
+input error.
+
+Refreshing the baseline (see EXPERIMENTS.md): run the full suite with
+``--benchmark_out`` on a quiet machine, commit the JSON as
+``bench/baselines/BENCH_<date>_<tag>.json``; this script picks the
+lexicographically newest file by default.
+"""
+
+import argparse
+import copy
+import json
+import pathlib
+import sys
+
+# (label, reference bench, kernel bench): speedup = ref_time / kernel_time.
+# A pair is skipped (with a note) when either side is missing from both
+# reports being compared -- older baselines predate the *Simd/*FastMath
+# variants.
+PAIRS = [
+    ("estep-batch-kernel", "BM_UpdateWtsScalarGaussian", "BM_UpdateWtsGaussian"),
+    ("estep-simd", "BM_UpdateWtsScalarGaussian", "BM_UpdateWtsGaussianSimd"),
+    ("estep-simd-over-batch", "BM_UpdateWtsGaussian", "BM_UpdateWtsGaussianSimd"),
+    ("estep-simd-multinormal", "BM_UpdateWtsMultiNormal", "BM_UpdateWtsMultiNormalSimd"),
+    ("mstep-batch-kernel", "BM_UpdateParamsScalarGaussian", "BM_UpdateParamsGaussian"),
+    ("mstep-fastmath", "BM_UpdateParamsGaussian", "BM_UpdateParamsGaussianFastMath"),
+    ("mstep-fastmath-multinormal", "BM_UpdateParamsMultiNormal", "BM_UpdateParamsMultiNormalFastMath"),
+]
+
+DEFAULT_TOLERANCE = 0.35
+BASELINE_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench" / "baselines"
+
+
+def load_report(path):
+    """Return (name -> real_time ns for iteration entries, build type)."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    times = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        times[b["name"]] = float(b["real_time"])
+    if not times:
+        sys.exit(f"bench_diff: no benchmark entries in {path}")
+    # "pac_build" is this project's own build flavor (attached by
+    # micro_kernels); "library_build_type" describes only the
+    # google-benchmark library and is a weak fallback for old snapshots.
+    context = report.get("context", {})
+    build_type = context.get("pac_build", context.get("library_build_type", ""))
+    return times, build_type
+
+
+def newest_baseline(build_type):
+    """Newest baseline snapshot, preferring one recorded at the same build
+    type as the candidate: debug and release runs have very different
+    kernel-vs-oracle ratios, so comparing across them would defeat the
+    ratio gate."""
+    files = sorted(BASELINE_DIR.glob("BENCH_*.json"))
+    if not files:
+        sys.exit(f"bench_diff: no baselines under {BASELINE_DIR}")
+    if build_type is None:
+        return files[-1]
+    matching = [
+        f
+        for f in files
+        if load_report(f)[1] == build_type
+    ]
+    if matching:
+        return matching[-1]
+    print(
+        f"bench_diff: warning: no {build_type or 'unknown'}-build baseline;"
+        f" falling back to {files[-1].name}"
+    )
+    return files[-1]
+
+
+def speedup(times, ref, kernel):
+    if ref not in times or kernel not in times:
+        return None
+    return times[ref] / times[kernel]
+
+
+def compare(candidate, baseline, tolerance):
+    """Return the number of regressions; prints one line per pair."""
+    regressions = 0
+    compared = 0
+    for label, ref, kernel in PAIRS:
+        cand = speedup(candidate, ref, kernel)
+        base = speedup(baseline, ref, kernel)
+        if cand is None or base is None:
+            where = "candidate" if cand is None else "baseline"
+            print(f"  SKIP {label}: {ref} / {kernel} missing from {where}")
+            continue
+        compared += 1
+        floor = base * (1.0 - tolerance)
+        status = "ok" if cand >= floor else "REGRESSION"
+        print(
+            f"  {status:>10} {label}: speedup {cand:.2f}x vs baseline"
+            f" {base:.2f}x (floor {floor:.2f}x)"
+        )
+        if cand < floor:
+            regressions += 1
+    if compared == 0:
+        sys.exit("bench_diff: no comparable pairs between the two reports")
+    return regressions
+
+
+def self_test(baseline_times, tolerance):
+    """The gate must pass on an identical report and fail on a synthetic
+    regression (one kernel bench slowed 3x, as if it fell back to the
+    scalar path)."""
+    print("self-test: identical candidate (must pass)")
+    if compare(dict(baseline_times), baseline_times, tolerance) != 0:
+        print("bench_diff: self-test FAILED: identical report flagged")
+        return 1
+    slowed = copy.deepcopy(baseline_times)
+    victim = next(
+        (k for _, _, k in PAIRS if k in slowed),
+        None,
+    )
+    if victim is None:
+        print("bench_diff: self-test FAILED: no kernel bench to slow down")
+        return 1
+    slowed[victim] *= 3.0
+    print(f"self-test: {victim} slowed 3x (must fail)")
+    if compare(slowed, baseline_times, tolerance) == 0:
+        print("bench_diff: self-test FAILED: synthetic regression passed")
+        return 1
+    print("self-test: ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "candidate",
+        nargs="?",
+        help="fresh benchmark JSON (e.g. build/BENCH_micro_kernels.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        help="baseline JSON (default: newest bench/baselines/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional speedup drop (default %(default)s)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate flags a synthetic regression, then exit",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        baseline_path = args.baseline or newest_baseline(None)
+        baseline, _ = load_report(baseline_path)
+        print(f"baseline: {baseline_path}")
+        sys.exit(self_test(baseline, args.tolerance))
+
+    if not args.candidate:
+        parser.error("candidate JSON required unless --self-test")
+    candidate, build_type = load_report(args.candidate)
+    print(f"candidate: {args.candidate} ({build_type or 'unknown'} build)")
+    baseline_path = args.baseline or newest_baseline(build_type)
+    baseline, _ = load_report(baseline_path)
+    print(f"baseline: {baseline_path}")
+    regressions = compare(candidate, baseline, args.tolerance)
+    if regressions:
+        print(f"bench_diff: {regressions} perf regression(s) detected")
+        sys.exit(1)
+    print("bench_diff: no perf regressions")
+
+
+if __name__ == "__main__":
+    main()

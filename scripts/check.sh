@@ -3,13 +3,20 @@
 # and example.  A bench or example that exits nonzero fails the script
 # (it does not silently continue).
 #
-# Usage: scripts/check.sh [--fast] [--distributed] [--build-dir DIR]
+# Usage: scripts/check.sh [--fast] [--distributed] [--simd MODE]
+#                         [--build-dir DIR]
 #   --fast        run benches/examples in --smoke mode (tiny inputs); this
 #                 is the tier CI uses so the whole suite also fits under
 #                 sanitizers.
 #   --distributed additionally run the multi-process smoke tier: pac_launch
 #                 worlds of 4 real rank processes over the socket backend
 #                 (quickstart + transport throughput).
+#   --simd MODE   on   (default) leave PAC_SIMD alone: runtime dispatch
+#                      picks the best level the host supports;
+#                 off  force the scalar kernels (PAC_SIMD=0) for the whole
+#                      suite;
+#                 both run the full suite at the ambient level, then re-run
+#                      the kernel/transport equality tests forced scalar.
 #   --build-dir   build tree to use (default: build)
 # Extra configure arguments can be passed via PAC_CMAKE_ARGS, e.g.
 #   PAC_CMAKE_ARGS="-DPAC_TRACE=OFF" scripts/check.sh --fast
@@ -18,16 +25,29 @@ cd "$(dirname "$0")/.."
 
 FAST=0
 DISTRIBUTED=0
+SIMD=on
 BUILD_DIR=build
 while [ $# -gt 0 ]; do
   case "$1" in
     --fast) FAST=1 ;;
     --distributed) DISTRIBUTED=1 ;;
+    --simd)
+      shift; SIMD="$1"
+      case "$SIMD" in
+        on|off|both) ;;
+        *) echo "unknown --simd mode: $SIMD (want on|off|both)" >&2; exit 2 ;;
+      esac
+      ;;
     --build-dir) shift; BUILD_DIR="$1" ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [ "$SIMD" = off ]; then
+  PAC_SIMD=0
+  export PAC_SIMD
+fi
 
 # Prefer Ninja for fresh build trees, fall back to the platform default
 # generator; an existing tree keeps whatever generator configured it.
@@ -38,7 +58,15 @@ fi
 # shellcheck disable=SC2086  # intentional word splitting of the arg lists
 cmake -B "$BUILD_DIR" -S . $GENERATOR ${PAC_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR"
+echo "== simd dispatch: $("$BUILD_DIR"/bench/micro_kernels --print-simd) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure
+if [ "$SIMD" = both ]; then
+  # Second pass forced scalar: the kernel-equality and transport suites
+  # must hold at every dispatch level (DESIGN.md's tier contract).
+  echo "== re-running kernel/transport suites with PAC_SIMD=0 =="
+  PAC_SIMD=0 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'Kernel|Simd|FastMath|ThreadInvariance|Transport'
+fi
 
 SMOKE=""
 [ "$FAST" = 1 ] && SMOKE="--smoke"
@@ -62,6 +90,23 @@ if ! "$BUILD_DIR"/bench/micro_kernels $SMOKE \
     --benchmark_filter='UpdateWts|UpdateParams' >/dev/null; then
   echo "!! FAILED: perf smoke (bench/micro_kernels)" >&2
   failures=$((failures + 1))
+else
+  # Ratio-based regression gate against the committed baseline snapshot.
+  # Skipped under --simd off (forced-scalar speedups are trivially 1x) and
+  # for sanitizer builds (instrumentation distorts kernel-vs-oracle
+  # ratios); the dedicated CI perf job is the authoritative gate.
+  case "$SIMD,${PAC_CMAKE_ARGS:-}" in
+    off,*|*sanitize*)
+      echo "== perf gate skipped (simd=$SIMD, sanitized build?) =="
+      ;;
+    *)
+      echo "== perf gate: scripts/bench_diff.py $PERF_JSON =="
+      if ! python3 scripts/bench_diff.py "$PERF_JSON"; then
+        echo "!! FAILED: perf gate (scripts/bench_diff.py)" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
 fi
 
 for e in "$BUILD_DIR"/examples/*; do

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/error.hpp"
 #include "util/math.hpp"
@@ -91,6 +93,15 @@ std::vector<std::size_t> draw_seed_items(const CounterRng& rng, std::size_t n,
 
 }  // namespace detail
 
+bool resolve_fast_math(int setting) noexcept {
+  if (setting > 0) return true;
+  if (setting < 0) return false;
+  const char* env = std::getenv("PAC_FAST_MATH");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0 || std::strcmp(env, "yes") == 0;
+}
+
 void Reducer::gather_weight_matrix(std::span<const double> local,
                                    std::span<double> full,
                                    data::ItemRange range, std::size_t j) {
@@ -131,6 +142,7 @@ void EmWorker::random_init(Classification& c, std::uint64_t seed,
   if (!partition_params_)
     full_weights_.assign(data_->num_items() * j, 0.0);
   threads_ = ThreadPool::resolve(config.threads);
+  fast_math_ = resolve_fast_math(config.fast_math);
   if (threads_ <= 1) {
     pool_.reset();
   } else if (pool_ == nullptr || pool_->threads() != threads_) {
@@ -187,7 +199,11 @@ void EmWorker::random_init(Classification& c, std::uint64_t seed,
 
 void EmWorker::normalize_row(std::size_t item, double* row, std::size_t j,
                              std::span<double> wj, KahanSum& loglike) {
-  const double lse = logsumexp(std::span<const double>(row, j));
+  // The fast tier swaps in the reassociated 4-lane row reduction; the exact
+  // tier keeps the sequential oracle fold.
+  const std::span<const double> row_span(row, j);
+  const double lse =
+      fast_math_ ? logsumexp_fast(row_span) : logsumexp(row_span);
   if (!std::isfinite(lse)) {
     // Every class is at -inf (or a NaN crept in): exp-normalizing would
     // turn the whole row into NaNs that silently poison the weight
@@ -354,13 +370,22 @@ void EmWorker::accumulate_statistics(const Classification& c) {
         // the item loop.  Within every stats slot the items still fold in
         // increasing order, so the block partial is bit-identical to the
         // scalar chain's.
+        // The fast tier routes each (class, term) fold through
+        // accumulate_batch_fast (reassociated 4-lane moments where a term
+        // provides them, the exact kernel otherwise).
+        const bool fast = fast_math_;
         for (std::size_t k = 0; k < j; ++k) {
           double* class_stats = stats.data() + k * spc;
-          for (std::size_t t = 0; t < model_->num_terms(); ++t)
-            model_->term(t).accumulate_batch(
-                block, weights + k, j,
-                std::span<double>(class_stats + model_->stats_offset(t),
-                                  model_->term(t).stats_size()));
+          for (std::size_t t = 0; t < model_->num_terms(); ++t) {
+            const Term& term = model_->term(t);
+            const std::span<double> term_stats(
+                class_stats + model_->stats_offset(t), term.stats_size());
+            if (fast) {
+              term.accumulate_batch_fast(block, weights + k, j, term_stats);
+            } else {
+              term.accumulate_batch(block, weights + k, j, term_stats);
+            }
+          }
         }
       });
 }

@@ -110,6 +110,15 @@ struct EmConfig {
   /// thread count*: per-block partials are folded in block-index order, so
   /// every value is bit-identical for any setting.
   int threads = 0;
+  /// Opt-in fast-math tier (DESIGN.md §5): > 0 enables the reassociated
+  /// 4-lane folds in the E-step row reductions (logsumexp_fast) and the
+  /// M-step moment sums (Term::accumulate_batch_fast); < 0 forces them
+  /// off; 0 = read the PAC_FAST_MATH environment variable (unset/0/off =
+  /// exact tier).  Fast-math results are still deterministic — the lane
+  /// association is fixed by contract, so they are identical across SIMD
+  /// levels, thread counts, and transports — but they are only
+  /// tolerance-equal to the default tier, not bit-identical.
+  int fast_math = 0;
 };
 
 /// Cost-charging phases (matching the paper's profile of base_cycle).
@@ -292,7 +301,14 @@ class EmWorker {
   std::vector<double> stats_;        // J x stats_per_class
   std::vector<double> block_stats_;  // per-block J x stats_per_class partials
   std::size_t threads_ = 1;          // resolved at random_init
+  bool fast_math_ = false;           // resolved at random_init
   std::unique_ptr<ThreadPool> pool_; // non-null only when threads_ > 1
 };
+
+/// Resolve an EmConfig::fast_math setting against PAC_FAST_MATH (exposed
+/// for tests and benches): > 0 on, < 0 off, 0 = environment (values "1",
+/// "on", "true", "yes" enable; anything else, or unset, keeps the exact
+/// tier).
+bool resolve_fast_math(int setting) noexcept;
 
 }  // namespace pac::ac

@@ -25,6 +25,12 @@ void Term::log_prob_batch(data::ItemRange range,
     *out += log_prob(i, params);
 }
 
+void Term::accumulate_batch_fast(data::ItemRange range, const double* weights,
+                                 std::size_t stride,
+                                 std::span<double> stats) const {
+  accumulate_batch(range, weights, stride, stats);
+}
+
 void Term::accumulate_batch(data::ItemRange range, const double* weights,
                             std::size_t stride,
                             std::span<double> stats) const {

@@ -123,6 +123,23 @@ class Term {
                                 std::size_t stride,
                                 std::span<double> stats) const;
 
+  /// Fast-math M-step kernel (the opt-in PAC_FAST_MATH tier): same inputs
+  /// and slot layout as accumulate_batch, but the fold may use the fixed
+  /// 4-lane reassociation documented in util/simd.hpp — lane j sums items
+  /// with in-block index ≡ j (mod 4), lanes combine as ((l0+l1)+l2)+l3,
+  /// tail items fold in order, and skipped items (w <= 0 / missing)
+  /// contribute exactly +0.0.  The association is fixed by contract, never
+  /// by the instruction set, so results stay deterministic and identical
+  /// across SIMD levels, thread counts, and transports; they are validated
+  /// against the scalar oracle by the relative-error tolerance suite
+  /// instead of memcmp (DESIGN.md §5).  The default defers to the
+  /// bit-identical accumulate_batch, so term families without a fast
+  /// kernel are simply exact.
+  virtual void accumulate_batch_fast(data::ItemRange range,
+                                     const double* weights,
+                                     std::size_t stride,
+                                     std::span<double> stats) const;
+
   /// MAP update: statistics -> parameters (applies the term's prior).
   virtual void update_params(std::span<const double> stats,
                              std::span<double> params) const = 0;

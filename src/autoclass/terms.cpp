@@ -25,8 +25,14 @@
 
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "util/simd.hpp"
 
 namespace pac::ac::detail {
+
+// The SIMD multinomial kernel treats every negative symbol as missing; the
+// scalar path compares against this exact sentinel, so the two only agree
+// because it is the sole negative value a validated column can hold.
+static_assert(data::kMissingDiscrete == -1);
 
 namespace {
 
@@ -77,6 +83,11 @@ class SingleNormalTerm final : public Term {
     const double log_sigma = params[2];
     const double log_error = std::log(error_);
     const double* x = column_.data();
+    if (simd::active()) {
+      simd::gaussian_log_prob(x + range.begin, range.size(), mean, sigma,
+                              log_sigma, log_error, out, stride);
+      return;
+    }
     for (std::size_t i = range.begin; i < range.end; ++i, out += stride) {
       double lp = 0.0;
       if (!data::is_missing_real(x[i])) {
@@ -116,6 +127,15 @@ class SingleNormalTerm final : public Term {
     stats[0] = sw;
     stats[1] = swx;
     stats[2] = swx2;
+  }
+
+  // Fast tier: the same three moments in the fixed 4-lane association
+  // (tolerance-validated, still deterministic at every dispatch level).
+  void accumulate_batch_fast(data::ItemRange range, const double* weights,
+                             std::size_t stride,
+                             std::span<double> stats) const override {
+    simd::gaussian_accumulate_fast(column_.data() + range.begin, weights,
+                                   stride, range.size(), stats.data());
   }
 
   void update_params(std::span<const double> stats,
@@ -267,6 +287,11 @@ class SingleMultinomialTerm final : public Term {
     const double missing_lp =
         missing_as_value_ ? params[num_values_ - 1] : 0.0;
     const std::int32_t* v = column_.data();
+    if (simd::active()) {
+      simd::multinomial_log_prob(v + range.begin, range.size(), params.data(),
+                                 missing_lp, out, stride);
+      return;
+    }
     for (std::size_t i = range.begin; i < range.end; ++i, out += stride)
       *out += v[i] == data::kMissingDiscrete
                   ? missing_lp
@@ -455,6 +480,13 @@ class MultiNormalTerm final : public Term {
     const std::span<const double> chol(params.data() + d, d * d);
     const double logdet = params[d + d * d];
     const double dd = static_cast<double>(d);
+    if (simd::active()) {
+      const double* cols[32];
+      for (std::size_t k = 0; k < d; ++k) cols[k] = columns_[k].data();
+      simd::multinormal_log_prob(cols, d, range.begin, range.size(),
+                                 params.data(), log_error_sum_, out, stride);
+      return;
+    }
     for (std::size_t i = range.begin; i < range.end; ++i, out += stride) {
       for (std::size_t k = 0; k < d; ++k)
         diff[k] = columns_[k][i] - params[k];
@@ -501,6 +533,19 @@ class MultiNormalTerm final : public Term {
         for (std::size_t l = 0; l <= k; ++l) row[l] += wxk * xs[l];
       }
     }
+  }
+
+  // Fast tier: the weighted outer-product fold in the fixed 4-lane
+  // association (tolerance-validated, deterministic at every level).
+  void accumulate_batch_fast(data::ItemRange range, const double* weights,
+                             std::size_t stride,
+                             std::span<double> stats) const override {
+    const std::size_t d = dim_;
+    PAC_CHECK(d <= 32);
+    const double* cols[32];
+    for (std::size_t k = 0; k < d; ++k) cols[k] = columns_[k].data();
+    simd::multinormal_accumulate_fast(cols, d, range.begin, range.size(),
+                                      weights, stride, stats.data());
   }
 
   void update_params(std::span<const double> stats,
@@ -751,6 +796,11 @@ class SingleLognormalTerm final : public Term {
     const double log_sigma = params[2];
     const double log_error = std::log(rel_error_);
     const double* lx = log_column_.data();
+    if (simd::active()) {
+      simd::lognormal_log_prob(lx + range.begin, range.size(), mean, sigma,
+                               log_sigma, log_error, out, stride);
+      return;
+    }
     for (std::size_t i = range.begin; i < range.end; ++i, out += stride) {
       double lp = 0.0;
       if (!data::is_missing_real(lx[i])) {
@@ -788,6 +838,14 @@ class SingleLognormalTerm final : public Term {
     stats[0] = sw;
     stats[1] = swl;
     stats[2] = swl2;
+  }
+
+  // Fast tier: identical moment shape to the normal term, over log x.
+  void accumulate_batch_fast(data::ItemRange range, const double* weights,
+                             std::size_t stride,
+                             std::span<double> stats) const override {
+    simd::gaussian_accumulate_fast(log_column_.data() + range.begin, weights,
+                                   stride, range.size(), stats.data());
   }
 
   void update_params(std::span<const double> stats,

@@ -9,17 +9,20 @@
 // degenerate-row guard and the seed-item draw fallback fix.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <set>
+#include <string>
 
 #include "autoclass/em.hpp"
 #include "autoclass/report.hpp"
 #include "data/synth.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace pac::ac {
 namespace {
@@ -436,15 +439,12 @@ struct ThreadRun {
   std::vector<std::int32_t> labels;
 };
 
-ThreadRun run_with_threads(const Model& model, std::size_t j,
-                           std::uint64_t seed, int threads) {
+ThreadRun run_with_config(const Model& model, std::size_t j,
+                          std::uint64_t seed, EmConfig config) {
   Reducer identity;
   EmWorker worker(model, data::ItemRange{0, model.dataset().num_items()},
                   identity);
   Classification c(model, j);
-  EmConfig config;
-  config.threads = threads;
-  config.max_cycles = 25;
   worker.random_init(c, seed, 0, config);
   worker.converge(c, config);
   ThreadRun run;
@@ -459,6 +459,14 @@ ThreadRun run_with_threads(const Model& model, std::size_t j,
   run.bic_score = c.bic_score;
   run.labels = assign_labels(c);
   return run;
+}
+
+ThreadRun run_with_threads(const Model& model, std::size_t j,
+                           std::uint64_t seed, int threads) {
+  EmConfig config;
+  config.threads = threads;
+  config.max_cycles = 25;
+  return run_with_config(model, j, seed, config);
 }
 
 /// Converged EM trajectories must be bit-identical at 1, 2, and 4 threads:
@@ -749,6 +757,399 @@ TEST(SeedDraws, CommonCaseMatchesHistoricalPrimaryStream) {
       expected.push_back(candidate);
   }
   EXPECT_EQ(seeds, expected);
+}
+
+// ---- SIMD dispatch plumbing ----
+
+TEST(SimdDispatch, EnvValueParsing) {
+  // level() caches its PAC_SIMD resolution on first use, so the env policy
+  // is tested through the pure parser the resolver calls.
+  EXPECT_TRUE(simd::detail::env_value_enables(nullptr));
+  EXPECT_TRUE(simd::detail::env_value_enables(""));
+  EXPECT_TRUE(simd::detail::env_value_enables("1"));
+  EXPECT_TRUE(simd::detail::env_value_enables("avx2"));
+  EXPECT_FALSE(simd::detail::env_value_enables("0"));
+  EXPECT_FALSE(simd::detail::env_value_enables("off"));
+  EXPECT_FALSE(simd::detail::env_value_enables("OFF"));
+  EXPECT_FALSE(simd::detail::env_value_enables("scalar"));
+  EXPECT_FALSE(simd::detail::env_value_enables("false"));
+  EXPECT_FALSE(simd::detail::env_value_enables("no"));
+}
+
+TEST(SimdDispatch, ScopedForceLevelClampsAndRestores) {
+  const simd::Level ambient = simd::level();
+  {
+    simd::ScopedForceLevel scalar(simd::Level::kScalar);
+    EXPECT_EQ(scalar.effective(), simd::Level::kScalar);
+    EXPECT_EQ(simd::level(), simd::Level::kScalar);
+    EXPECT_FALSE(simd::active());
+    {
+      // Nested non-scalar requests clamp to what the host supports.
+      simd::ScopedForceLevel vec(simd::Level::kAvx2);
+      EXPECT_EQ(vec.effective(), simd::detected_level());
+      EXPECT_EQ(simd::level(), simd::detected_level());
+    }
+    EXPECT_EQ(simd::level(), simd::Level::kScalar);
+  }
+  EXPECT_EQ(simd::level(), ambient);
+}
+
+TEST(SimdDispatch, DescribeNamesTheActiveLevel) {
+  simd::ScopedForceLevel scalar(simd::Level::kScalar);
+  EXPECT_NE(std::string(simd::describe()).find("dispatch=scalar"),
+            std::string::npos);
+}
+
+// ---- SIMD kernels vs the scalar oracle (default tier: memcmp) ----
+
+/// All five term families over mixed data with missing values — the model
+/// the per-family SIMD suites share.
+Model mixed_five_family_model(data::LabeledDataset& ld) {
+  std::vector<TermSpec> specs = {
+      {TermKind::kSingleNormal, {0}},
+      {TermKind::kIgnore, {1}},
+      {TermKind::kSingleMultinomial, {2}},
+  };
+  return Model(ld.dataset, std::move(specs));
+}
+
+/// Per-family kernel outputs must be memcmp-equal between the forced-scalar
+/// tier and the host's best vector tier.  Runs the term batch oracles under
+/// both forced levels; on scalar-only hosts the two runs coincide and the
+/// test degenerates to the plain kernel-equality check.
+void expect_simd_matches_forced_scalar(const Model& model) {
+  {
+    simd::ScopedForceLevel vec(simd::Level::kAvx2);  // clamps to detected
+    expect_term_batch_matches_scalar(model);
+    expect_term_accumulate_matches_scalar(model);
+  }
+  {
+    simd::ScopedForceLevel scalar(simd::Level::kScalar);
+    expect_term_batch_matches_scalar(model);
+    expect_term_accumulate_matches_scalar(model);
+  }
+}
+
+TEST(SimdKernels, GaussianWithMissingMatchesOracleAtBothLevels) {
+  data::LabeledDataset ld = data::paper_dataset(700, 61);
+  data::inject_missing(ld.dataset, 0.2, 18);
+  expect_simd_matches_forced_scalar(Model::default_model(ld.dataset));
+}
+
+TEST(SimdKernels, MultinomialWithMissingMatchesOracleAtBothLevels) {
+  const std::vector<data::CategoricalComponent> mix = {
+      {0.5, {{0.7, 0.2, 0.1}, {0.6, 0.4}}},
+      {0.5, {{0.1, 0.2, 0.7}, {0.3, 0.7}}},
+  };
+  data::LabeledDataset ld = data::categorical_mixture(mix, 600, 62);
+  data::inject_missing(ld.dataset, 0.2, 19);
+  expect_simd_matches_forced_scalar(Model::default_model(ld.dataset));
+  ModelConfig config;
+  config.missing_as_extra_value = true;
+  expect_simd_matches_forced_scalar(Model::default_model(ld.dataset, config));
+}
+
+TEST(SimdKernels, MultiNormalMatchesOracleAtBothLevels) {
+  const double r = 0.8;
+  const std::vector<data::CorrelatedComponent> mix = {
+      {0.5, {0.0, 0.0}, {1.0, 0.0, r, std::sqrt(1 - r * r)}},
+      {0.5, {3.0, 1.0}, {1.0, 0.0, -r, std::sqrt(1 - r * r)}},
+  };
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 500, 63);
+  expect_simd_matches_forced_scalar(Model::correlated_model(ld.dataset));
+}
+
+TEST(SimdKernels, LognormalWithMissingMatchesOracleAtBothLevels) {
+  Dataset d(Schema({Attribute::real("x", 0.01)}), 400);
+  Xoshiro256ss rng(64);
+  for (std::size_t i = 0; i < 400; ++i)
+    d.set_real(i, 0, std::exp(0.5 + 0.8 * normal01(rng)));
+  for (std::size_t i = 0; i < 400; i += 9) d.set_missing(i, 0);
+  TermSpec spec;
+  spec.kind = TermKind::kSingleLognormal;
+  spec.attributes = {0};
+  expect_simd_matches_forced_scalar(Model(d, {spec}));
+}
+
+TEST(SimdKernels, FullEmBitEqualAcrossLevels) {
+  // A converged EM run must be bit-identical with the vector kernels forced
+  // on and forced off — the whole-trajectory form of the memcmp contract.
+  data::LabeledDataset ld = data::mixed_mixture(
+      [] {
+        std::vector<data::MixedComponent> mix(2);
+        mix[0] = {0.6, {0.0, 1.0}, {1.0, 0.5}, {{0.9, 0.1}}};
+        mix[1] = {0.4, {6.0, -1.0}, {1.0, 0.5}, {{0.1, 0.9}}};
+        return mix;
+      }(),
+      900, 65);
+  data::inject_missing(ld.dataset, 0.1, 20);
+  const Model model = mixed_five_family_model(ld);
+  EmConfig config;
+  config.max_cycles = 10;
+  ThreadRun vec_run, scalar_run;
+  {
+    simd::ScopedForceLevel vec(simd::Level::kAvx2);
+    vec_run = run_with_config(model, 3, 301, config);
+  }
+  {
+    simd::ScopedForceLevel scalar(simd::Level::kScalar);
+    scalar_run = run_with_config(model, 3, 301, config);
+  }
+  expect_bit_identical(vec_run.weights, scalar_run.weights);
+  expect_bit_identical(vec_run.params, scalar_run.params);
+  expect_bit_identical(vec_run.class_weights, scalar_run.class_weights);
+  ASSERT_EQ(vec_run.log_likelihood, scalar_run.log_likelihood);
+  ASSERT_EQ(vec_run.cs_score, scalar_run.cs_score);
+  ASSERT_EQ(vec_run.labels, scalar_run.labels);
+}
+
+TEST(SimdKernels, ThreadInvariantWithVectorKernelsForced) {
+  // {1, 2, 4} threads under the vector tier: the block-ordered fold and the
+  // per-lane bit-identity compose, so the trajectories still memcmp-match.
+  simd::ScopedForceLevel vec(simd::Level::kAvx2);
+  data::LabeledDataset ld = data::paper_dataset(900, 66);
+  data::inject_missing(ld.dataset, 0.15, 21);
+  expect_thread_invariant(Model::default_model(ld.dataset), 4, 302);
+}
+
+// ---- fast-math tier: tolerance oracle ----
+
+/// Relative-error check for the tolerance tier: every slot must agree with
+/// the oracle to `rel` (relative to the larger magnitude, floored at 1).
+void expect_close(std::span<const double> a, std::span<const double> b,
+                  double rel) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom =
+        std::max({std::abs(a[i]), std::abs(b[i]), 1.0});
+    ASSERT_LE(std::abs(a[i] - b[i]), rel * denom) << "slot " << i;
+  }
+}
+
+/// Per-family error bound: the reassociated fold differs from the in-order
+/// oracle only by summation order over <= a few thousand items, so the
+/// relative error stays within a few ulps times log2(n).
+void expect_fast_accumulate_within_tolerance(const Model& model, double rel) {
+  const std::size_t n = model.dataset().num_items();
+  const data::ItemRange all{0, n};
+  for (std::size_t t = 0; t < model.num_terms(); ++t) {
+    const Term& term = model.term(t);
+    if (term.stats_size() == 0) continue;
+    const std::vector<double> w = synthetic_weights(n, 3);
+    std::vector<double> exact(term.stats_size(), 0.125);
+    std::vector<double> fast = exact;
+    term.accumulate_batch(all, w.data(), 3, exact);
+    term.accumulate_batch_fast(all, w.data(), 3, fast);
+    expect_close(fast, exact, rel);
+  }
+}
+
+TEST(FastMathKernels, GaussianAccumulateWithinTolerance) {
+  data::LabeledDataset ld = data::paper_dataset(1100, 71);
+  data::inject_missing(ld.dataset, 0.15, 22);
+  expect_fast_accumulate_within_tolerance(Model::default_model(ld.dataset),
+                                          1e-12);
+}
+
+TEST(FastMathKernels, LognormalAccumulateWithinTolerance) {
+  Dataset d(Schema({Attribute::real("mass", 0.01)}), 800);
+  Xoshiro256ss rng(72);
+  for (std::size_t i = 0; i < 800; ++i)
+    d.set_real(i, 0, std::exp(1.0 + 0.5 * normal01(rng)));
+  for (std::size_t i = 3; i < 800; i += 11) d.set_missing(i, 0);
+  TermSpec spec;
+  spec.kind = TermKind::kSingleLognormal;
+  spec.attributes = {0};
+  expect_fast_accumulate_within_tolerance(Model(d, {spec}), 1e-12);
+}
+
+TEST(FastMathKernels, MultiNormalAccumulateWithinTolerance) {
+  const double r = 0.85;
+  const std::vector<data::CorrelatedComponent> mix = {
+      {0.5, {0.0, 0.0}, {1.0, 0.0, r, std::sqrt(1 - r * r)}},
+      {0.5, {4.0, 2.0}, {1.0, 0.0, -r, std::sqrt(1 - r * r)}},
+  };
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 900, 73);
+  expect_fast_accumulate_within_tolerance(Model::correlated_model(ld.dataset),
+                                          1e-11);
+}
+
+TEST(FastMathKernels, MultinomialFastFoldIsExact) {
+  // No fast kernel for the bincount family: accumulate_batch_fast must
+  // defer to the bit-identical batch kernel.
+  const std::vector<data::CategoricalComponent> mix = {
+      {0.5, {{0.7, 0.2, 0.1}, {0.6, 0.4}}},
+      {0.5, {{0.1, 0.2, 0.7}, {0.3, 0.7}}},
+  };
+  data::LabeledDataset ld = data::categorical_mixture(mix, 700, 74);
+  data::inject_missing(ld.dataset, 0.2, 23);
+  const Model model = Model::default_model(ld.dataset);
+  const std::size_t n = ld.dataset.num_items();
+  for (std::size_t t = 0; t < model.num_terms(); ++t) {
+    const Term& term = model.term(t);
+    const std::vector<double> w = synthetic_weights(n, 1);
+    std::vector<double> exact(term.stats_size(), 0.0);
+    std::vector<double> fast = exact;
+    term.accumulate_batch(data::ItemRange{0, n}, w.data(), 1, exact);
+    term.accumulate_batch_fast(data::ItemRange{0, n}, w.data(), 1, fast);
+    expect_bit_identical(fast, exact);
+  }
+}
+
+/// The fast tier's association is fixed by contract, not by the ISA: the
+/// AVX2 and portable folds must agree bit-for-bit, not just to tolerance.
+void expect_fast_fold_level_invariant(const Model& model) {
+  const std::size_t n = model.dataset().num_items();
+  for (std::size_t t = 0; t < model.num_terms(); ++t) {
+    const Term& term = model.term(t);
+    if (term.stats_size() == 0) continue;
+    const std::vector<double> w = synthetic_weights(n, 3);
+    std::vector<double> vec_stats(term.stats_size(), 0.125);
+    std::vector<double> portable_stats = vec_stats;
+    {
+      simd::ScopedForceLevel vec(simd::Level::kAvx2);
+      term.accumulate_batch_fast(data::ItemRange{0, n}, w.data(), 3,
+                                 vec_stats);
+    }
+    {
+      simd::ScopedForceLevel scalar(simd::Level::kScalar);
+      term.accumulate_batch_fast(data::ItemRange{0, n}, w.data(), 3,
+                                 portable_stats);
+    }
+    expect_bit_identical(vec_stats, portable_stats);
+  }
+}
+
+TEST(FastMathKernels, FastFoldIsDispatchLevelInvariant) {
+  data::LabeledDataset ld = data::paper_dataset(1000, 75);
+  data::inject_missing(ld.dataset, 0.1, 24);
+  expect_fast_fold_level_invariant(Model::default_model(ld.dataset));
+  const double r = 0.7;
+  const std::vector<data::CorrelatedComponent> mix = {
+      {0.5, {0.0, 0.0}, {1.0, 0.0, r, std::sqrt(1 - r * r)}},
+      {0.5, {2.0, 2.0}, {1.0, 0.0, -r, std::sqrt(1 - r * r)}},
+  };
+  const data::LabeledDataset cld = data::correlated_mixture(mix, 1000, 76);
+  expect_fast_fold_level_invariant(Model::correlated_model(cld.dataset));
+}
+
+TEST(FastMathKernels, LogsumexpFastToleranceAndEdgeCases) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(logsumexp_fast(std::span<const double>{}), ninf);
+  const std::vector<double> all_inf(7, ninf);
+  EXPECT_EQ(logsumexp_fast(std::span<const double>(all_inf)), ninf);
+  Xoshiro256ss rng(77);
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 8u, 13u, 32u, 100u}) {
+    std::vector<double> v(n);
+    for (double& x : v) x = -50.0 + 100.0 * normal01(rng);
+    const double exact = logsumexp(std::span<const double>(v));
+    const double fast = logsumexp_fast(std::span<const double>(v));
+    ASSERT_LE(std::abs(fast - exact), 1e-13 * std::max(1.0, std::abs(exact)))
+        << "n=" << n;
+  }
+}
+
+TEST(FastMathKernels, ResolveFastMathPolicy) {
+  EXPECT_TRUE(resolve_fast_math(1));
+  EXPECT_FALSE(resolve_fast_math(-1));
+  unsetenv("PAC_FAST_MATH");
+  EXPECT_FALSE(resolve_fast_math(0));
+  setenv("PAC_FAST_MATH", "1", 1);
+  EXPECT_TRUE(resolve_fast_math(0));
+  setenv("PAC_FAST_MATH", "on", 1);
+  EXPECT_TRUE(resolve_fast_math(0));
+  setenv("PAC_FAST_MATH", "0", 1);
+  EXPECT_FALSE(resolve_fast_math(0));
+  setenv("PAC_FAST_MATH", "off", 1);
+  EXPECT_FALSE(resolve_fast_math(0));
+  unsetenv("PAC_FAST_MATH");
+}
+
+// ---- fast-math tier: full-EM trajectory tolerance and determinism ----
+
+ThreadRun run_fast_math(const Model& model, std::size_t j, std::uint64_t seed,
+                        int threads, int fast_math, int cycles = 8) {
+  EmConfig config;
+  config.threads = threads;
+  config.fast_math = fast_math;
+  config.max_cycles = cycles;
+  return run_with_config(model, j, seed, config);
+}
+
+TEST(FastMathEm, TrajectoryWithinToleranceOfExactTier) {
+  data::LabeledDataset ld = data::paper_dataset(1000, 81);
+  data::inject_missing(ld.dataset, 0.1, 25);
+  const Model model = Model::default_model(ld.dataset);
+  const ThreadRun exact = run_fast_math(model, 4, 401, 1, -1);
+  const ThreadRun fast = run_fast_math(model, 4, 401, 1, 1);
+  // A fixed modest cycle count keeps the comparison on the same EM path;
+  // the reassociation error itself is ~1e-15 per fold and grows mildly.
+  expect_close(fast.params, exact.params, 1e-7);
+  expect_close(fast.class_weights, exact.class_weights, 1e-7);
+  ASSERT_LE(std::abs(fast.log_likelihood - exact.log_likelihood),
+            1e-7 * std::max(1.0, std::abs(exact.log_likelihood)));
+  ASSERT_LE(std::abs(fast.cs_score - exact.cs_score),
+            1e-7 * std::max(1.0, std::abs(exact.cs_score)));
+  EXPECT_EQ(fast.labels, exact.labels);
+}
+
+TEST(FastMathEm, MultiNormalTrajectoryWithinTolerance) {
+  const double r = 0.85;
+  const std::vector<data::CorrelatedComponent> mix = {
+      {0.5, {0.0, 0.0}, {1.0, 0.0, r, std::sqrt(1 - r * r)}},
+      {0.5, {4.0, 2.0}, {1.0, 0.0, -r, std::sqrt(1 - r * r)}},
+  };
+  const data::LabeledDataset ld = data::correlated_mixture(mix, 800, 82);
+  const Model model = Model::correlated_model(ld.dataset);
+  const ThreadRun exact = run_fast_math(model, 3, 402, 1, -1);
+  const ThreadRun fast = run_fast_math(model, 3, 402, 1, 1);
+  expect_close(fast.params, exact.params, 1e-6);
+  ASSERT_LE(std::abs(fast.cs_score - exact.cs_score),
+            1e-6 * std::max(1.0, std::abs(exact.cs_score)));
+  EXPECT_EQ(fast.labels, exact.labels);
+}
+
+TEST(FastMathEm, ThreadAndDispatchLevelInvariant) {
+  // The fast tier is deterministic: {1, 4} threads x {vector, forced-scalar}
+  // dispatch must all produce bit-identical trajectories — only the *exact*
+  // tier comparison is a tolerance check.
+  data::LabeledDataset ld = data::paper_dataset(900, 83);
+  data::inject_missing(ld.dataset, 0.1, 26);
+  const Model model = Model::default_model(ld.dataset);
+  ThreadRun base;
+  {
+    simd::ScopedForceLevel vec(simd::Level::kAvx2);
+    base = run_fast_math(model, 3, 403, 1, 1);
+  }
+  for (const int threads : {1, 4}) {
+    for (const bool force_scalar : {false, true}) {
+      if (threads == 1 && !force_scalar) continue;  // the base run
+      const simd::Level request =
+          force_scalar ? simd::Level::kScalar : simd::Level::kAvx2;
+      simd::ScopedForceLevel guard(request);
+      const ThreadRun run = run_fast_math(model, 3, 403, threads, 1);
+      expect_bit_identical(run.weights, base.weights);
+      expect_bit_identical(run.params, base.params);
+      expect_bit_identical(run.class_weights, base.class_weights);
+      ASSERT_EQ(run.log_likelihood, base.log_likelihood)
+          << threads << " threads, force_scalar=" << force_scalar;
+      ASSERT_EQ(run.cs_score, base.cs_score);
+    }
+  }
+}
+
+TEST(FastMathEm, EnvVariableMatchesExplicitConfig) {
+  // EmConfig::fast_math = 0 reads PAC_FAST_MATH; the trajectory must match
+  // the tier requested explicitly, bit for bit.
+  data::LabeledDataset ld = data::paper_dataset(500, 84);
+  const Model model = Model::default_model(ld.dataset);
+  const ThreadRun explicit_fast = run_fast_math(model, 3, 404, 1, 1);
+  setenv("PAC_FAST_MATH", "1", 1);
+  const ThreadRun via_env = run_fast_math(model, 3, 404, 1, 0);
+  unsetenv("PAC_FAST_MATH");
+  expect_bit_identical(via_env.weights, explicit_fast.weights);
+  expect_bit_identical(via_env.params, explicit_fast.params);
+  ASSERT_EQ(via_env.cs_score, explicit_fast.cs_score);
 }
 
 }  // namespace

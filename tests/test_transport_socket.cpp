@@ -507,6 +507,68 @@ TEST(TransportSocket, MStepKernelAndThreadsBitIdenticalAcrossBackends) {
   expect_bit_identical(kernel, modeled);
 }
 
+/// One rank's full cycle under the opt-in fast-math tier (reassociated
+/// folds): statistics, parameters, and E-step outputs appended to `sink`.
+void fast_math_cycle_suite(Comm& comm, const ac::Model& model, int threads,
+                           std::vector<double>& sink) {
+  core::ParallelConfig pc;
+  pc.charge_costs = false;
+  core::ParallelReducer reducer(comm, model, pc);
+  const data::ItemRange part = data::block_partition(
+      model.dataset().num_items(), comm.size(), comm.rank());
+  ac::EmWorker worker(model, part, reducer);
+  ac::Classification c(model, 3);
+  ac::EmConfig config;
+  config.threads = threads;
+  config.fast_math = 1;
+  worker.random_init(c, 2028, 0, config);
+  worker.update_parameters(c);
+  const std::span<const double> stats = worker.statistics();
+  sink.insert(sink.end(), stats.begin(), stats.end());
+  const std::span<const double> params = c.all_params();
+  sink.insert(sink.end(), params.begin(), params.end());
+  sink.push_back(worker.update_wts(c));
+  const std::span<const double> w = worker.local_weights();
+  sink.insert(sink.end(), w.begin(), w.end());
+}
+
+TEST(TransportSocket, FastMathTierDeterministicAcrossBackendsAndThreads) {
+  // The PAC_FAST_MATH tier reassociates folds but stays deterministic: its
+  // fixed 4-lane association is part of the contract, so socket ranks,
+  // the in-process modeled backend, and different intra-rank thread counts
+  // must still produce bit-identical trajectories.  Tolerance-vs-exact
+  // coverage lives in test_ac_kernels; this pins tier determinism to the
+  // distributed pipeline.
+  constexpr int kRanks = 3;
+  data::LabeledDataset ld = data::mixed_mixture(
+      {{0.5, {0.0, 1.0}, {1.0, 0.5}, {{0.8, 0.2}, {0.1, 0.6, 0.3}}},
+       {0.5, {3.0, -1.0}, {0.7, 1.2}, {{0.3, 0.7}, {0.5, 0.2, 0.3}}}},
+      600, 17);
+  data::inject_missing(ld.dataset, 0.05, 9);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+
+  std::vector<std::vector<double>> socket_fast(kRanks), threaded(kRanks),
+      modeled(kRanks);
+  run_socket_world(kRanks, [&](Comm& comm) {
+    fast_math_cycle_suite(comm, model, /*threads=*/1,
+                          socket_fast[static_cast<std::size_t>(comm.rank())]);
+  });
+  run_socket_world(kRanks, [&](Comm& comm) {
+    fast_math_cycle_suite(comm, model, /*threads=*/2,
+                          threaded[static_cast<std::size_t>(comm.rank())]);
+  });
+  World::Config cfg;
+  cfg.num_ranks = kRanks;
+  cfg.machine = net::ideal_machine();
+  World world(cfg);
+  world.run([&](Comm& comm) {
+    fast_math_cycle_suite(comm, model, /*threads=*/4,
+                          modeled[static_cast<std::size_t>(comm.rank())]);
+  });
+  expect_bit_identical(socket_fast, threaded);
+  expect_bit_identical(socket_fast, modeled);
+}
+
 TEST(TransportSocket, ConnectionRefusedThrowsTransportError) {
   // Rank 1 of a 2-rank world whose rank 0 never shows up: the rendezvous
   // retries until the timeout, then reports a typed, rank-naming error.
