@@ -25,8 +25,8 @@ input error.
 
 Refreshing the baseline (see EXPERIMENTS.md): run the full suite with
 ``--benchmark_out`` on a quiet machine, commit the JSON as
-``bench/baselines/BENCH_<date>_<tag>.json``; this script picks the
-lexicographically newest file by default.
+``bench/baselines/BENCH_<date>_<tag>.json``; this script picks the newest
+file sharing a benchmark pair with the candidate by default.
 """
 
 import argparse
@@ -47,6 +47,10 @@ PAIRS = [
     ("mstep-batch-kernel", "BM_UpdateParamsScalarGaussian", "BM_UpdateParamsGaussian"),
     ("mstep-fastmath", "BM_UpdateParamsGaussian", "BM_UpdateParamsGaussianFastMath"),
     ("mstep-fastmath-multinormal", "BM_UpdateParamsMultiNormal", "BM_UpdateParamsMultiNormalFastMath"),
+    # Serving path (bench/serve_latency): micro-batched predict_batch vs
+    # the per-request rowwise path and the scalar foreign-row reference.
+    ("serve-batched-vs-rowwise", "BM_ServePredictRowwise", "BM_ServePredictBatched"),
+    ("serve-kernel-vs-foreign-scalar", "BM_ServePredictForeignScalar", "BM_ServePredictBatched"),
 ]
 
 DEFAULT_TOLERANCE = 0.35
@@ -75,28 +79,55 @@ def load_report(path):
     return times, build_type
 
 
-def newest_baseline(build_type):
-    """Newest baseline snapshot, preferring one recorded at the same build
-    type as the candidate: debug and release runs have very different
-    kernel-vs-oracle ratios, so comparing across them would defeat the
-    ratio gate."""
+def shared_pairs(a_times, b_times):
+    """Number of PAIRS complete (ref and kernel present) in both reports."""
+    return sum(
+        1
+        for _, ref, kernel in PAIRS
+        if ref in a_times and kernel in a_times
+        and ref in b_times and kernel in b_times
+    )
+
+
+def newest_baseline(build_type, candidate_times=None):
+    """Newest baseline snapshot comparable to the candidate.
+
+    Baselines from different suites coexist under bench/baselines/ (the
+    kernel micros and the serve-latency benches record disjoint benchmark
+    names), so "lexicographically newest" alone can pick a snapshot with
+    zero pairs in common with the candidate and dead-end the gate.
+    Selection order: baselines sharing at least one complete PAIR with the
+    candidate, then those recorded at the same build type (debug and
+    release runs have very different kernel-vs-oracle ratios), then the
+    lexicographically newest."""
     files = sorted(BASELINE_DIR.glob("BENCH_*.json"))
     if not files:
         sys.exit(f"bench_diff: no baselines under {BASELINE_DIR}")
-    if build_type is None:
-        return files[-1]
-    matching = [
-        f
-        for f in files
-        if load_report(f)[1] == build_type
-    ]
-    if matching:
-        return matching[-1]
-    print(
-        f"bench_diff: warning: no {build_type or 'unknown'}-build baseline;"
-        f" falling back to {files[-1].name}"
-    )
-    return files[-1]
+    loaded = [(f, *load_report(f)) for f in files]
+    if candidate_times is not None:
+        comparable = [
+            (f, times, bt)
+            for f, times, bt in loaded
+            if shared_pairs(candidate_times, times) > 0
+        ]
+        if comparable:
+            loaded = comparable
+        else:
+            print(
+                "bench_diff: warning: no baseline shares a benchmark pair"
+                f" with the candidate; falling back to {loaded[-1][0].name}"
+            )
+    if build_type is not None:
+        matching = [(f, times, bt) for f, times, bt in loaded if bt == build_type]
+        if matching:
+            loaded = matching
+        else:
+            print(
+                f"bench_diff: warning: no {build_type or 'unknown'}-build"
+                f" baseline among comparable snapshots; falling back to"
+                f" {loaded[-1][0].name}"
+            )
+    return loaded[-1][0]
 
 
 def speedup(times, ref, kernel):
@@ -192,7 +223,7 @@ def main():
         parser.error("candidate JSON required unless --self-test")
     candidate, build_type = load_report(args.candidate)
     print(f"candidate: {args.candidate} ({build_type or 'unknown'} build)")
-    baseline_path = args.baseline or newest_baseline(build_type)
+    baseline_path = args.baseline or newest_baseline(build_type, candidate)
     baseline, _ = load_report(baseline_path)
     print(f"baseline: {baseline_path}")
     regressions = compare(candidate, baseline, args.tolerance)

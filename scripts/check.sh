@@ -3,7 +3,7 @@
 # and example.  A bench or example that exits nonzero fails the script
 # (it does not silently continue).
 #
-# Usage: scripts/check.sh [--fast] [--distributed] [--simd MODE]
+# Usage: scripts/check.sh [--fast] [--distributed] [--serve] [--simd MODE]
 #                         [--build-dir DIR]
 #   --fast        run benches/examples in --smoke mode (tiny inputs); this
 #                 is the tier CI uses so the whole suite also fits under
@@ -11,6 +11,9 @@
 #   --distributed additionally run the multi-process smoke tier: pac_launch
 #                 worlds of 4 real rank processes over the socket backend
 #                 (quickstart + transport throughput).
+#   --serve       additionally run the serving smoke tier: a live pac_serve
+#                 under 8 concurrent pac_client streams with a mid-run hot
+#                 reload (scripts/serve_smoke.sh).
 #   --simd MODE   on   (default) leave PAC_SIMD alone: runtime dispatch
 #                      picks the best level the host supports;
 #                 off  force the scalar kernels (PAC_SIMD=0) for the whole
@@ -25,12 +28,14 @@ cd "$(dirname "$0")/.."
 
 FAST=0
 DISTRIBUTED=0
+SERVE=0
 SIMD=on
 BUILD_DIR=build
 while [ $# -gt 0 ]; do
   case "$1" in
     --fast) FAST=1 ;;
     --distributed) DISTRIBUTED=1 ;;
+    --serve) SERVE=1 ;;
     --simd)
       shift; SIMD="$1"
       case "$SIMD" in
@@ -108,6 +113,30 @@ else
       ;;
   esac
 fi
+# Same drill for the serving-path benches: one JSON run of serve_latency,
+# then the ratio gate (bench_diff picks the serve baseline automatically —
+# the candidate and baseline are matched on shared benchmark pairs).
+PERF_SERVE_JSON="$BUILD_DIR/BENCH_serve_latency.json"
+echo "== perf smoke: bench/serve_latency $SMOKE -> $PERF_SERVE_JSON =="
+if ! "$BUILD_DIR"/bench/serve_latency $SMOKE \
+    --benchmark_out="$PERF_SERVE_JSON" --benchmark_out_format=json \
+    >/dev/null 2>&1; then
+  echo "!! FAILED: perf smoke (bench/serve_latency)" >&2
+  failures=$((failures + 1))
+else
+  case "$SIMD,${PAC_CMAKE_ARGS:-}" in
+    off,*|*sanitize*)
+      echo "== serve perf gate skipped (simd=$SIMD, sanitized build?) =="
+      ;;
+    *)
+      echo "== perf gate: scripts/bench_diff.py $PERF_SERVE_JSON =="
+      if ! python3 scripts/bench_diff.py "$PERF_SERVE_JSON"; then
+        echo "!! FAILED: perf gate (scripts/bench_diff.py, serve)" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
+fi
 
 for e in "$BUILD_DIR"/examples/*; do
   [ -f "$e" ] && [ -x "$e" ] || continue
@@ -151,6 +180,16 @@ if [ "$DISTRIBUTED" = 1 ]; then
       failures=$((failures + 1))
     fi
   done
+fi
+
+if [ "$SERVE" = 1 ]; then
+  echo "== serving smoke tier: scripts/serve_smoke.sh =="
+  if sh scripts/serve_smoke.sh --build-dir "$BUILD_DIR"; then
+    echo ok
+  else
+    echo "!! FAILED: scripts/serve_smoke.sh" >&2
+    failures=$((failures + 1))
+  fi
 fi
 
 if [ "$failures" -gt 0 ]; then

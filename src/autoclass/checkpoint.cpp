@@ -1,8 +1,12 @@
 #include "autoclass/checkpoint.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -23,26 +27,122 @@ void write_doubles(std::ostream& out, std::span<const double> values) {
   out << "\n";
 }
 
-void read_token(std::istream& in, const char* expected) {
-  std::string token;
-  in >> token;
-  PAC_REQUIRE_MSG(in.good() && token == expected,
-                  "checkpoint parse error: expected '" << expected
-                                                       << "', got '" << token
-                                                       << "'");
-}
+/// Tokenizer that tracks the 1-based line number so every parse failure
+/// can name the offending line and field (CheckpointError).  Characters
+/// are consumed one at a time — newlines inside skipped whitespace count —
+/// which `in >> token` cannot do.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& in) : in_(in) {}
 
-template <class T>
-T read_value(std::istream& in, const char* what) {
-  T value{};
-  in >> value;
-  PAC_REQUIRE_MSG(!in.fail(), "checkpoint parse error reading " << what);
-  return value;
-}
+  std::size_t line() const noexcept { return line_; }
 
-void read_doubles(std::istream& in, std::span<double> values,
-                  const char* what) {
-  for (double& v : values) v = read_value<double>(in, what);
+  [[noreturn]] void fail(const std::string& field,
+                         const std::string& detail) const {
+    throw CheckpointError(line_, field,
+                          "checkpoint parse error at line " +
+                              std::to_string(line_) + ", field '" + field +
+                              "': " + detail);
+  }
+
+  /// Next whitespace-delimited token; fails on end of stream.
+  std::string next(const std::string& field) {
+    int ch = in_.get();
+    while (ch != std::istream::traits_type::eof() &&
+           std::isspace(static_cast<unsigned char>(ch))) {
+      if (ch == '\n') ++line_;
+      ch = in_.get();
+    }
+    if (ch == std::istream::traits_type::eof())
+      fail(field, "unexpected end of checkpoint");
+    std::string token;
+    while (ch != std::istream::traits_type::eof() &&
+           !std::isspace(static_cast<unsigned char>(ch))) {
+      token.push_back(static_cast<char>(ch));
+      ch = in_.get();
+    }
+    if (ch == '\n') ++line_;
+    return token;
+  }
+
+  /// Consume a literal structural token ("weights", "end", ...).
+  void expect(const std::string& literal) {
+    const std::string token = next(literal);
+    if (token != literal)
+      fail(literal, "expected '" + literal + "', got '" + token + "'");
+  }
+
+  double read_double(const std::string& field) {
+    const std::string token = next(field);
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty())
+      fail(field, "malformed number '" + token + "'");
+    return v;
+  }
+
+  long long read_int(const std::string& field) {
+    const std::string token = next(field);
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size() || token.empty() ||
+        errno == ERANGE)
+      fail(field, "malformed integer '" + token + "'");
+    return v;
+  }
+
+  /// Non-negative count with an explicit upper bound: declared sizes are
+  /// attacker-controlled under hot-reload and bounded before allocation.
+  std::size_t read_count(const std::string& field, std::size_t max) {
+    const long long v = read_int(field);
+    if (v < 0) fail(field, "negative count " + std::to_string(v));
+    if (static_cast<unsigned long long>(v) > max)
+      fail(field, "count " + std::to_string(v) + " exceeds the limit of " +
+                      std::to_string(max));
+    return static_cast<std::size_t>(v);
+  }
+
+  void read_doubles(std::span<double> values, const std::string& field) {
+    for (double& v : values) v = read_double(field);
+  }
+
+ private:
+  std::istream& in_;
+  std::size_t line_ = 1;
+};
+
+Classification load_classification_from(TokenReader& r, const Model& model) {
+  r.expect(kClassificationMagic);
+  r.expect("v1");
+  r.expect("classes");
+  const std::size_t num_classes =
+      r.read_count("class count", kMaxCheckpointClasses);
+  if (num_classes == 0) r.fail("class count", "a classification needs >= 1 class");
+  r.expect("params_per_class");
+  const std::size_t ppc =
+      r.read_count("params_per_class", std::numeric_limits<std::size_t>::max() / 2);
+  if (ppc != model.params_per_class())
+    r.fail("params_per_class",
+           "checkpoint was written for a different model structure (" +
+               std::to_string(ppc) + " params/class vs " +
+               std::to_string(model.params_per_class()) + ")");
+  Classification c(model, num_classes);
+  r.expect("scores");
+  c.log_likelihood = r.read_double("log_likelihood");
+  c.cs_score = r.read_double("cs_score");
+  c.bic_score = r.read_double("bic_score");
+  c.cycles = static_cast<int>(r.read_int("cycles"));
+  c.initial_classes = static_cast<int>(r.read_int("initial_classes"));
+  r.expect("log_pi");
+  r.read_doubles(c.mutable_log_pis(), "log_pi");
+  r.expect("weights");
+  r.read_doubles(c.mutable_weights(), "weights");
+  r.expect("params");
+  r.read_doubles(c.all_params_mutable(), "params");
+  r.expect("end");
+  return c;
 }
 
 }  // namespace
@@ -64,31 +164,8 @@ void save_classification(std::ostream& out, const Classification& c) {
 }
 
 Classification load_classification(std::istream& in, const Model& model) {
-  read_token(in, kClassificationMagic);
-  read_token(in, "v1");
-  read_token(in, "classes");
-  const auto num_classes = read_value<std::size_t>(in, "class count");
-  read_token(in, "params_per_class");
-  const auto ppc = read_value<std::size_t>(in, "params_per_class");
-  PAC_REQUIRE_MSG(ppc == model.params_per_class(),
-                  "checkpoint was written for a different model structure ("
-                      << ppc << " params/class vs "
-                      << model.params_per_class() << ")");
-  Classification c(model, num_classes);
-  read_token(in, "scores");
-  c.log_likelihood = read_value<double>(in, "log_likelihood");
-  c.cs_score = read_value<double>(in, "cs_score");
-  c.bic_score = read_value<double>(in, "bic_score");
-  c.cycles = read_value<int>(in, "cycles");
-  c.initial_classes = read_value<int>(in, "initial_classes");
-  read_token(in, "log_pi");
-  read_doubles(in, c.mutable_log_pis(), "log_pi");
-  read_token(in, "weights");
-  read_doubles(in, c.mutable_weights(), "weights");
-  read_token(in, "params");
-  read_doubles(in, c.all_params_mutable(), "params");
-  read_token(in, "end");
-  return c;
+  TokenReader r(in);
+  return load_classification_from(r, model);
 }
 
 void save_search_result(std::ostream& out, const SearchResult& result) {
@@ -105,29 +182,31 @@ void save_search_result(std::ostream& out, const SearchResult& result) {
 }
 
 SearchResult load_search_result(std::istream& in, const Model& model) {
-  read_token(in, kSearchMagic);
-  read_token(in, "v1");
+  TokenReader r(in);
+  r.expect(kSearchMagic);
+  r.expect("v1");
   SearchResult result;
-  read_token(in, "tries");
-  result.tries = read_value<int>(in, "tries");
-  read_token(in, "duplicates");
-  result.duplicates = read_value<int>(in, "duplicates");
-  read_token(in, "total_cycles");
-  result.total_cycles = read_value<std::int64_t>(in, "total_cycles");
-  read_token(in, "best");
-  const auto count = read_value<std::size_t>(in, "leaderboard size");
+  r.expect("tries");
+  result.tries = static_cast<int>(r.read_int("tries"));
+  r.expect("duplicates");
+  result.duplicates = static_cast<int>(r.read_int("duplicates"));
+  r.expect("total_cycles");
+  result.total_cycles = r.read_int("total_cycles");
+  r.expect("best");
+  const std::size_t count =
+      r.read_count("leaderboard size", kMaxCheckpointLeaderboard);
   for (std::size_t b = 0; b < count; ++b) {
-    read_token(in, "try");
-    const int try_index = read_value<int>(in, "try index");
-    const int j_requested = read_value<int>(in, "j requested");
-    const int converged = read_value<int>(in, "converged flag");
-    TryResult entry{load_classification(in, model)};
+    r.expect("try");
+    const int try_index = static_cast<int>(r.read_int("try index"));
+    const int j_requested = static_cast<int>(r.read_int("j requested"));
+    const int converged = static_cast<int>(r.read_int("converged flag"));
+    TryResult entry{load_classification_from(r, model)};
     entry.try_index = try_index;
     entry.j_requested = j_requested;
     entry.converged = converged != 0;
     result.best.push_back(std::move(entry));
   }
-  read_token(in, "end");
+  r.expect("end");
   return result;
 }
 

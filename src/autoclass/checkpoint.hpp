@@ -14,13 +14,40 @@
 #include <iosfwd>
 
 #include "autoclass/search.hpp"
+#include "util/error.hpp"
 
 namespace pac::ac {
 
+/// A malformed checkpoint.  Names the 1-based line and the field being
+/// parsed when the stream went wrong, so a corrupt checkpoint surfaced by
+/// a pac_serve hot-reload is diagnosable from the message alone
+/// ("checkpoint parse error at line 4, field 'weights': ...").  Subclasses
+/// pac::Error, so existing catch sites keep working.
+class CheckpointError : public pac::Error {
+ public:
+  CheckpointError(std::size_t line, std::string field,
+                  const std::string& what)
+      : pac::Error(what), line_(line), field_(std::move(field)) {}
+  /// 1-based line of the ASCII checkpoint where parsing failed.
+  std::size_t line() const noexcept { return line_; }
+  /// The field (token or value name) being read when parsing failed.
+  const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::size_t line_;
+  std::string field_;
+};
+
+/// Hard caps on counts a checkpoint may declare.  A checkpoint is parsed
+/// from an untrusted file (hot-reload watches a path anyone may write), so
+/// declared sizes are bounded before any allocation.
+inline constexpr std::size_t kMaxCheckpointClasses = 4096;
+inline constexpr std::size_t kMaxCheckpointLeaderboard = 4096;
+
 void save_classification(std::ostream& out, const Classification& c);
 
-/// Load one classification and bind it to `model`; throws pac::Error on
-/// format or structure mismatch.
+/// Load one classification and bind it to `model`; throws CheckpointError
+/// (naming line and field) on malformed input or structure mismatch.
 Classification load_classification(std::istream& in, const Model& model);
 
 void save_search_result(std::ostream& out, const SearchResult& result);

@@ -41,6 +41,12 @@ void Term::accumulate_batch(data::ItemRange range, const double* weights,
   }
 }
 
+std::unique_ptr<Term> Term::rebind(const data::Dataset&) const {
+  PAC_REQUIRE_MSG(false, "term family '" << to_string(spec_.kind)
+                                         << "' does not support rebinding");
+  return nullptr;
+}
+
 Model::Model(const data::Dataset& data, std::vector<TermSpec> specs,
              ModelConfig config)
     : data_(&data), config_(config) {
@@ -116,6 +122,23 @@ Model Model::correlated_model(const data::Dataset& data, ModelConfig config) {
     specs.push_back(std::move(block));
   }
   return Model(data, std::move(specs), config);
+}
+
+Model Model::rebound(const data::Dataset& target) const {
+  PAC_REQUIRE_MSG(target.schema() == data_->schema(),
+                  "rebound dataset schema differs from the training schema");
+  PAC_REQUIRE_MSG(target.num_items() > 0, "rebound dataset is empty");
+  Model m;
+  m.data_ = &target;
+  m.config_ = config_;
+  m.terms_.reserve(terms_.size());
+  for (const auto& t : terms_) m.terms_.push_back(t->rebind(target));
+  m.param_offsets_ = param_offsets_;
+  m.stats_offsets_ = stats_offsets_;
+  m.params_per_class_ = params_per_class_;
+  m.stats_per_class_ = stats_per_class_;
+  m.covered_attrs_ = covered_attrs_;
+  return m;
 }
 
 std::size_t Model::free_params(std::size_t num_classes) const noexcept {

@@ -174,6 +174,18 @@ class Term {
                                   std::size_t item,
                                   std::span<const double> params) const = 0;
 
+  /// Clone this term with its column spans repointed at `target` (a dataset
+  /// with the training schema), keeping every trained prior and hoisted
+  /// constant byte-identical.  log_prob on the clone therefore produces
+  /// bit-identical values to the training-bound term evaluated on equal
+  /// data — this is what lets pac_serve route foreign query rows through
+  /// the batched log_prob_batch kernels (the serving hot path) instead of
+  /// the scalar log_prob_foreign.  Throws pac::Error if `target` violates a
+  /// family precondition (non-positive values for lognormal, missing values
+  /// in a multi_normal block).  The base implementation throws: a term
+  /// family without an override simply cannot serve.
+  virtual std::unique_ptr<Term> rebind(const data::Dataset& target) const;
+
  protected:
   explicit Term(TermSpec spec) : spec_(std::move(spec)) {}
 
@@ -219,8 +231,19 @@ class Model {
   /// Total attribute slots covered by terms (the cost model's K).
   std::size_t covered_attributes() const noexcept { return covered_attrs_; }
 
+  /// A copy of this model bound to `target` instead of the training
+  /// dataset: same term structure, same offsets, and — via Term::rebind —
+  /// the same trained priors and constants, so evaluating a classification
+  /// under the rebound model is bit-identical to evaluating the original on
+  /// equal data.  `target` must use the training schema.  This is the
+  /// serving path: pac_serve rebinds per query batch so the kernelized
+  /// E-step runs on wire-decoded rows.
+  Model rebound(const data::Dataset& target) const;
+
  private:
-  const data::Dataset* data_;
+  Model() = default;
+
+  const data::Dataset* data_ = nullptr;
   ModelConfig config_;
   std::vector<std::unique_ptr<Term>> terms_;
   std::vector<std::size_t> param_offsets_;

@@ -9,15 +9,6 @@
 
 namespace pac::ac {
 
-namespace {
-
-/// Items per blocked report pass (matches the E-step's blocking).
-constexpr std::size_t kReportBlock = 256;
-
-/// Fill `rows` (block.size() x J, row-major) with the log joint
-/// log pi_j + log p(x_i | theta_j) via the batched term kernels — the same
-/// accumulation order as the E-step, so report values match the training
-/// path bit-for-bit.
 void fill_log_joint(const Classification& c, data::ItemRange block,
                     double* rows) {
   const Model& model = c.model();
@@ -28,6 +19,8 @@ void fill_log_joint(const Classification& c, data::ItemRange block,
     for (std::size_t k = 0; k < j; ++k)
       model.term(t).log_prob_batch(block, c.param_block(k, t), rows + k, j);
 }
+
+namespace {
 
 /// Log joint log pi_j + log p(x_i | theta_j) for every class of item i.
 std::vector<double> log_joint(const Classification& c, std::size_t item) {

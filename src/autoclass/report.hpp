@@ -10,6 +10,17 @@
 
 namespace pac::ac {
 
+/// Items per blocked report pass (matches the E-step's blocking).
+inline constexpr std::size_t kReportBlock = 256;
+
+/// Fill `rows` (block.size() x num_classes, row-major) with the log joint
+/// log pi_j + log p(x_i | theta_j) via the batched term kernels — the same
+/// accumulation order as the E-step, so values match the training path
+/// bit-for-bit.  This is the kernel entry every report/prediction helper
+/// and the pac_serve batch evaluator route through.
+void fill_log_joint(const Classification& c, data::ItemRange block,
+                    double* rows);
+
 /// Hard class labels: argmax_j of the posterior membership of each item.
 std::vector<std::int32_t> assign_labels(const Classification& c);
 

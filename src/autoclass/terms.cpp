@@ -219,6 +219,15 @@ class SingleNormalTerm final : public Term {
     return -0.5 * (kLog2Pi + z * z) - params[2] + std::log(error_);
   }
 
+  std::unique_ptr<Term> rebind(const data::Dataset& target) const override {
+    // Copy keeps the trained priors (error_, prior_*, strengths); only the
+    // column span moves, so log_prob on the clone is the same expression
+    // over the same constants.
+    auto clone = std::make_unique<SingleNormalTerm>(*this);
+    clone->column_ = target.real_column(spec_.attributes[0]);
+    return clone;
+  }
+
  private:
   std::span<const double> column_;
   std::string name_;
@@ -396,6 +405,15 @@ class SingleMultinomialTerm final : public Term {
                         num_values_ - (missing_as_value_ ? 1 : 0),
                     "foreign discrete value out of the training range");
     return params[static_cast<std::size_t>(v)];
+  }
+
+  std::unique_ptr<Term> rebind(const data::Dataset& target) const override {
+    // Symbol range safety comes from schema equality (checked by
+    // Model::rebound) plus Dataset::set_discrete's range validation: every
+    // value in the target column already indexes the param table.
+    auto clone = std::make_unique<SingleMultinomialTerm>(*this);
+    clone->column_ = target.discrete_column(spec_.attributes[0]);
+    return clone;
   }
 
  private:
@@ -721,6 +739,21 @@ class MultiNormalTerm final : public Term {
            log_error_sum_;
   }
 
+  std::unique_ptr<Term> rebind(const data::Dataset& target) const override {
+    auto clone = std::make_unique<MultiNormalTerm>(*this);
+    clone->columns_.clear();
+    for (const std::size_t a : spec_.attributes) {
+      // The training-time completeness requirement applies to query rows
+      // too: the kernel has no missing-value path.
+      PAC_REQUIRE_MSG(target.missing_count(a) == 0,
+                      "multi_normal prediction needs complete rows "
+                      "(attribute '"
+                          << target.schema().at(a).name << "')");
+      clone->columns_.push_back(target.real_column(a));
+    }
+    return clone;
+  }
+
  private:
   std::vector<std::span<const double>> columns_;
   std::vector<std::string> names_;
@@ -929,6 +962,23 @@ class SingleLognormalTerm final : public Term {
     return -0.5 * (kLog2Pi + z * z) - params[2] - lx + std::log(rel_error_);
   }
 
+  std::unique_ptr<Term> rebind(const data::Dataset& target) const override {
+    // The precomputed log column is rebuilt from the target data; the
+    // trained priors stay.  Positivity is a hard precondition, as at
+    // training time.
+    auto clone = std::make_unique<SingleLognormalTerm>(*this);
+    const auto raw = target.real_column(spec_.attributes[0]);
+    clone->log_column_.assign(raw.size(), data::missing_real());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (data::is_missing_real(raw[i])) continue;
+      PAC_REQUIRE_MSG(raw[i] > 0.0,
+                      "single_lognormal needs strictly positive values; '"
+                          << name_ << "' has " << raw[i]);
+      clone->log_column_[i] = std::log(raw[i]);
+    }
+    return clone;
+  }
+
  private:
   std::vector<double> log_column_;
   std::string name_;
@@ -989,6 +1039,9 @@ class IgnoreTerm final : public Term {
   double log_prob_foreign(const data::Dataset&, std::size_t,
                           std::span<const double>) const override {
     return 0.0;
+  }
+  std::unique_ptr<Term> rebind(const data::Dataset&) const override {
+    return std::make_unique<IgnoreTerm>(*this);
   }
 };
 

@@ -1,0 +1,87 @@
+#include "mp/transport/frame.hpp"
+
+#include <cstdio>
+
+namespace pac::mp::transport {
+
+namespace {
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+}  // namespace
+
+void validate_frame_header(const FrameHeader& h, const FrameLimits& limits,
+                           const std::string& what) {
+  if (h.magic != kFrameMagic)
+    throw FrameError(FrameError::Kind::kBadMagic,
+                     what + ": bad frame magic " + hex32(h.magic) +
+                         " (stream corrupt or wrong protocol)");
+  if (h.kind != kFrameData && h.kind != kFrameShutdown)
+    throw FrameError(FrameError::Kind::kBadKind,
+                     what + ": unknown frame kind " + std::to_string(h.kind));
+  if (h.kind == kFrameShutdown && h.nbytes != 0)
+    throw FrameError(FrameError::Kind::kBadKind,
+                     what + ": shutdown frame carries " +
+                         std::to_string(h.nbytes) + " payload bytes");
+  if (h.nbytes > limits.max_payload)
+    throw FrameError(FrameError::Kind::kOversized,
+                     what + ": frame declares " + std::to_string(h.nbytes) +
+                         " payload bytes, limit is " +
+                         std::to_string(limits.max_payload));
+  if (h.kind == kFrameData && h.nbytes == 0 && !limits.allow_empty_payload)
+    throw FrameError(FrameError::Kind::kEmptyPayload,
+                     what + ": zero-length data frame");
+}
+
+bool read_frame(const Fd& fd, const FrameLimits& limits,
+                FrameHeader& header_out, std::vector<std::byte>& payload_out,
+                const std::string& what) {
+  FrameHeader h;
+  try {
+    if (!read_full(fd, &h, sizeof(h), what.c_str()))
+      return false;  // clean EOF between frames
+  } catch (const FrameError&) {
+    throw;
+  } catch (const TransportError& e) {
+    // Stream ended (or died) inside the fixed header.
+    throw FrameError(FrameError::Kind::kTruncated,
+                     what + ": truncated frame header (" + e.what() + ")");
+  }
+  // Everything below allocates only after the header passes validation:
+  // h.nbytes is attacker-controlled until this call succeeds.
+  validate_frame_header(h, limits, what);
+  payload_out.clear();
+  payload_out.resize(h.nbytes);
+  if (h.nbytes > 0) {
+    try {
+      if (!read_full(fd, payload_out.data(), payload_out.size(),
+                     what.c_str()))
+        throw FrameError(FrameError::Kind::kTruncated,
+                         what + ": stream closed before the declared " +
+                             std::to_string(h.nbytes) + "-byte payload");
+    } catch (const FrameError&) {
+      throw;
+    } catch (const TransportError& e) {
+      throw FrameError(FrameError::Kind::kTruncated,
+                       what + ": truncated frame payload (" + e.what() + ")");
+    }
+  }
+  header_out = h;
+  return true;
+}
+
+void write_frame(const Fd& fd, const FrameHeader& header, const void* payload,
+                 std::size_t nbytes, const FrameLimits& limits,
+                 const std::string& what) {
+  FrameHeader h = header;
+  h.nbytes = nbytes;
+  validate_frame_header(h, limits, what);
+  write_full(fd, &h, sizeof(h), what.c_str());
+  if (nbytes > 0) write_full(fd, payload, nbytes, what.c_str());
+}
+
+}  // namespace pac::mp::transport

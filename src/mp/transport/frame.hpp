@@ -1,0 +1,102 @@
+// Length-prefixed frame codec shared by the pacnet socket backend and the
+// pac_serve query protocol.
+//
+// A frame is a fixed 40-byte header followed by `nbytes` of payload.  Ranks
+// (and serve clients) run on one host or a homogeneous cluster, so fields
+// travel in native byte order; the magic doubles as an endianness check.
+//
+// The decode path is hardened against adversarial input: the header is
+// fully validated *before* any payload allocation, so a malicious or
+// corrupt stream cannot make the reader allocate an attacker-controlled
+// length.  Violations throw FrameError (a TransportError subclass) with a
+// typed kind, so callers can distinguish "bad client" from "socket died".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "mp/status.hpp"
+#include "mp/transport/socket.hpp"
+
+namespace pac::mp::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x70616331;  // "pac1"
+
+/// Frame kinds.  kFrameData carries a message; kFrameShutdown is the clean
+/// end-of-stream marker and must carry no payload.
+inline constexpr std::uint32_t kFrameData = 1;
+inline constexpr std::uint32_t kFrameShutdown = 2;
+
+/// On-wire frame header.
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint32_t kind = kFrameData;
+  std::int32_t context = 0;
+  std::int32_t source = 0;
+  std::int32_t tag = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t nbytes = 0;
+};
+static_assert(sizeof(FrameHeader) == 40);
+static_assert(std::is_trivially_copyable_v<FrameHeader>);
+
+/// Transport frames default to 1 GiB (collectives ship whole model blocks);
+/// the serve protocol narrows this to a few MiB per request.
+inline constexpr std::uint64_t kDefaultMaxFramePayload =
+    std::uint64_t{1} << 30;
+
+/// Decode-side policy.  `allow_empty_payload` rejects zero-length kFrameData
+/// frames — the transport permits them (zero-byte collectives are legal),
+/// the serve protocol does not (every request has at least a fixed header).
+struct FrameLimits {
+  std::uint64_t max_payload = kDefaultMaxFramePayload;
+  bool allow_empty_payload = true;
+};
+
+/// A malformed frame (as opposed to an I/O failure on a well-formed
+/// stream).  `kind()` says what was wrong; the what() string names the
+/// stream and the offending field values.
+class FrameError : public TransportError {
+ public:
+  enum class Kind {
+    kBadMagic,      // wrong magic word (not a pacnet stream / byte order)
+    kBadKind,       // kind is neither kFrameData nor kFrameShutdown
+    kOversized,     // nbytes exceeds the configured max_payload
+    kEmptyPayload,  // zero-length data frame where the protocol forbids it
+    kTruncated,     // stream ended inside a header or declared payload
+  };
+
+  FrameError(Kind kind, const std::string& what)
+      : TransportError(what), kind_(kind) {}
+  Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Validate a decoded header against `limits`.  Throws FrameError; never
+/// allocates.  Exposed separately so tests can drive it without a socket.
+void validate_frame_header(const FrameHeader& h, const FrameLimits& limits,
+                           const std::string& what);
+
+/// Read one frame from `fd`.  Returns false on clean EOF at a frame
+/// boundary (peer closed between frames).  The header is validated before
+/// `payload_out` is resized.  Throws FrameError on malformed or truncated
+/// input and TransportError on other I/O failures.  `what` labels the
+/// stream in error messages (e.g. "recv from rank 3").
+bool read_frame(const Fd& fd, const FrameLimits& limits,
+                FrameHeader& header_out, std::vector<std::byte>& payload_out,
+                const std::string& what);
+
+/// Write one frame.  `header.nbytes` must equal `nbytes`; the same limits
+/// are enforced on the send side so an oversized frame fails loudly at the
+/// producer instead of poisoning the peer's stream.
+void write_frame(const Fd& fd, const FrameHeader& header, const void* payload,
+                 std::size_t nbytes, const FrameLimits& limits,
+                 const std::string& what);
+
+}  // namespace pac::mp::transport

@@ -9,27 +9,12 @@ namespace pac::mp::transport {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x70616331;  // "pac1"
+constexpr std::uint32_t kMagic = kFrameMagic;
 constexpr std::uint32_t kVersion = 1;
-constexpr std::uint32_t kData = 1;
-constexpr std::uint32_t kShutdown = 2;
 constexpr std::size_t kAddrBytes = 120;
-
-/// On-wire message frame header.  Ranks are spawned on one host (or a
-/// homogeneous cluster), so fields travel in native byte order; the magic
-/// doubles as an endianness check.
-struct FrameHeader {
-  std::uint32_t magic = kMagic;
-  std::uint32_t kind = kData;
-  std::int32_t context = 0;
-  std::int32_t source = 0;
-  std::int32_t tag = 0;
-  std::uint32_t reserved = 0;
-  std::uint64_t seq = 0;
-  std::uint64_t nbytes = 0;
-};
-static_assert(sizeof(FrameHeader) == 40);
-static_assert(std::is_trivially_copyable_v<FrameHeader>);
+// Message frames (header layout, validation, payload-size hardening) live
+// in mp/transport/frame.{hpp,cpp}; this file keeps only the rendezvous
+// handshake frames.
 
 /// Rendezvous hello from rank r > 0 to rank 0.
 struct HelloFrame {
@@ -218,7 +203,7 @@ SocketTransport::~SocketTransport() {
     if (peer == opts_.rank || !peers_[static_cast<std::size_t>(peer)].valid())
       continue;
     try {
-      send_frame(peer, kShutdown, nullptr);
+      send_frame(peer, kFrameShutdown, nullptr);
     } catch (const TransportError&) {
       // Peer already gone; its reader will see the EOF.
     }
@@ -238,32 +223,34 @@ void SocketTransport::send_frame(int peer, std::uint32_t kind,
     h.context = msg->context;
     h.source = msg->source;
     h.tag = msg->tag;
-    h.nbytes = msg->payload.size();
   }
   std::ostringstream label;
   label << "send to rank " << peer;
   if (msg != nullptr) label << " (tag=" << msg->tag << ")";
-  const std::string what = label.str();
-  write_full(peers_[idx], &h, sizeof(h), what.c_str());
-  if (msg != nullptr && !msg->payload.empty())
-    write_full(peers_[idx], msg->payload.data(), msg->payload.size(),
-               what.c_str());
-  if (kind == kData) {
+  const FrameLimits limits{opts_.max_frame_payload, true};
+  write_frame(peers_[idx], h,
+              msg != nullptr ? msg->payload.data() : nullptr,
+              msg != nullptr ? msg->payload.size() : 0, limits, label.str());
+  if (kind == kFrameData) {
     messages_sent_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(sizeof(h) + h.nbytes, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(
+        sizeof(h) + (msg != nullptr ? msg->payload.size() : 0),
+        std::memory_order_relaxed);
   }
 }
 
 void SocketTransport::reader_loop(int peer) {
   const auto idx = static_cast<std::size_t>(peer);
+  const FrameLimits limits{opts_.max_frame_payload, true};
   std::uint64_t expected_seq = 0;
+  std::ostringstream label;
+  label << "recv from rank " << peer;
+  const std::string what = label.str();
   try {
     for (;;) {
-      std::ostringstream label;
-      label << "recv from rank " << peer;
-      const std::string what = label.str();
       FrameHeader h;
-      if (!read_full(peers_[idx], &h, sizeof(h), what.c_str())) {
+      Message m;
+      if (!read_frame(peers_[idx], limits, h, m.payload, what)) {
         // EOF with no shutdown frame: the peer process died.
         inbox_.fail("rank " + std::to_string(peer) +
                     " closed its connection without shutdown (process "
@@ -271,9 +258,7 @@ void SocketTransport::reader_loop(int peer) {
         inbox_.mark_source_closed(peer);
         return;
       }
-      if (h.magic != kMagic)
-        throw TransportError(what + ": bad frame magic (stream corrupt)");
-      if (h.kind == kShutdown) {
+      if (h.kind == kFrameShutdown) {
         inbox_.mark_source_closed(peer);
         return;
       }
@@ -286,15 +271,10 @@ void SocketTransport::reader_loop(int peer) {
             std::to_string(expected_seq) + ", got " + std::to_string(h.seq) +
             ") — frames lost or stream corrupt");
       ++expected_seq;
-      Message m;
       m.context = h.context;
       m.source = h.source;
       m.tag = h.tag;
       m.send_time = 0.0;
-      m.payload.resize(h.nbytes);
-      if (h.nbytes > 0 &&
-          !read_full(peers_[idx], m.payload.data(), h.nbytes, what.c_str()))
-        throw TransportError(what + ": connection closed mid-payload");
       messages_received_.fetch_add(1, std::memory_order_relaxed);
       bytes_received_.fetch_add(sizeof(h) + h.nbytes,
                                 std::memory_order_relaxed);
@@ -311,7 +291,7 @@ void SocketTransport::send(int dest_world_rank, Message msg) {
     inbox_.push(std::move(msg));
     return;
   }
-  send_frame(dest_world_rank, kData, &msg);
+  send_frame(dest_world_rank, kFrameData, &msg);
 }
 
 Message SocketTransport::recv(int context, int source_world_rank, int tag) {

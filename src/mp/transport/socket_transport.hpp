@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "mp/transport/frame.hpp"
 #include "mp/transport/socket.hpp"
 #include "mp/transport/time_source.hpp"
 #include "mp/transport/transport.hpp"
@@ -47,6 +48,9 @@ struct SocketOptions {
   int size = 0;
   /// Seconds to keep retrying the rendezvous connect before giving up.
   double connect_timeout = 30.0;
+  /// Largest payload a peer may declare in one frame.  A frame above this
+  /// is a typed FrameError (stream marked failed), not an allocation.
+  std::uint64_t max_frame_payload = kDefaultMaxFramePayload;
 };
 
 class SocketTransport final : public Transport {

@@ -1,0 +1,105 @@
+#include "serve/client.hpp"
+
+namespace pac::serve {
+
+namespace mt = mp::transport;
+
+Client::Client(const std::string& address, double timeout_seconds)
+    : fd_(mt::connect_to(mt::parse_endpoint(address), timeout_seconds)),
+      limits_{kMaxRequestBytes, /*allow_empty_payload=*/false} {}
+
+Client::~Client() {
+  if (!fd_.valid()) return;
+  try {
+    mt::FrameHeader h;
+    h.kind = mt::kFrameShutdown;
+    h.context = kProtocolVersion;
+    h.seq = send_seq_++;
+    mt::write_frame(fd_, h, nullptr, 0, limits_, "serve client shutdown");
+  } catch (...) {
+    // Best effort; the server tolerates an abrupt close too.
+  }
+}
+
+std::vector<std::byte> Client::exchange(RequestType type,
+                                        const std::vector<std::byte>& body) {
+  const std::int32_t request_id = next_request_id_++;
+  mt::FrameHeader h;
+  h.kind = mt::kFrameData;
+  h.context = kProtocolVersion;
+  h.source = request_id;
+  h.tag = static_cast<std::int32_t>(type);
+  h.seq = send_seq_++;
+  h.nbytes = body.size();
+  mt::write_frame(fd_, h, body.data(), body.size(), limits_,
+                  "serve request");
+
+  mt::FrameHeader rh;
+  std::vector<std::byte> payload;
+  if (!mt::read_frame(fd_, limits_, rh, payload, "serve response"))
+    throw ServeError("server closed the connection before responding");
+  if (rh.kind == mt::kFrameShutdown)
+    throw ServeError("server shut down before responding");
+  if (rh.source != request_id)
+    throw ProtocolError("response id " + std::to_string(rh.source) +
+                        " does not match request id " +
+                        std::to_string(request_id));
+  if (rh.tag == kErrorTag) {
+    PayloadReader r(payload);
+    std::string message = r.str();
+    r.expect_exhausted();
+    throw ServeError(message);
+  }
+  if (rh.tag != static_cast<std::int32_t>(type))
+    throw ProtocolError("response tag " + std::to_string(rh.tag) +
+                        " does not match request tag " +
+                        std::to_string(static_cast<std::int32_t>(type)));
+  return payload;
+}
+
+InfoResponse Client::info() {
+  PayloadWriter w;
+  w.u8(0);
+  const auto payload = exchange(RequestType::kInfo, w.bytes());
+  PayloadReader r(payload);
+  return decode_info(r);
+}
+
+PredictResponse Client::predict(const data::Dataset& rows,
+                                bool want_membership) {
+  PayloadWriter w;
+  w.u8(want_membership ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(rows.num_items()));
+  encode_rows(w, rows, 0, rows.num_items());
+  const auto payload = exchange(RequestType::kPredict, w.bytes());
+  PayloadReader r(payload);
+  return decode_predict_response(r);
+}
+
+TopInfluenceResponse Client::top_influence(std::uint32_t k) {
+  PayloadWriter w;
+  w.u32(k);
+  const auto payload = exchange(RequestType::kTopInfluence, w.bytes());
+  PayloadReader r(payload);
+  return decode_top_influence(r);
+}
+
+std::string Client::stats_text() {
+  PayloadWriter w;
+  w.u8(0);
+  const auto payload = exchange(RequestType::kStats, w.bytes());
+  PayloadReader r(payload);
+  std::string text = r.str();
+  r.expect_exhausted();
+  return text;
+}
+
+ReloadResponse Client::reload() {
+  PayloadWriter w;
+  w.u8(0);
+  const auto payload = exchange(RequestType::kReload, w.bytes());
+  PayloadReader r(payload);
+  return decode_reload(r);
+}
+
+}  // namespace pac::serve

@@ -1,0 +1,49 @@
+// Synchronous pac_serve client: one connection, one outstanding request
+// at a time.  Every call sends one frame, reads one response frame, checks
+// that the echoed request id matches, and rethrows server-reported errors
+// (kErrorTag responses) as ServeError.  Concurrent load is modelled with
+// one Client per thread — a Client itself is not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "mp/transport/frame.hpp"
+#include "serve/protocol.hpp"
+
+namespace pac::serve {
+
+class Client {
+ public:
+  /// Connect to a pac_serve at `address` ("host:port" or "unix:/path"),
+  /// retrying for up to `timeout_seconds` while the server comes up.
+  explicit Client(const std::string& address, double timeout_seconds = 10.0);
+
+  /// Sends a clean shutdown frame (best-effort) and closes the socket.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  InfoResponse info();
+  PredictResponse predict(const data::Dataset& rows, bool want_membership);
+  TopInfluenceResponse top_influence(std::uint32_t k);
+  std::string stats_text();
+  ReloadResponse reload();
+
+ private:
+  /// Send `body` under `type`, read the matching response, return its
+  /// payload.  Throws ServeError on a kErrorTag response, ProtocolError on
+  /// a response that violates the protocol, TransportError on I/O failure.
+  std::vector<std::byte> exchange(RequestType type,
+                                  const std::vector<std::byte>& body);
+
+  mp::transport::Fd fd_;
+  mp::transport::FrameLimits limits_;
+  std::uint64_t send_seq_ = 0;
+  std::int32_t next_request_id_ = 1;
+};
+
+}  // namespace pac::serve

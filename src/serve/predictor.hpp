@@ -1,0 +1,54 @@
+// Batched classification inference for pac_serve.
+//
+// The serving hot path routes wire-decoded query rows through the SAME
+// kernel the offline reports use: Model::rebound repoints the trained
+// terms' column spans at the query batch (priors and hoisted constants
+// byte-identical), and ac::fill_log_joint evaluates the batch through the
+// kernelized log_prob_batch tier.  Responses are therefore bit-identical
+// to predict_labels / predict_membership on equal rows — the contract
+// tests/test_serve.cpp memcmp-checks.
+//
+// Admission rules are derived ONCE from the model's term structure and
+// enforced per request at decode time (on the connection's reader thread),
+// so a row that violates a family precondition — a non-positive value
+// under a lognormal term, a missing value inside a multi_normal block —
+// fails that one request with a named row/attribute instead of throwing
+// mid-batch and poisoning co-batched neighbours.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autoclass/classification.hpp"
+#include "data/dataset.hpp"
+
+namespace pac::serve {
+
+/// Per-attribute admission constraints implied by the model's term families.
+struct AdmissionRules {
+  /// Attribute must be > 0 when present (single_lognormal).
+  std::vector<bool> requires_positive;
+  /// Attribute must not be missing (member of a multi_normal block).
+  std::vector<bool> forbids_missing;
+};
+
+/// Derive the admission rules from `model`'s term structure.
+AdmissionRules derive_admission_rules(const ac::Model& model);
+
+/// Check every row of `batch` against `rules`; throws ProtocolError naming
+/// the first offending row and attribute.
+void validate_batch(const AdmissionRules& rules, const data::Dataset& batch);
+
+struct PredictOutput {
+  std::vector<std::int32_t> labels;  // one per row
+  std::vector<double> membership;    // rows x num_classes when requested
+};
+
+/// Classify every row of `batch` under `c` (trained on another dataset with
+/// the same schema).  Labels match predict_labels and memberships match
+/// predict_membership bit-for-bit; evaluation runs through fill_log_joint
+/// in kReportBlock blocks.
+PredictOutput predict_batch(const ac::Classification& c,
+                            const data::Dataset& batch, bool want_membership);
+
+}  // namespace pac::serve

@@ -1,0 +1,220 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace pac::serve {
+
+void PayloadWriter::raw(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+void PayloadWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void PayloadReader::take(void* p, std::size_t n) {
+  if (n > buf_.size() - pos_)
+    throw ProtocolError("request body truncated: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_) +
+                        ", body has " + std::to_string(buf_.size()));
+  std::memcpy(p, buf_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::uint8_t PayloadReader::u8() {
+  std::uint8_t v;
+  take(&v, 1);
+  return v;
+}
+std::uint32_t PayloadReader::u32() {
+  std::uint32_t v;
+  take(&v, sizeof(v));
+  return v;
+}
+std::uint64_t PayloadReader::u64() {
+  std::uint64_t v;
+  take(&v, sizeof(v));
+  return v;
+}
+std::int32_t PayloadReader::i32() {
+  std::int32_t v;
+  take(&v, sizeof(v));
+  return v;
+}
+double PayloadReader::f64() {
+  double v;
+  take(&v, sizeof(v));
+  return v;
+}
+
+std::string PayloadReader::str() {
+  const std::uint32_t n = u32();
+  // The length is attacker-controlled; bound it by the remaining body
+  // before allocating.
+  if (n > buf_.size() - pos_)
+    throw ProtocolError("string length " + std::to_string(n) +
+                        " exceeds the remaining body (" +
+                        std::to_string(buf_.size() - pos_) + " bytes)");
+  std::string s(n, '\0');
+  take(s.data(), n);
+  return s;
+}
+
+void PayloadReader::expect_exhausted() const {
+  if (!exhausted())
+    throw ProtocolError("request body has " +
+                        std::to_string(buf_.size() - pos_) +
+                        " trailing bytes");
+}
+
+void encode_rows(PayloadWriter& w, const data::Dataset& ds, std::size_t begin,
+                 std::size_t end) {
+  const data::Schema& schema = ds.schema();
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t a = 0; a < schema.size(); ++a) {
+      if (schema.at(a).kind == data::AttributeKind::kReal)
+        w.f64(ds.real_value(i, a));
+      else
+        w.i32(ds.discrete_value(i, a));
+    }
+  }
+}
+
+data::Dataset decode_rows(PayloadReader& r, const data::Schema& schema,
+                          std::size_t num_rows) {
+  if (num_rows == 0)
+    throw ProtocolError("predict request carries zero rows");
+  if (num_rows > kMaxRowsPerRequest)
+    throw ProtocolError("predict request carries " +
+                        std::to_string(num_rows) + " rows, limit is " +
+                        std::to_string(kMaxRowsPerRequest));
+  data::Dataset ds(schema, num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    for (std::size_t a = 0; a < schema.size(); ++a) {
+      if (schema.at(a).kind == data::AttributeKind::kReal) {
+        const double v = r.f64();
+        if (!data::is_missing_real(v)) ds.set_real(i, a, v);
+      } else {
+        const std::int32_t v = r.i32();
+        if (v == data::kMissingDiscrete) continue;
+        if (v < 0 || v >= schema.at(a).num_values)
+          throw ProtocolError(
+              "row " + std::to_string(i) + ", attribute '" +
+              schema.at(a).name + "': discrete value " + std::to_string(v) +
+              " outside [0, " + std::to_string(schema.at(a).num_values) +
+              ")");
+        ds.set_discrete(i, a, v);
+      }
+    }
+  }
+  return ds;
+}
+
+void encode_info(PayloadWriter& w, const InfoResponse& info) {
+  w.u64(info.generation);
+  w.u32(info.num_classes);
+  w.f64(info.log_likelihood);
+  w.f64(info.cs_score);
+  w.f64(info.bic_score);
+  w.u32(static_cast<std::uint32_t>(info.attributes.size()));
+  for (const AttributeInfo& a : info.attributes) {
+    w.str(a.name);
+    w.u8(a.discrete ? 1 : 0);
+    w.i32(a.num_values);
+  }
+}
+
+InfoResponse decode_info(PayloadReader& r) {
+  InfoResponse info;
+  info.generation = r.u64();
+  info.num_classes = r.u32();
+  info.log_likelihood = r.f64();
+  info.cs_score = r.f64();
+  info.bic_score = r.f64();
+  const std::uint32_t n = r.u32();
+  info.attributes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    AttributeInfo a;
+    a.name = r.str();
+    a.discrete = r.u8() != 0;
+    a.num_values = r.i32();
+    info.attributes.push_back(std::move(a));
+  }
+  r.expect_exhausted();
+  return info;
+}
+
+void encode_predict_response(PayloadWriter& w, const PredictResponse& resp,
+                             bool with_membership) {
+  w.u64(resp.generation);
+  w.u32(resp.num_classes);
+  w.u32(static_cast<std::uint32_t>(resp.labels.size()));
+  w.u8(with_membership ? 1 : 0);
+  for (const std::int32_t label : resp.labels) w.i32(label);
+  if (with_membership)
+    for (const double m : resp.membership) w.f64(m);
+}
+
+PredictResponse decode_predict_response(PayloadReader& r) {
+  PredictResponse resp;
+  resp.generation = r.u64();
+  resp.num_classes = r.u32();
+  const std::uint32_t rows = r.u32();
+  const bool with_membership = r.u8() != 0;
+  resp.labels.reserve(rows);
+  for (std::uint32_t i = 0; i < rows; ++i) resp.labels.push_back(r.i32());
+  if (with_membership) {
+    resp.membership.resize(static_cast<std::size_t>(rows) *
+                           resp.num_classes);
+    for (double& m : resp.membership) m = r.f64();
+  }
+  r.expect_exhausted();
+  return resp;
+}
+
+void encode_top_influence(PayloadWriter& w, const TopInfluenceResponse& resp) {
+  w.u64(resp.generation);
+  w.u32(static_cast<std::uint32_t>(resp.entries.size()));
+  for (const InfluenceEntryWire& e : resp.entries) {
+    w.u32(e.class_index);
+    w.u32(e.term_index);
+    w.f64(e.influence);
+    w.str(e.description);
+  }
+}
+
+TopInfluenceResponse decode_top_influence(PayloadReader& r) {
+  TopInfluenceResponse resp;
+  resp.generation = r.u64();
+  const std::uint32_t n = r.u32();
+  resp.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    InfluenceEntryWire e;
+    e.class_index = r.u32();
+    e.term_index = r.u32();
+    e.influence = r.f64();
+    e.description = r.str();
+    resp.entries.push_back(std::move(e));
+  }
+  r.expect_exhausted();
+  return resp;
+}
+
+void encode_reload(PayloadWriter& w, const ReloadResponse& resp) {
+  w.u64(resp.generation);
+  w.u8(resp.reloaded ? 1 : 0);
+  w.str(resp.message);
+}
+
+ReloadResponse decode_reload(PayloadReader& r) {
+  ReloadResponse resp;
+  resp.generation = r.u64();
+  resp.reloaded = r.u8() != 0;
+  resp.message = r.str();
+  r.expect_exhausted();
+  return resp;
+}
+
+}  // namespace pac::serve

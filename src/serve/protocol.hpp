@@ -1,0 +1,178 @@
+// pac_serve wire protocol: length-prefixed frames (mp/transport/frame)
+// carrying little typed payloads.
+//
+// Frame field usage (same 40-byte FrameHeader as the pacnet mesh):
+//   context = kProtocolVersion  (rejected on mismatch)
+//   source  = client-chosen request id, echoed verbatim in the response so
+//             a client can pipeline requests over one connection
+//   tag     = RequestType on requests; echoed on success responses,
+//             kErrorTag on error responses (body = message string)
+//   seq     = per-connection sequence number (each side counts its own)
+//
+// Payloads are native-byte-order scalars (the same same-host policy as the
+// transport; the frame magic doubles as the endianness check) written and
+// read through PayloadWriter/PayloadReader.  Every read is bounds-checked:
+// a short or malformed body is a typed ProtocolError, never an overread.
+//
+// The serve decode limits are deliberately tighter than the transport's:
+// requests cap at kMaxRequestBytes and zero-length bodies are forbidden
+// (every request starts with a fixed header), so a hostile client cannot
+// make the server allocate attacker-controlled lengths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/error.hpp"
+
+namespace pac::serve {
+
+inline constexpr std::int32_t kProtocolVersion = 1;
+
+/// Largest request/response body the serve codec will accept.
+inline constexpr std::uint64_t kMaxRequestBytes = std::uint64_t{16} << 20;
+
+/// Largest number of rows one predict request may carry (beyond this a
+/// client should split; the server micro-batches across requests anyway).
+inline constexpr std::size_t kMaxRowsPerRequest = 4096;
+
+enum class RequestType : std::int32_t {
+  kInfo = 1,          // -> model/schema/scores snapshot
+  kPredict = 2,       // rows -> labels (+ membership probabilities)
+  kTopInfluence = 3,  // k -> top-k (class, term, influence, description)
+  kStats = 4,         // -> server metrics report (text)
+  kReload = 5,        // force a checkpoint reload now
+};
+
+/// Response tag for failures; body is the error message.
+inline constexpr std::int32_t kErrorTag = -2;
+
+/// Malformed request/response body (bad lengths, out-of-range values,
+/// truncated reads).  Server-side this fails the one request, not the
+/// connection or a co-batched neighbour.
+class ProtocolError : public pac::Error {
+ public:
+  explicit ProtocolError(const std::string& what) : pac::Error(what) {}
+};
+
+/// An error the server reported for a request (client-side rethrow of a
+/// kErrorTag response).
+class ServeError : public pac::Error {
+ public:
+  explicit ServeError(const std::string& what) : pac::Error(what) {}
+};
+
+// ---------------------------------------------------------------- payload --
+
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void str(const std::string& s);
+
+  const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+  std::vector<std::byte> take() noexcept { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n);
+  std::vector<std::byte> buf_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<std::byte>& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  double f64();
+  std::string str();
+
+  /// All bytes consumed?  Responses are fixed-shape, so trailing garbage is
+  /// as suspect as a short body.
+  bool exhausted() const noexcept { return pos_ == buf_.size(); }
+  void expect_exhausted() const;
+
+ private:
+  void take(void* p, std::size_t n);
+  const std::vector<std::byte>& buf_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- structs --
+
+struct AttributeInfo {
+  std::string name;
+  bool discrete = false;
+  std::int32_t num_values = 0;  // discrete only
+};
+
+struct InfoResponse {
+  std::uint64_t generation = 0;
+  std::uint32_t num_classes = 0;
+  double log_likelihood = 0.0;
+  double cs_score = 0.0;
+  double bic_score = 0.0;
+  std::vector<AttributeInfo> attributes;
+};
+
+struct PredictResponse {
+  std::uint64_t generation = 0;
+  std::uint32_t num_classes = 0;
+  std::vector<std::int32_t> labels;   // one per row
+  std::vector<double> membership;     // rows x num_classes when requested
+};
+
+struct InfluenceEntryWire {
+  std::uint32_t class_index = 0;
+  std::uint32_t term_index = 0;
+  double influence = 0.0;
+  std::string description;
+};
+
+struct TopInfluenceResponse {
+  std::uint64_t generation = 0;
+  std::vector<InfluenceEntryWire> entries;
+};
+
+struct ReloadResponse {
+  std::uint64_t generation = 0;
+  bool reloaded = false;
+  std::string message;
+};
+
+// ------------------------------------------------------------ row codecs --
+
+/// Append rows [begin, end) of `ds` in schema order: f64 per real value
+/// (NaN = missing), i32 per discrete value (kMissingDiscrete = missing).
+void encode_rows(PayloadWriter& w, const data::Dataset& ds, std::size_t begin,
+                 std::size_t end);
+
+/// Decode `num_rows` rows into a fresh Dataset over `schema`.  Discrete
+/// values are range-checked against the schema (via Dataset::set_discrete);
+/// violations are ProtocolErrors naming the row and attribute.
+data::Dataset decode_rows(PayloadReader& r, const data::Schema& schema,
+                          std::size_t num_rows);
+
+// ------------------------------------------------- response body codecs --
+
+void encode_info(PayloadWriter& w, const InfoResponse& info);
+InfoResponse decode_info(PayloadReader& r);
+
+void encode_predict_response(PayloadWriter& w, const PredictResponse& resp,
+                             bool with_membership);
+PredictResponse decode_predict_response(PayloadReader& r);
+
+void encode_top_influence(PayloadWriter& w, const TopInfluenceResponse& resp);
+TopInfluenceResponse decode_top_influence(PayloadReader& r);
+
+void encode_reload(PayloadWriter& w, const ReloadResponse& resp);
+ReloadResponse decode_reload(PayloadReader& r);
+
+}  // namespace pac::serve

@@ -35,6 +35,29 @@ void Histogram::observe(double v) noexcept {
   ++buckets_[static_cast<std::size_t>(bucket_index(v))];
 }
 
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based, nearest-rank with interpolation).
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t below = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(below + in_bucket) >= target) {
+      const double lo = i == 0 ? 0.0 : bucket_upper_bound(i - 1);
+      const double hi = bucket_upper_bound(i);
+      const double within =
+          (target - static_cast<double>(below)) /
+          static_cast<double>(in_bucket);
+      const double v = lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+      return std::clamp(v, min_, max_);
+    }
+    below += in_bucket;
+  }
+  return max_;
+}
+
 void Histogram::merge(const Histogram& other) noexcept {
   if (other.count_ == 0) return;
   if (count_ == 0) {

@@ -55,6 +55,13 @@ class Histogram {
   /// Inclusive upper bound of bucket i (2^(i + offset + 1)).
   static double bucket_upper_bound(int i) noexcept;
 
+  /// Approximate q-quantile (q in [0, 1]) with linear interpolation inside
+  /// the bucket holding the target rank, clamped to the observed [min, max]
+  /// so coarse buckets never report a value outside the sample range.
+  /// Returns 0 for an empty histogram.  The pac_serve latency reports (p50,
+  /// p99) come from here.
+  double quantile(double q) const noexcept;
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;

@@ -6,6 +6,7 @@
 // test_transport_launch.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -21,6 +22,7 @@
 #include "data/synth.hpp"
 #include "mp/comm.hpp"
 #include "mp/transport/env.hpp"
+#include "mp/transport/frame.hpp"
 #include "util/error.hpp"
 
 namespace pac::mp {
@@ -580,6 +582,193 @@ TEST(TransportSocket, ConnectionRefusedThrowsTransportError) {
     FAIL() << "expected TransportError";
   } catch (const TransportError& e) {
     EXPECT_NE(std::string(e.what()).find("rank"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec hardening: malformed frames must produce typed FrameErrors
+// BEFORE any payload allocation, never a silent giant resize or a hang.
+
+/// A connected stream pair (what one peer link of the mesh looks like).
+struct StreamPair {
+  transport::Fd a, b;
+  StreamPair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+      throw pac::Error(std::string("socketpair: ") + std::strerror(errno));
+    a = transport::Fd(fds[0]);
+    b = transport::Fd(fds[1]);
+  }
+};
+
+transport::FrameError::Kind read_frame_error(const transport::Fd& fd,
+                                             const transport::FrameLimits& l) {
+  transport::FrameHeader h;
+  std::vector<std::byte> payload;
+  try {
+    transport::read_frame(fd, l, h, payload, "test stream");
+  } catch (const transport::FrameError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected FrameError";
+  return transport::FrameError::Kind::kBadMagic;
+}
+
+TEST(FrameCodec, RoundTripPreservesHeaderAndPayload) {
+  StreamPair s;
+  transport::FrameHeader h;
+  h.context = 7;
+  h.source = 3;
+  h.tag = 42;
+  h.seq = 9;
+  const std::string body = "hello frames";
+  transport::write_frame(s.a, h, body.data(), body.size(), {}, "send");
+  transport::FrameHeader got;
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(transport::read_frame(s.b, {}, got, payload, "recv"));
+  EXPECT_EQ(got.context, 7);
+  EXPECT_EQ(got.source, 3);
+  EXPECT_EQ(got.tag, 42);
+  EXPECT_EQ(got.seq, 9u);
+  ASSERT_EQ(payload.size(), body.size());
+  EXPECT_EQ(std::memcmp(payload.data(), body.data(), body.size()), 0);
+}
+
+TEST(FrameCodec, CleanEofAtFrameBoundaryReturnsFalse) {
+  StreamPair s;
+  s.a.close();
+  transport::FrameHeader h;
+  std::vector<std::byte> payload;
+  EXPECT_FALSE(transport::read_frame(s.b, {}, h, payload, "recv"));
+}
+
+TEST(FrameCodec, OversizedLengthRejectedBeforeAllocation) {
+  // An adversarial header declaring a 2^60-byte payload must be a typed
+  // error; pre-hardening this resize()d an attacker-controlled length.
+  StreamPair s;
+  transport::FrameHeader h;
+  h.nbytes = std::uint64_t{1} << 60;
+  transport::write_full(s.a, &h, sizeof(h), "raw header");
+  transport::FrameHeader got;
+  std::vector<std::byte> payload;
+  try {
+    transport::read_frame(s.b, {}, got, payload, "recv");
+    FAIL() << "expected FrameError";
+  } catch (const transport::FrameError& e) {
+    EXPECT_EQ(e.kind(), transport::FrameError::Kind::kOversized);
+    EXPECT_NE(std::string(e.what()).find("limit"), std::string::npos);
+  }
+  EXPECT_TRUE(payload.empty()) << "payload must not be allocated";
+}
+
+TEST(FrameCodec, TightLimitAppliesToDataFrames) {
+  StreamPair s;
+  transport::FrameHeader h;
+  h.nbytes = 64;
+  transport::write_full(s.a, &h, sizeof(h), "raw header");
+  const transport::FrameLimits tight{32, true};
+  EXPECT_EQ(read_frame_error(s.b, tight),
+            transport::FrameError::Kind::kOversized);
+}
+
+TEST(FrameCodec, BadMagicRejected) {
+  StreamPair s;
+  transport::FrameHeader h;
+  h.magic = 0xdeadbeef;
+  transport::write_full(s.a, &h, sizeof(h), "raw header");
+  EXPECT_EQ(read_frame_error(s.b, {}), transport::FrameError::Kind::kBadMagic);
+}
+
+TEST(FrameCodec, UnknownKindRejected) {
+  StreamPair s;
+  transport::FrameHeader h;
+  h.kind = 99;
+  transport::write_full(s.a, &h, sizeof(h), "raw header");
+  EXPECT_EQ(read_frame_error(s.b, {}), transport::FrameError::Kind::kBadKind);
+}
+
+TEST(FrameCodec, ShutdownFrameWithPayloadRejected) {
+  StreamPair s;
+  transport::FrameHeader h;
+  h.kind = transport::kFrameShutdown;
+  h.nbytes = 8;
+  transport::write_full(s.a, &h, sizeof(h), "raw header");
+  EXPECT_EQ(read_frame_error(s.b, {}), transport::FrameError::Kind::kBadKind);
+}
+
+TEST(FrameCodec, ZeroLengthDataFramePolicy) {
+  // The transport allows empty payloads (zero-byte collectives are legal);
+  // stricter protocols (pac_serve) reject them.
+  StreamPair allow;
+  transport::FrameHeader h;
+  transport::write_frame(allow.a, h, nullptr, 0, {}, "send");
+  transport::FrameHeader got;
+  std::vector<std::byte> payload;
+  EXPECT_TRUE(transport::read_frame(allow.b, {}, got, payload, "recv"));
+
+  StreamPair strict;
+  transport::write_full(strict.a, &h, sizeof(h), "raw header");
+  const transport::FrameLimits no_empty{1024, false};
+  EXPECT_EQ(read_frame_error(strict.b, no_empty),
+            transport::FrameError::Kind::kEmptyPayload);
+}
+
+TEST(FrameCodec, TruncatedHeaderIsTypedError) {
+  StreamPair s;
+  transport::FrameHeader h;
+  transport::write_full(s.a, &h, sizeof(h) / 2, "partial header");
+  s.a.close();
+  EXPECT_EQ(read_frame_error(s.b, {}),
+            transport::FrameError::Kind::kTruncated);
+}
+
+TEST(FrameCodec, TruncatedPayloadIsTypedError) {
+  StreamPair s;
+  transport::FrameHeader h;
+  h.nbytes = 100;
+  transport::write_full(s.a, &h, sizeof(h), "raw header");
+  transport::write_full(s.a, "short", 5, "partial payload");
+  s.a.close();
+  EXPECT_EQ(read_frame_error(s.b, {}),
+            transport::FrameError::Kind::kTruncated);
+}
+
+TEST(FrameCodec, SendSideLimitEnforced) {
+  StreamPair s;
+  transport::FrameHeader h;
+  std::vector<std::byte> big(64);
+  const transport::FrameLimits tight{32, true};
+  EXPECT_THROW(
+      transport::write_frame(s.a, h, big.data(), big.size(), tight, "send"),
+      transport::FrameError);
+}
+
+TEST(FrameCodec, GarbageStreamDrainsToTypedErrorNotAllocation) {
+  // A stream of random bytes (fuzz stand-in) must always end in a typed
+  // FrameError or clean EOF — never a giant allocation or a hang.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 64; ++round) {
+    StreamPair s;
+    std::vector<std::byte> junk(sizeof(transport::FrameHeader) + 24);
+    for (auto& b : junk) b = static_cast<std::byte>(next() & 0xff);
+    transport::write_full(s.a, junk.data(), junk.size(), "junk");
+    s.a.close();
+    transport::FrameHeader h;
+    std::vector<std::byte> payload;
+    const transport::FrameLimits limits{1 << 20, true};
+    try {
+      while (transport::read_frame(s.b, limits, h, payload, "fuzz")) {
+        EXPECT_LE(payload.size(), std::size_t{1} << 20);
+      }
+    } catch (const transport::FrameError&) {
+      // expected for nearly every round
+    }
   }
 }
 
