@@ -1,0 +1,109 @@
+// search_tries — try-parallel search throughput (ParallelConfig::try_groups).
+//
+// Sweeps the number of sub-worlds G at a fixed total rank count on a
+// comm-bound machine model (pentium-cluster, 120us latency): G sub-worlds
+// of P/G ranks overlap tries that one P-rank world runs back to back, and
+// narrowing the fold also shrinks each cycle's latency bill.  Reported
+// time is the *modeled* virtual time of the whole search (UseManualTime),
+// so committed baselines compare machine-independent ratios — the perf
+// gate pairs BM_SearchTriesG1 against BM_SearchTriesG2 (expected >= 1.5x
+// at G=2, the ISSUE acceptance bar).
+//
+//   ./search_tries --smoke --benchmark_out=out.json
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/pautoclass.hpp"
+#include "data/synth.hpp"
+#include "util/simd.hpp"
+
+namespace {
+
+constexpr int kRanks = 4;
+
+struct SearchFixture {
+  pac::data::LabeledDataset labeled;
+  pac::ac::Model model;
+  pac::ac::SearchConfig config;
+
+  SearchFixture()
+      : labeled(pac::data::paper_dataset(300, 29)),
+        model(pac::ac::Model::default_model(labeled.dataset)) {
+    config.start_j_list = {2, 4, 6};
+    config.max_tries = 6;
+    config.em.max_cycles = 30;
+    config.seed = 2024;
+  }
+};
+
+const SearchFixture& fixture() {
+  static SearchFixture f;
+  return f;
+}
+
+/// One full try-parallel search on a fresh 4-rank pentium-cluster world;
+/// the iteration time is the modeled elapsed seconds of the whole sweep.
+void run_search_tries(benchmark::State& state, int groups) {
+  const SearchFixture& f = fixture();
+  pac::core::ParallelConfig parallel;
+  parallel.try_groups = groups;
+  std::int64_t tries = 0;
+  for (auto _ : state) {
+    pac::mp::World::Config cfg;
+    cfg.num_ranks = kRanks;
+    cfg.machine = pac::net::pentium_cluster();
+    pac::mp::World world(cfg);
+    const pac::core::ParallelOutcome outcome =
+        pac::core::run_parallel_search(world, f.model, f.config, parallel);
+    benchmark::DoNotOptimize(outcome.search.best.size());
+    tries = outcome.search.tries;
+    state.SetIterationTime(outcome.stats.virtual_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          tries);
+  state.counters["tries"] = static_cast<double>(tries);
+  state.counters["groups"] = static_cast<double>(groups);
+}
+
+void BM_SearchTriesG1(benchmark::State& state) { run_search_tries(state, 1); }
+void BM_SearchTriesG2(benchmark::State& state) { run_search_tries(state, 2); }
+void BM_SearchTriesG4(benchmark::State& state) { run_search_tries(state, 4); }
+BENCHMARK(BM_SearchTriesG1)->UseManualTime();
+BENCHMARK(BM_SearchTriesG2)->UseManualTime();
+BENCHMARK(BM_SearchTriesG4)->UseManualTime();
+
+}  // namespace
+
+// Same harness contract as micro_kernels / serve_latency: --smoke maps to
+// a minimal measurement time so CI tiers still execute every rung; the
+// resolved SIMD level and build flavor ride in the JSON context.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::AddCustomContext("pac_simd", pac::simd::describe());
+#ifdef NDEBUG
+  benchmark::AddCustomContext("pac_build", "release");
+#else
+  benchmark::AddCustomContext("pac_build", "debug");
+#endif
+  std::fprintf(stderr, "search_tries: %s, %d ranks\n", pac::simd::describe(),
+               kRanks);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

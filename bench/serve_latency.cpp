@@ -34,7 +34,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -164,10 +166,20 @@ struct LatencyResult {
   int clients = 0;
   std::uint64_t requests = 0;
   double seconds = 0.0;
-  double p50_us = 0.0;
-  double p99_us = 0.0;
-  double max_us = 0.0;
+  // NaN until the server histogram has samples (Histogram::quantile returns
+  // NaN for an empty histogram); rendered as "n/a" rather than 0.
+  double p50_us = std::numeric_limits<double>::quiet_NaN();
+  double p99_us = std::numeric_limits<double>::quiet_NaN();
+  double max_us = std::numeric_limits<double>::quiet_NaN();
 };
+
+/// Format a latency figure for the report line: "n/a" when unmeasured.
+std::string fmt_us(double us) {
+  if (std::isnan(us)) return "      n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%9.1f", us);
+  return buf;
+}
 
 LatencyResult run_latency_rung(const ServeFixture& f, int clients,
                                std::uint64_t requests_per_client,
@@ -205,10 +217,11 @@ LatencyResult run_latency_rung(const ServeFixture& f, int clients,
   res.seconds = elapsed;
   const pac::metrics::Histogram* h =
       server.metrics().find_histogram("serve.request_seconds");
-  if (h != nullptr && h->count() > 0) {
+  if (h != nullptr) {
+    // quantile() is NaN when no request was recorded; keep it that way.
     res.p50_us = h->quantile(0.50) * 1e6;
     res.p99_us = h->quantile(0.99) * 1e6;
-    res.max_us = h->max() * 1e6;
+    if (h->count() > 0) res.max_us = h->max() * 1e6;
   }
   return res;
 }
@@ -238,10 +251,10 @@ bool run_latency_section(bool smoke) {
     }
     std::printf(
         "serve_latency: clients=%-3d requests=%-6llu qps=%10.1f "
-        "p50_us=%9.1f p99_us=%9.1f max_us=%9.1f\n",
+        "p50_us=%s p99_us=%s max_us=%s\n",
         r.clients, static_cast<unsigned long long>(r.requests),
-        static_cast<double>(r.requests) / r.seconds, r.p50_us, r.p99_us,
-        r.max_us);
+        static_cast<double>(r.requests) / r.seconds, fmt_us(r.p50_us).c_str(),
+        fmt_us(r.p99_us).c_str(), fmt_us(r.max_us).c_str());
   }
   return true;
 }

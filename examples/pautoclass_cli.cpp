@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
                  "       (or --data FILE.pacb / FILE.csv, self-contained)\n"
                  "       [--procs N] [--machine meiko-cs2] [--jlist 2,4,8]\n"
                  "       [--tries 5] [--max-cycles 100] [--seed 1234]\n"
+                 "       [--try-groups G]      # try-parallel: G sub-worlds\n"
                  "       [--labels-out FILE] [--report-out FILE]\n"
                  "       [--checkpoint FILE]   # save/resume search state\n"
                  "   or: pautoclass_cli --generate PREFIX [--items N]\n";
@@ -135,8 +136,14 @@ int main(int argc, char** argv) {
                 << resume_state.tries << " tries already done)\n";
     }
   }
+  core::ParallelConfig parallel;
+  parallel.try_groups = static_cast<int>(cli.get_int("try-groups", 0));
+  if (parallel.try_groups > 0)
+    std::cout << "try-parallel search: " << parallel.try_groups
+              << " sub-world(s) of " << procs / parallel.try_groups
+              << " rank(s)\n";
   const core::ParallelOutcome outcome =
-      core::run_parallel_search(world, model, search, {}, resume);
+      core::run_parallel_search(world, model, search, parallel, resume);
   const ac::SearchResult& result = outcome.search;
   if (!checkpoint_path.empty() && primary) {
     ac::save_search_result_file(checkpoint_path, result);

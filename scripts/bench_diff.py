@@ -32,6 +32,7 @@ file sharing a benchmark pair with the candidate by default.
 import argparse
 import copy
 import json
+import math
 import pathlib
 import sys
 
@@ -51,6 +52,11 @@ PAIRS = [
     # the per-request rowwise path and the scalar foreign-row reference.
     ("serve-batched-vs-rowwise", "BM_ServePredictRowwise", "BM_ServePredictBatched"),
     ("serve-kernel-vs-foreign-scalar", "BM_ServePredictForeignScalar", "BM_ServePredictBatched"),
+    # Try-parallel search (bench/search_tries): G=2 sub-worlds vs the classic
+    # single-group sweep at equal total ranks.  Times are *modeled* virtual
+    # seconds (UseManualTime), so the ratio is machine-independent and the
+    # acceptance bar (>= 1.5x) survives any runner.
+    ("search-tries-g2-over-g1", "BM_SearchTriesG1/manual_time", "BM_SearchTriesG2/manual_time"),
 ]
 
 DEFAULT_TOLERANCE = 0.35
@@ -68,7 +74,13 @@ def load_report(path):
     for b in report.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue
-        times[b["name"]] = float(b["real_time"])
+        time = float(b["real_time"])
+        if math.isnan(time):
+            # An unmeasured quantity (e.g. a quantile of an empty histogram)
+            # serializes as NaN; treat it as absent, never as a real time.
+            print(f"  SKIP {b['name']}: NaN time (unmeasured) in {path}")
+            continue
+        times[b["name"]] = time
     if not times:
         sys.exit(f"bench_diff: no benchmark entries in {path}")
     # "pac_build" is this project's own build flavor (attached by

@@ -138,6 +138,25 @@ else
   esac
 fi
 
+# Try-parallel search throughput (bench/search_tries): the reported times
+# are *modeled* virtual seconds, so the G2-over-G1 ratio is deterministic
+# and machine-independent — the gate runs on every tier (no simd/sanitizer
+# skip needed).
+PERF_TRIES_JSON="$BUILD_DIR/BENCH_search_tries.json"
+echo "== perf smoke: bench/search_tries $SMOKE -> $PERF_TRIES_JSON =="
+if ! "$BUILD_DIR"/bench/search_tries $SMOKE \
+    --benchmark_out="$PERF_TRIES_JSON" --benchmark_out_format=json \
+    >/dev/null 2>&1; then
+  echo "!! FAILED: perf smoke (bench/search_tries)" >&2
+  failures=$((failures + 1))
+else
+  echo "== perf gate: scripts/bench_diff.py $PERF_TRIES_JSON =="
+  if ! python3 scripts/bench_diff.py "$PERF_TRIES_JSON"; then
+    echo "!! FAILED: perf gate (scripts/bench_diff.py, search_tries)" >&2
+    failures=$((failures + 1))
+  fi
+fi
+
 for e in "$BUILD_DIR"/examples/*; do
   [ -f "$e" ] && [ -x "$e" ] || continue
   echo "== $e =="

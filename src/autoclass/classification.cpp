@@ -98,8 +98,13 @@ bool Classification::is_duplicate_of(const Classification& other,
                                      double score_tolerance,
                                      double weight_tolerance) const {
   if (num_classes_ != other.num_classes_) return false;
-  if (std::abs(cs_score - other.cs_score) >
-      score_tolerance * (1.0 + std::abs(cs_score)))
+  // The relative score tolerance scales with the larger magnitude so the
+  // relation is symmetric: a.is_duplicate_of(b) == b.is_duplicate_of(a).
+  // (Scaling by |this->cs_score| alone disagreed between the two orders
+  // whenever the scores straddled zero.)
+  const double score_scale =
+      1.0 + std::max(std::abs(cs_score), std::abs(other.cs_score));
+  if (std::abs(cs_score - other.cs_score) > score_tolerance * score_scale)
     return false;
   // Compare weight shares in canonical (descending) order.
   std::vector<double> a(weights_.begin(), weights_.end());
@@ -108,7 +113,9 @@ bool Classification::is_duplicate_of(const Classification& other,
   std::sort(b.rbegin(), b.rend());
   const double total_a = std::accumulate(a.begin(), a.end(), 0.0);
   const double total_b = std::accumulate(b.begin(), b.end(), 0.0);
-  if (total_a <= 0.0 || total_b <= 0.0) return true;
+  // Non-positive weight totals carry no share information: such
+  // classifications are non-comparable, not duplicates of everything.
+  if (total_a <= 0.0 || total_b <= 0.0) return false;
   for (std::size_t j = 0; j < a.size(); ++j)
     if (std::abs(a[j] / total_a - b[j] / total_b) > weight_tolerance)
       return false;

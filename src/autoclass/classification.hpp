@@ -70,6 +70,8 @@ class Classification {
 
   /// Heuristic duplicate test used by the search's duplicate-elimination
   /// step: same class count, close scores, and close sorted weight vectors.
+  /// Symmetric (the score tolerance scales with the larger magnitude);
+  /// classifications whose weights sum to <= 0 are never duplicates.
   bool is_duplicate_of(const Classification& other, double score_tolerance,
                        double weight_tolerance) const;
 

@@ -64,6 +64,55 @@ int select_j(const SearchConfig& config, int try_index,
   return std::clamp(static_cast<int>(std::lround(j_sample)), 2, 2 * max_j);
 }
 
+int scheduled_j(const SearchConfig& config, int try_index) {
+  PAC_REQUIRE(try_index >= 0);
+  // Below the start list the schedule is identical to select_j; past it the
+  // log-normal is fitted to the start list itself rather than the
+  // leaderboard — the leaderboard is not shared state across sub-worlds,
+  // the start list is, so the whole schedule is a pure function of
+  // (config.seed, try_index) and can be sliced across G groups.
+  return select_j(config, try_index, config.start_j_list);
+}
+
+MergedLeaderboard merge_leaderboards(const SearchConfig& config,
+                                     std::vector<TryResult> entries) {
+  PAC_REQUIRE(config.keep_best >= 1);
+  // Canonical order: score descending, then global try index ascending (a
+  // total order — two tries never share an index — so the merge does not
+  // depend on the order entries arrived in).
+  std::sort(entries.begin(), entries.end(),
+            [&](const TryResult& a, const TryResult& b) {
+              const double sa = score_of(a.classification, config.score);
+              const double sb = score_of(b.classification, config.score);
+              if (sa != sb) return sa > sb;
+              return a.try_index < b.try_index;
+            });
+  MergedLeaderboard out;
+  for (TryResult& e : entries) {
+    bool duplicate = false;
+    for (const TryResult& kept : out.best) {
+      if (e.classification.is_duplicate_of(
+              kept.classification, config.duplicate_score_tolerance,
+              config.duplicate_weight_tolerance)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      ++out.duplicates;
+      continue;
+    }
+    out.best.push_back(std::move(e));
+  }
+  // Deduplicate over the whole set first, truncate after: a low-ranked
+  // entry must still be recognized as a duplicate of a kept one even when
+  // the board is already full, or the duplicate count (and therefore the
+  // merge) would depend on arrival order.
+  while (out.best.size() > static_cast<std::size_t>(config.keep_best))
+    out.best.pop_back();
+  return out;
+}
+
 SearchResult run_search(const Model& model, const SearchConfig& config,
                         const TryRunner& runner) {
   return run_search_from(model, config, runner, SearchResult{});
@@ -95,6 +144,12 @@ SearchResult run_search_from(const Model& model, const SearchConfig& config,
     attempt.j_requested = j;
     ++result.tries;
     result.total_cycles += attempt.classification.cycles;
+    // Re-check the budget after accumulating: a try runs to completion (EM
+    // is never interrupted mid-try), so the try that crosses the budget is
+    // still recorded, but no further try starts and the overshoot is
+    // reported below.
+    const bool over_budget = config.max_total_cycles > 0 &&
+                             result.total_cycles >= config.max_total_cycles;
 
     // Duplicate elimination (paper Fig. 2, "duplicates elimination").
     bool duplicate = false;
@@ -108,6 +163,7 @@ SearchResult run_search_from(const Model& model, const SearchConfig& config,
     }
     if (duplicate) {
       ++result.duplicates;
+      if (over_budget) break;
       if (config.patience > 0 && ++stale_tries >= config.patience) break;
       continue;
     }
@@ -131,7 +187,11 @@ SearchResult run_search_from(const Model& model, const SearchConfig& config,
     } else if (config.patience > 0 && ++stale_tries >= config.patience) {
       break;
     }
+    if (over_budget) break;
   }
+  if (config.max_total_cycles > 0)
+    result.cycle_overshoot = std::max<std::int64_t>(
+        0, result.total_cycles - config.max_total_cycles);
   PAC_CHECK_MSG(!result.best.empty(),
                 "search kept no classifications (all duplicates?)");
   return result;

@@ -63,6 +63,12 @@ struct SearchResult {
   int tries = 0;
   int duplicates = 0;
   std::int64_t total_cycles = 0;
+  /// Modeled EM cycles by which the run exceeded max_total_cycles (0 when
+  /// under budget or the budget is disabled).  A try is never interrupted
+  /// mid-EM, so the budget can be overshot by up to one try's cycles; the
+  /// overshoot is reported so cross-world budget sharing stays honest.
+  /// (Transient: not part of the checkpoint format.)
+  std::int64_t cycle_overshoot = 0;
 
   const Classification& top() const;
   double top_score(ScoreKind kind) const;
@@ -90,6 +96,33 @@ SearchResult sequential_search(const Model& model, const SearchConfig& config);
 /// classifications (exposed for tests; deterministic in (config.seed, t)).
 int select_j(const SearchConfig& config, int try_index,
              const std::vector<int>& best_js);
+
+/// The shared (seed, J) try schedule for try-parallel search: a pure
+/// function of (config, try_index) with no leaderboard feedback, so G
+/// sub-worlds can each run a disjoint slice of the same global sequence
+/// without coordinating.  Tries below start_j_list.size() take the listed J
+/// (identical to select_j); later tries sample the log-normal fitted to the
+/// start list itself, drawn from the counter-RNG keyed by the *global* try
+/// index — draws never collide across sub-worlds because the try indices
+/// are disjoint.
+int scheduled_j(const SearchConfig& config, int try_index);
+
+/// Canonical leaderboard merge: a pure function of the entry *set* (order
+/// of `entries` does not matter).  Entries are ranked by (score descending,
+/// try_index ascending), then greedily kept unless duplicate of an
+/// already-kept entry, and the board is truncated to keep_best.  This is
+/// the determinism anchor of try-parallel search: merging the per-group
+/// boards yields the same leaderboard regardless of how tries were split
+/// into groups.  Note the rule differs from the serial loop's insertion
+/// order (which keeps the *first-seen* of a duplicate pair): the canonical
+/// rule keeps the higher-scoring one, because "first seen" depends on
+/// execution order.
+struct MergedLeaderboard {
+  std::vector<TryResult> best;
+  int duplicates = 0;  // entries eliminated as duplicates by this merge
+};
+MergedLeaderboard merge_leaderboards(const SearchConfig& config,
+                                     std::vector<TryResult> entries);
 
 double score_of(const Classification& c, ScoreKind kind);
 

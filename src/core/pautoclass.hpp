@@ -60,6 +60,22 @@ struct ParallelConfig {
   /// Load-imbalance ablation: rank 0 receives this multiple of the average
   /// partition (1 = the paper's equal-size split).  Full strategy only.
   double partition_skew = 1.0;
+  /// Try-parallel search (the third parallelism level: tries x ranks x
+  /// threads).  0 = the classic replicated BIG_LOOP over the whole world.
+  /// G >= 1 splits the world into G equal sub-worlds; sub-world g runs the
+  /// global tries t with t % G == g from the shared scheduled_j sequence
+  /// (block-partitioned EM inside each sub-world), exchanges leaderboard
+  /// summaries with the other sub-worlds for global duplicate marking and
+  /// budget sharing, and the per-group leaderboards are merged with the
+  /// canonical rule (ac::merge_leaderboards) in a final all-world
+  /// reduction.  Must divide the world size.  See DESIGN.md for the
+  /// determinism contract.
+  int try_groups = 0;
+  /// Group-mode cadence, in completed local tries, of the cross-world
+  /// summary exchange.  Exchange is advisory (it feeds duplicate *marking*,
+  /// patience, and the shared cycle budget) and never changes the merged
+  /// leaderboard, which depends only on the set of completed tries.
+  int exchange_period = 1;
 };
 
 /// Per-rank virtual time split by EM phase (compute charges only; network
@@ -109,7 +125,11 @@ struct ParallelOutcome {
 /// Run the full classification search (BIG_LOOP) on `world`.  If `resume`
 /// is non-null, the stored leaderboard seeds every rank's replicated search
 /// state and tries continue from the stored count (see
-/// autoclass/checkpoint.hpp).
+/// autoclass/checkpoint.hpp).  With `parallel.try_groups > 0` the world is
+/// split into concurrent sub-worlds running disjoint slices of the shared
+/// try schedule (try-parallel mode); the returned leaderboard is the
+/// canonical merge of every sub-world's board and is identical on all
+/// ranks.
 ParallelOutcome run_parallel_search(mp::World& world, const ac::Model& model,
                                     const ac::SearchConfig& config,
                                     const ParallelConfig& parallel = {},

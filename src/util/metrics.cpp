@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 
 namespace pac::metrics {
@@ -36,7 +37,10 @@ void Histogram::observe(double v) noexcept {
 }
 
 double Histogram::quantile(double q) const noexcept {
-  if (count_ == 0) return 0.0;
+  // No samples -> no quantile.  NaN (not 0.0) so consumers cannot mistake
+  // "never measured" for "measured instantaneous" — serve stats and
+  // bench_diff both render/skip it explicitly.
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the target sample (1-based, nearest-rank with interpolation).
   const double target = q * static_cast<double>(count_);

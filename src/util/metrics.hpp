@@ -58,8 +58,8 @@ class Histogram {
   /// Approximate q-quantile (q in [0, 1]) with linear interpolation inside
   /// the bucket holding the target rank, clamped to the observed [min, max]
   /// so coarse buckets never report a value outside the sample range.
-  /// Returns 0 for an empty histogram.  The pac_serve latency reports (p50,
-  /// p99) come from here.
+  /// Returns NaN for an empty histogram (no samples -> no quantile).  The
+  /// pac_serve latency reports (p50, p99) come from here.
   double quantile(double q) const noexcept;
 
  private:

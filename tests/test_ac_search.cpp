@@ -2,6 +2,7 @@
 // elimination, leaderboard maintenance, and end-to-end model recovery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -295,6 +296,240 @@ TEST(Duplicates, ScoreGapBreaksDuplicate) {
   a.cs_score = -500.0;
   b.cs_score = -600.0;
   EXPECT_FALSE(a.is_duplicate_of(b, 1e-4, 1e-3));
+}
+
+TEST(Duplicates, RelationIsSymmetric) {
+  // The score tolerance used to scale with |this->cs_score| only, so for
+  // scores of different magnitude (possible when they straddle zero)
+  // a.is_duplicate_of(b) could disagree with b.is_duplicate_of(a) — fatal
+  // for a merge rule that must not depend on comparison order.
+  const data::LabeledDataset ld = data::paper_dataset(100, 21);
+  const Model model = Model::default_model(ld.dataset);
+  Classification a(model, 2), b(model, 2);
+  a.mutable_weights()[0] = b.mutable_weights()[0] = 60.0;
+  a.mutable_weights()[1] = b.mutable_weights()[1] = 40.0;
+  // |a - b| = 1.0 sits between 0.7*(1+0.1) and 0.7*(1+0.9): the old
+  // asymmetric scaling called this a duplicate from a's side only.
+  a.cs_score = 0.9;
+  b.cs_score = -0.1;
+  EXPECT_EQ(a.is_duplicate_of(b, 0.7, 1e-3), b.is_duplicate_of(a, 0.7, 1e-3));
+  EXPECT_TRUE(a.is_duplicate_of(b, 0.7, 1e-3));  // max-magnitude scaling
+  // Property over a grid of score pairs and tolerances.
+  const double scores[] = {-1000.0, -1000.05, -0.5, 0.0, 0.4, 0.9, 1000.0};
+  for (const double sa : scores)
+    for (const double sb : scores)
+      for (const double tol : {1e-4, 1e-2, 0.7}) {
+        a.cs_score = sa;
+        b.cs_score = sb;
+        EXPECT_EQ(a.is_duplicate_of(b, tol, 1e-3),
+                  b.is_duplicate_of(a, tol, 1e-3))
+            << "asymmetric at scores " << sa << " / " << sb << ", tol "
+            << tol;
+      }
+}
+
+TEST(Duplicates, NonPositiveWeightTotalsAreNotComparable) {
+  // Two classifications whose weights sum to <= 0 carry no share
+  // information; they used to be declared duplicates of *everything* with
+  // a close score, which silently dropped real tries.
+  const data::LabeledDataset ld = data::paper_dataset(100, 22);
+  const Model model = Model::default_model(ld.dataset);
+  Classification a(model, 2), b(model, 2);  // weights default to zero
+  a.cs_score = b.cs_score = -500.0;
+  EXPECT_FALSE(a.is_duplicate_of(b, 1.0, 1.0));
+  EXPECT_FALSE(b.is_duplicate_of(a, 1.0, 1.0));
+  // One degenerate side is just as non-comparable.
+  b.mutable_weights()[0] = 60.0;
+  b.mutable_weights()[1] = 40.0;
+  EXPECT_FALSE(a.is_duplicate_of(b, 1.0, 1.0));
+  EXPECT_FALSE(b.is_duplicate_of(a, 1.0, 1.0));
+}
+
+/// Runner returning synthetic non-duplicate classifications with a fixed
+/// modeled cycle count per try (for budget arithmetic tests).
+TryRunner fixed_cycle_runner(const Model& model, int cycles_per_try) {
+  return [&model, cycles_per_try](int t, int) {
+    Classification c(model, 2);
+    c.mutable_weights()[0] = 60.0;
+    c.mutable_weights()[1] = 40.0;
+    c.cs_score = -500.0 - t;  // distinct scores: never duplicates
+    c.cycles = cycles_per_try;
+    return TryResult{std::move(c)};
+  };
+}
+
+TEST(RunSearch, CycleBudgetOvershootReported) {
+  const data::LabeledDataset ld = data::paper_dataset(50, 23);
+  const Model model = Model::default_model(ld.dataset);
+  SearchConfig config;
+  config.start_j_list = {2};
+  config.max_tries = 50;
+  config.max_total_cycles = 100;
+  // 30 cycles per try: the budget is crossed DURING try 4 (120 >= 100).
+  // The post-accumulation check must stop there and report the overshoot
+  // instead of letting the loop schedule try 5 off a stale pre-check.
+  const SearchResult result =
+      run_search(model, config, fixed_cycle_runner(model, 30));
+  EXPECT_EQ(result.tries, 4);
+  EXPECT_EQ(result.total_cycles, 120);
+  EXPECT_EQ(result.cycle_overshoot, 20);
+}
+
+TEST(RunSearch, NoOvershootWithoutBudget) {
+  const data::LabeledDataset ld = data::paper_dataset(50, 24);
+  const Model model = Model::default_model(ld.dataset);
+  SearchConfig config;
+  config.start_j_list = {2};
+  config.max_tries = 3;
+  const SearchResult result =
+      run_search(model, config, fixed_cycle_runner(model, 30));
+  EXPECT_EQ(result.tries, 3);
+  EXPECT_EQ(result.cycle_overshoot, 0);
+}
+
+/// Seed state holding one converged classification at try 0.
+SearchResult seeded_state(const Model& model, const Classification& fixed) {
+  SearchResult seed;
+  seed.tries = 1;
+  seed.total_cycles = fixed.cycles;
+  TryResult entry{Classification(fixed)};
+  entry.try_index = 0;
+  entry.j_requested = static_cast<int>(fixed.num_classes());
+  entry.converged = true;
+  seed.best.push_back(std::move(entry));
+  return seed;
+}
+
+TEST(RunSearchFrom, AllDuplicateContinuationKeepsSeedBoard) {
+  // Resume from a leaderboard whose continuation tries are ALL duplicates:
+  // the seeded board must survive (the PAC_CHECK non-empty invariant holds
+  // because the seed entries count), and every continued try is counted as
+  // a duplicate.
+  const data::LabeledDataset ld = data::paper_dataset(200, 25);
+  const Model model = Model::default_model(ld.dataset);
+  SearchConfig config;
+  config.max_tries = 5;
+  config.start_j_list = {3};
+
+  Reducer identity;
+  EmWorker worker(model, data::ItemRange{0, 200}, identity);
+  Classification fixed(model, 3);
+  worker.random_init(fixed, 1, 0, config.em);
+  worker.converge(fixed, config.em);
+  const TryRunner constant_runner = [&](int, int) {
+    return TryResult{Classification(fixed)};
+  };
+
+  const SearchResult result = run_search_from(
+      model, config, constant_runner, seeded_state(model, fixed));
+  EXPECT_EQ(result.tries, 5);       // 1 seeded + 4 continued
+  EXPECT_EQ(result.duplicates, 4);  // every continued try
+  ASSERT_EQ(result.best.size(), 1u);
+  EXPECT_EQ(result.best.front().try_index, 0);  // the seed entry survived
+}
+
+TEST(RunSearchFrom, PatienceCountsDuplicateContinuations) {
+  // Same all-duplicate continuation, but patience = 2 stops the resumed
+  // search after two stale tries instead of exhausting max_tries.
+  const data::LabeledDataset ld = data::paper_dataset(200, 26);
+  const Model model = Model::default_model(ld.dataset);
+  SearchConfig config;
+  config.max_tries = 50;
+  config.patience = 2;
+  config.start_j_list = {3};
+
+  Reducer identity;
+  EmWorker worker(model, data::ItemRange{0, 200}, identity);
+  Classification fixed(model, 3);
+  worker.random_init(fixed, 1, 0, config.em);
+  worker.converge(fixed, config.em);
+  const TryRunner constant_runner = [&](int, int) {
+    return TryResult{Classification(fixed)};
+  };
+
+  const SearchResult result = run_search_from(
+      model, config, constant_runner, seeded_state(model, fixed));
+  EXPECT_EQ(result.tries, 3);  // 1 seeded + 2 stale continuations
+  EXPECT_EQ(result.duplicates, 2);
+  ASSERT_EQ(result.best.size(), 1u);
+}
+
+TEST(ScheduledJ, WalksStartListThenSamplesFromIt) {
+  SearchConfig config;
+  config.start_j_list = {2, 4, 8};
+  config.seed = 5;
+  for (int t = 0; t < 3; ++t)
+    EXPECT_EQ(scheduled_j(config, t), config.start_j_list[t]);
+  for (int t = 3; t < 40; ++t) {
+    const int j = scheduled_j(config, t);
+    EXPECT_GE(j, 2);
+    EXPECT_LE(j, 16);  // clamped to 2x max(start_j_list)
+    // Pure function of (config, t): no leaderboard feedback, so a
+    // sub-world can compute its slice without seeing the other tries.
+    EXPECT_EQ(j, scheduled_j(config, t));
+    EXPECT_EQ(j, select_j(config, t, config.start_j_list));
+  }
+}
+
+/// A board entry with the given score/try/J for merge tests (J implied by
+/// the weight count).
+TryResult entry_for(const Model& model, double score, int try_index,
+                    std::vector<double> weights) {
+  Classification c(model, weights.size());
+  for (std::size_t j = 0; j < weights.size(); ++j)
+    c.mutable_weights()[j] = weights[j];
+  c.cs_score = score;
+  TryResult e{std::move(c)};
+  e.try_index = try_index;
+  e.j_requested = static_cast<int>(weights.size());
+  return e;
+}
+
+TEST(MergeLeaderboards, OrderInvariantDeduplicatedAndTruncated) {
+  const data::LabeledDataset ld = data::paper_dataset(100, 27);
+  const Model model = Model::default_model(ld.dataset);
+  SearchConfig config;
+  config.keep_best = 2;
+  struct Spec {
+    double score;
+    int try_index;
+    std::vector<double> weights;
+  };
+  std::vector<Spec> specs = {
+      {-500.0, 0, {60.0, 40.0}},
+      {-500.0, 3, {60.0, 40.0}},  // duplicate of try 0
+      {-520.0, 1, {80.0, 20.0}},
+      {-530.0, 2, {50.0, 50.0}},  // non-duplicate, beyond keep_best
+  };
+  for (int rot = 0; rot < 4; ++rot) {
+    std::rotate(specs.begin(), specs.begin() + 1, specs.end());
+    std::vector<TryResult> entries;
+    for (const Spec& s : specs)
+      entries.push_back(entry_for(model, s.score, s.try_index, s.weights));
+    const MergedLeaderboard merged =
+        merge_leaderboards(config, std::move(entries));
+    ASSERT_EQ(merged.best.size(), 2u);
+    EXPECT_EQ(merged.best[0].try_index, 0);  // score tie broken by try index
+    EXPECT_EQ(merged.best[1].try_index, 1);
+    EXPECT_EQ(merged.duplicates, 1);  // try 3 eliminated, try 2 truncated
+  }
+}
+
+TEST(MergeLeaderboards, EqualScoresKeepLowestTryIndexFirst) {
+  const data::LabeledDataset ld = data::paper_dataset(100, 28);
+  const Model model = Model::default_model(ld.dataset);
+  SearchConfig config;
+  config.keep_best = 3;
+  std::vector<TryResult> entries;
+  // Same score, different class counts: never duplicates of each other.
+  entries.push_back(entry_for(model, -500.0, 5, {60.0, 40.0}));
+  entries.push_back(entry_for(model, -500.0, 2, {50.0, 30.0, 20.0}));
+  const MergedLeaderboard merged =
+      merge_leaderboards(config, std::move(entries));
+  ASSERT_EQ(merged.best.size(), 2u);
+  EXPECT_EQ(merged.best[0].try_index, 2);
+  EXPECT_EQ(merged.best[1].try_index, 5);
+  EXPECT_EQ(merged.duplicates, 0);
 }
 
 }  // namespace

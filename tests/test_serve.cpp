@@ -702,9 +702,18 @@ TEST(Server, MalformedBodiesGetTypedErrorsGarbageFramesDropConnection) {
 
 // ---- histogram quantiles (serve latency reporting) ----
 
+TEST(HistogramQuantile, EmptyHistogramHasNoQuantile) {
+  // An empty histogram must not report a (fake) 0-second latency: serve
+  // stats and bench_diff treat NaN as "not measured".
+  metrics::Histogram h;
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+}
+
 TEST(HistogramQuantile, InterpolatesWithinObservedRange) {
   metrics::Histogram h;
-  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
   for (int i = 0; i < 1000; ++i)
     h.observe(1e-3);  // all samples in one bucket
   const double p50 = h.quantile(0.5);

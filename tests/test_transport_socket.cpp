@@ -571,6 +571,77 @@ TEST(TransportSocket, FastMathTierDeterministicAcrossBackendsAndThreads) {
   expect_bit_identical(socket_fast, modeled);
 }
 
+TEST(TransportSocket, GroupSearchMergesBitIdenticalToInProcess) {
+  // Try-parallel search on the real transport: four socket ranks split into
+  // two sub-worlds, with the advisory summary exchange riding world pt2pt
+  // and the final merge riding the allgather.  The merged leaderboard must
+  // be identical on every rank and bit-identical to the in-process modeled
+  // backend at the same sub-world size.
+  constexpr int kRanks = 4;
+  const data::LabeledDataset ld = data::paper_dataset(500, 23);
+  const ac::Model model = ac::Model::default_model(ld.dataset);
+  ac::SearchConfig config;
+  config.start_j_list = {2, 4, 6};
+  config.max_tries = 6;
+  config.em.max_cycles = 30;
+  config.seed = 2024;
+  core::ParallelConfig parallel;
+  parallel.try_groups = 2;
+
+  // Each rank thread owns a full World (what kRanks pac_launch'd processes
+  // would do) and runs the whole search, capturing its own merged result.
+  const std::string address = unique_address();
+  std::vector<core::ParallelOutcome> outcomes(kRanks);
+  std::vector<std::exception_ptr> errors(kRanks);
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < kRanks; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        World world(socket_config(address, r, kRanks));
+        outcomes[static_cast<std::size_t>(r)] =
+            core::run_parallel_search(world, model, config, parallel);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  World::Config cfg;
+  cfg.num_ranks = kRanks;
+  cfg.machine = net::ideal_machine();
+  World reference(cfg);
+  const core::ParallelOutcome expected =
+      core::run_parallel_search(reference, model, config, parallel);
+
+  const auto flatten = [](const ac::SearchResult& s) {
+    std::vector<double> v;
+    v.push_back(static_cast<double>(s.tries));
+    v.push_back(static_cast<double>(s.total_cycles));
+    v.push_back(static_cast<double>(s.best.size()));
+    for (const ac::TryResult& e : s.best) {
+      v.push_back(static_cast<double>(e.try_index));
+      v.push_back(static_cast<double>(e.j_requested));
+      v.push_back(e.classification.cs_score);
+      v.push_back(e.classification.log_likelihood);
+      const auto w = e.classification.weights();
+      v.insert(v.end(), w.begin(), w.end());
+      const auto p = e.classification.all_params();
+      v.insert(v.end(), p.begin(), p.end());
+    }
+    return v;
+  };
+  std::vector<std::vector<double>> socket_boards, reference_boards;
+  for (const core::ParallelOutcome& o : outcomes)
+    socket_boards.push_back(flatten(o.search));
+  for (int r = 0; r < kRanks; ++r)
+    reference_boards.push_back(flatten(expected.search));
+  ASSERT_FALSE(expected.search.best.empty());
+  expect_bit_identical(socket_boards, reference_boards);
+}
+
 TEST(TransportSocket, ConnectionRefusedThrowsTransportError) {
   // Rank 1 of a 2-rank world whose rank 0 never shows up: the rendezvous
   // retries until the timeout, then reports a typed, rank-naming error.
