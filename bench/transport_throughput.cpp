@@ -1,27 +1,49 @@
-// pacnet transport throughput: point-to-point latency/bandwidth and
-// allreduce cost over a message-size sweep, on whichever backend the
-// environment selects.  Unlike the figure harnesses this measures HOST
-// wall-clock time of the runtime itself, so the same binary characterizes
-// both backends:
+// pacnet transport throughput — two harnesses in one binary.
 //
-//   ./transport_throughput [--smoke] [--procs 2]     # in-process backend
-//   pac_launch -n 4 ./transport_throughput           # real sockets
+// LAUNCHED MODE (under pac_launch, any backend): the classic table of
+// ping-pong latency/bandwidth and allreduce cost over a message-size
+// sweep, measured on whatever world the environment provides:
 //
-// Protocol per message size: rank 0 <-> rank 1 ping-pong (round-trip
-// latency, one-way bandwidth), then a world-wide allreduce of a double
-// vector of the same size.  All ranks stay aligned with barriers so the
-// collective call order matches on every rank.
+//   pac_launch -n 4 ./transport_throughput                    # sockets
+//   pac_launch -n 4 --backend hybrid ./transport_throughput   # shm rings
+//
+// STANDALONE MODE (no PACNET_* env): a google-benchmark suite that builds
+// loopback 2-rank worlds in-process (threads standing in for ranks, real
+// fds underneath — the transport cannot tell) and measures the same-host
+// routing win directly.  Series:
+//
+//   BM_TransportPingPongSocket/<bytes>   full socket mesh, loopback TCP-less
+//                                        unix stream pair
+//   BM_TransportPingPongHybrid/<bytes>   hybrid: data frames over the SPSC
+//                                        shm ring, sockets idle
+//   BM_TransportShmRingPingPong/<bytes>  the raw ShmChannel, no mailbox or
+//                                        matching on top
+//
+// All series use manual time (rank 0's wall clock around a block of round
+// trips), so the JSON report feeds scripts/bench_diff.py ratio pairs: the
+// committed acceptance bar is >= 2x small-message round-trip throughput
+// for hybrid over socket.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
+
+#include <benchmark/benchmark.h>
 
 #include "mp/comm.hpp"
 #include "mp/transport/env.hpp"
+#include "mp/transport/shm_ring.hpp"
 #include "util/cli.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -31,14 +53,6 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
-
-struct Row {
-  std::size_t bytes = 0;
-  int pingpong_iters = 0;
-  double pingpong_seconds = 0.0;  // total for pingpong_iters round trips
-  int allreduce_iters = 0;
-  double allreduce_seconds = 0.0;  // total for allreduce_iters calls
-};
 
 int pingpong_iters_for(std::size_t bytes, bool smoke) {
   if (smoke) return 4;
@@ -52,20 +66,23 @@ int allreduce_iters_for(std::size_t bytes, bool smoke) {
   return static_cast<int>(std::clamp<std::size_t>(budget / bytes, 4, 64));
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Launched mode: the original table harness, unchanged protocol.
 
-int main(int argc, char** argv) {
+struct Row {
+  std::size_t bytes = 0;
+  int pingpong_iters = 0;
+  double pingpong_seconds = 0.0;  // total for pingpong_iters round trips
+  int allreduce_iters = 0;
+  double allreduce_seconds = 0.0;  // total for allreduce_iters calls
+};
+
+int run_launched_table(pac::mp::World::Config cfg, int argc, char** argv) {
   using namespace pac;
   const Cli cli(argc, argv);
   const bool smoke = cli.get_bool("smoke", false);
   const bool primary = mp::transport::is_primary();
-
-  int procs = static_cast<int>(cli.get_int("procs", 2));
-  mp::World::Config cfg;
-  cfg.num_ranks = procs;
-  cfg.machine = net::ideal_machine();
-  const bool launched = mp::transport::apply_env_backend(cfg);
-  if (launched) procs = cfg.num_ranks;
+  const int procs = cfg.num_ranks;
 
   std::vector<std::size_t> sizes;
   for (const auto s : cli.get_int_list(
@@ -130,9 +147,8 @@ int main(int argc, char** argv) {
 
   if (!primary) return 0;
 
-  std::cout << "# transport_throughput — backend " << backend << ", "
-            << procs << (launched ? " processes" : " rank threads")
-            << " (host wall-clock time)\n";
+  std::cout << "# transport_throughput — backend " << backend << ", " << procs
+            << " processes (host wall-clock time)\n";
   Table table("pt2pt ping-pong (ranks 0<->1) and allreduce, by message size");
   table.set_header({"bytes", "rt lat us", "bw MB/s", "allreduce us"});
   for (const Row& row : rows) {
@@ -153,5 +169,220 @@ int main(int argc, char** argv) {
                    format_fixed(bw, 1), format_fixed(ar_us, 1)});
   }
   table.print(std::cout);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Standalone mode: google-benchmark loopback worlds.
+
+using pac::mp::Comm;
+using pac::mp::World;
+
+std::string unique_address() {
+  static std::atomic<int> counter{0};
+  return "unix:/tmp/pacnet_bench." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+World::Config loopback_config(const std::string& address, int rank) {
+  World::Config cfg;
+  cfg.num_ranks = 2;
+  cfg.backend = World::Config::Backend::kSocket;
+  cfg.socket.address = address;
+  cfg.socket.rank = rank;
+  cfg.socket.size = 2;
+  return cfg;
+}
+
+/// rank 0 <-> rank 1 ping-pong driven by the benchmark state on the main
+/// thread (which IS rank 0); rank 1 is an echo thread.  Each state
+/// iteration times one block of round trips; a control message tells the
+/// echoer the block length (-1 = done), so the world survives the whole
+/// measurement and the rendezvous cost never pollutes the numbers.
+void pingpong_world_bench(benchmark::State& state, bool hybrid) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const int block = pingpong_iters_for(bytes, /*smoke=*/false);
+  constexpr int kCtlTag = 1;
+  constexpr int kDataTag = 2;
+
+  const std::string address = unique_address();
+  World::Config cfg0 = loopback_config(address, 0);
+  World::Config cfg1 = loopback_config(address, 1);
+  if (hybrid) {
+    static std::atomic<std::uint64_t> token_counter{1};
+    const std::uint64_t token =
+        ((static_cast<std::uint64_t>(::getpid()) << 20) ^
+         token_counter.fetch_add(1)) |
+        1u;
+    const pac::mp::transport::Fd seg =
+        pac::mp::transport::ShmChannel::create_segment(
+            pac::mp::transport::kDefaultShmRingBytes);
+    for (World::Config* cfg : {&cfg0, &cfg1}) {
+      cfg->backend = World::Config::Backend::kHybrid;
+      cfg->shm.host_token = token;
+      cfg->shm.fds = {{cfg == &cfg0 ? 1 : 0, ::dup(seg.get())}};
+    }
+  }
+
+  std::thread echo([&cfg1, bytes] {
+    World world(cfg1);
+    world.run([bytes](Comm& comm) {
+      std::vector<std::uint8_t> buf(bytes, 0x5A);
+      for (;;) {
+        const auto n = comm.recv_value<std::int64_t>(0, kCtlTag);
+        if (n < 0) return;
+        for (std::int64_t i = 0; i < n; ++i) {
+          comm.recv<std::uint8_t>(0, kDataTag, buf);
+          comm.send<std::uint8_t>(0, kDataTag, buf);
+        }
+      }
+    });
+  });
+
+  {
+    World world(cfg0);
+    world.run([&](Comm& comm) {
+      std::vector<std::uint8_t> buf(bytes, 0xA5);
+      auto block_of = [&](std::int64_t n) {
+        comm.send_value<std::int64_t>(1, kCtlTag, n);
+        for (std::int64_t i = 0; i < n; ++i) {
+          comm.send<std::uint8_t>(1, kDataTag, buf);
+          comm.recv<std::uint8_t>(1, kDataTag, buf);
+        }
+      };
+      block_of(std::min(block, 16));  // warmup
+      for (auto _ : state) {
+        const auto t0 = Clock::now();
+        block_of(block);
+        state.SetIterationTime(seconds_since(t0));
+      }
+      comm.send_value<std::int64_t>(1, kCtlTag, -1);
+    });
+    // World teardown exchanges shutdown frames with the peer: rank 0's
+    // world must die BEFORE joining the echo thread, whose own teardown
+    // blocks until rank 0's shutdown arrives.
+  }
+  echo.join();
+
+  state.SetItemsProcessed(state.iterations() * block);
+  state.SetBytesProcessed(state.iterations() * block * 2 *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["round_trips_per_iter"] = static_cast<double>(block);
+}
+
+void BM_TransportPingPongSocket(benchmark::State& state) {
+  pingpong_world_bench(state, /*hybrid=*/false);
+}
+void BM_TransportPingPongHybrid(benchmark::State& state) {
+  pingpong_world_bench(state, /*hybrid=*/true);
+}
+
+/// The raw SPSC channel with no mailbox/matching above it: upper bound for
+/// what the hybrid transport can reach, and the number that isolates ring
+/// protocol changes from runtime changes.
+void BM_TransportShmRingPingPong(benchmark::State& state) {
+  using pac::mp::Message;
+  using pac::mp::transport::Fd;
+  using pac::mp::transport::ShmChannel;
+  using pac::mp::transport::ShmChannelOptions;
+
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const int block = pingpong_iters_for(bytes, /*smoke=*/false);
+  const Fd seg =
+      ShmChannel::create_segment(pac::mp::transport::kDefaultShmRingBytes);
+  ShmChannel lower(Fd(::dup(seg.get())), /*lower=*/true, ShmChannelOptions{},
+                   "bench lower");
+  ShmChannel higher(Fd(::dup(seg.get())), /*lower=*/false, ShmChannelOptions{},
+                    "bench higher");
+
+  std::thread echo([&higher] {
+    Message m;
+    while (higher.recv_message(m)) higher.send_message(m);
+  });
+
+  Message ping;
+  ping.context = 1;
+  ping.source = 0;
+  ping.tag = 2;
+  ping.payload.assign(bytes, std::byte{0xA5});
+  Message pong;
+  auto block_of = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      lower.send_message(ping);
+      lower.recv_message(pong);
+    }
+  };
+  block_of(std::min(block, 16));  // warmup
+  for (auto _ : state) {
+    const auto t0 = Clock::now();
+    block_of(block);
+    state.SetIterationTime(seconds_since(t0));
+  }
+  lower.send_shutdown();
+  echo.join();
+
+  state.SetItemsProcessed(state.iterations() * block);
+  state.SetBytesProcessed(state.iterations() * block * 2 *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["round_trips_per_iter"] = static_cast<double>(block);
+}
+
+constexpr std::int64_t kSweep[] = {8, 64, 1024, 65536, 1048576};
+
+void register_benches() {
+  for (const std::int64_t bytes : kSweep) {
+    benchmark::RegisterBenchmark("BM_TransportPingPongSocket",
+                                 BM_TransportPingPongSocket)
+        ->Arg(bytes)
+        ->UseManualTime();
+    benchmark::RegisterBenchmark("BM_TransportPingPongHybrid",
+                                 BM_TransportPingPongHybrid)
+        ->Arg(bytes)
+        ->UseManualTime();
+    benchmark::RegisterBenchmark("BM_TransportShmRingPingPong",
+                                 BM_TransportShmRingPingPong)
+        ->Arg(bytes)
+        ->UseManualTime();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pac;
+  mp::World::Config cfg;
+  cfg.num_ranks = 2;
+  cfg.machine = net::ideal_machine();
+  if (mp::transport::apply_env_backend(cfg))
+    return run_launched_table(cfg, argc, argv);
+
+  // Standalone: google-benchmark mode, same harness contract as
+  // micro_kernels (--smoke maps to a minimal measurement time).
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  register_benches();
+  benchmark::AddCustomContext("pac_simd", simd::describe());
+#ifdef NDEBUG
+  benchmark::AddCustomContext("pac_build", "release");
+#else
+  benchmark::AddCustomContext("pac_build", "debug");
+#endif
+  std::fprintf(stderr,
+               "transport_throughput: loopback 2-rank worlds "
+               "(socket vs hybrid shm)\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
   return 0;
 }

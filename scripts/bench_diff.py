@@ -57,6 +57,14 @@ PAIRS = [
     # seconds (UseManualTime), so the ratio is machine-independent and the
     # acceptance bar (>= 1.5x) survives any runner.
     ("search-tries-g2-over-g1", "BM_SearchTriesG1/manual_time", "BM_SearchTriesG2/manual_time"),
+    # Hybrid shm transport (bench/transport_throughput standalone mode):
+    # same-host rank pairs over SPSC shm rings vs the full socket mesh, on
+    # loopback 2-rank worlds.  Small-message round trips are the headline
+    # (acceptance bar >= 2x); the raw-ring pair isolates ring-protocol
+    # regressions from runtime (mailbox/matching) regressions.
+    ("transport-shm-small-rt", "BM_TransportPingPongSocket/8/manual_time", "BM_TransportPingPongHybrid/8/manual_time"),
+    ("transport-shm-large-bw", "BM_TransportPingPongSocket/65536/manual_time", "BM_TransportPingPongHybrid/65536/manual_time"),
+    ("transport-ring-over-hybrid", "BM_TransportPingPongHybrid/8/manual_time", "BM_TransportShmRingPingPong/8/manual_time"),
 ]
 
 DEFAULT_TOLERANCE = 0.35

@@ -138,6 +138,32 @@ else
   esac
 fi
 
+# Transport throughput (bench/transport_throughput standalone mode): the
+# hybrid-shm-over-socket ratio pairs.  Wall-clock ping-pong under
+# sanitizers measures the instrumentation, not the transport — gate skipped
+# there like the kernel micros.
+PERF_TT_JSON="$BUILD_DIR/BENCH_transport_throughput.json"
+echo "== perf smoke: bench/transport_throughput $SMOKE -> $PERF_TT_JSON =="
+if ! "$BUILD_DIR"/bench/transport_throughput $SMOKE \
+    --benchmark_out="$PERF_TT_JSON" --benchmark_out_format=json \
+    --benchmark_filter='/8/|/65536/' >/dev/null 2>&1; then
+  echo "!! FAILED: perf smoke (bench/transport_throughput)" >&2
+  failures=$((failures + 1))
+else
+  case "${PAC_CMAKE_ARGS:-}" in
+    *sanitize*)
+      echo "== transport perf gate skipped (sanitized build) =="
+      ;;
+    *)
+      echo "== perf gate: scripts/bench_diff.py $PERF_TT_JSON =="
+      if ! python3 scripts/bench_diff.py "$PERF_TT_JSON"; then
+        echo "!! FAILED: perf gate (scripts/bench_diff.py, transport)" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
+fi
+
 # Try-parallel search throughput (bench/search_tries): the reported times
 # are *modeled* virtual seconds, so the G2-over-G1 ratio is deterministic
 # and machine-independent — the gate runs on every tier (no simd/sanitizer
@@ -186,18 +212,22 @@ for e in "$BUILD_DIR"/examples/*; do
 done
 
 if [ "$DISTRIBUTED" = 1 ]; then
-  for cmd in \
-      "examples/quickstart --items 1200 --tries 2" \
-      "bench/transport_throughput --smoke"; do
-    echo "== pac_launch -n 4 $BUILD_DIR/$cmd =="
-    # shellcheck disable=SC2086  # intentional word splitting of the args
-    if "$BUILD_DIR"/tools/pac_launch -n 4 "$BUILD_DIR"/${cmd%% *} \
-        ${cmd#* } >/dev/null; then
-      echo ok
-    else
-      echo "!! FAILED: pac_launch -n 4 $cmd" >&2
-      failures=$((failures + 1))
-    fi
+  # Both process backends: the socket mesh, then hybrid (same-host rank
+  # pairs over shm rings — everything on one box, so ALL pairs route shm).
+  for backend in socket hybrid; do
+    for cmd in \
+        "examples/quickstart --items 1200 --tries 2" \
+        "bench/transport_throughput --smoke"; do
+      echo "== pac_launch -n 4 --backend $backend $BUILD_DIR/$cmd =="
+      # shellcheck disable=SC2086  # intentional word splitting of the args
+      if "$BUILD_DIR"/tools/pac_launch -n 4 --backend "$backend" \
+          "$BUILD_DIR"/${cmd%% *} ${cmd#* } >/dev/null; then
+        echo ok
+      else
+        echo "!! FAILED: pac_launch -n 4 --backend $backend $cmd" >&2
+        failures=$((failures + 1))
+      fi
+    done
   done
 fi
 

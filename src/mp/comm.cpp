@@ -141,6 +141,11 @@ const char* Comm::backend_name() const noexcept {
   return transport_ != nullptr ? transport_->name() : "in-process";
 }
 
+transport::TransportStats Comm::transport_stats() const noexcept {
+  return transport_ != nullptr ? transport_->stats()
+                               : transport::TransportStats{};
+}
+
 void Comm::deliver(int dest_group_rank, int tag, const void* bytes,
                    std::size_t nbytes) {
   if (distributed_) {

@@ -33,6 +33,7 @@
 #include <string>
 #include <tuple>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "mp/engine.hpp"
@@ -50,6 +51,7 @@ namespace pac::mp {
 namespace transport {
 class Transport;
 class SocketTransport;
+struct TransportStats;
 }  // namespace transport
 
 using net::kNumCollectiveKinds;
@@ -265,8 +267,13 @@ class Comm {
   /// on the default modeled (in-process, virtual-time) backend.
   bool distributed() const noexcept { return distributed_; }
 
-  /// Transport backend name ("in-process", "socket").
+  /// Transport backend name ("in-process", "socket", "hybrid").
   const char* backend_name() const noexcept;
+
+  /// Cumulative wire-traffic counters of the underlying transport since
+  /// world formation (zeros on the modeled backend; the hybrid backend
+  /// additionally fills the per-route shm_* breakdown).
+  transport::TransportStats transport_stats() const noexcept;
 
   const net::NetworkModel& network() const noexcept { return *network_; }
   const net::CostBook& costs() const noexcept { return *costs_; }
@@ -527,8 +534,9 @@ class World {
     /// Message-passing backend.  kInProcess is the default modeled runtime
     /// (ranks as threads, virtual time, deterministic); kSocket runs this
     /// process as ONE rank of a multi-process world over real sockets
-    /// (wall-clock time) — see src/mp/transport/.
-    enum class Backend { kInProcess, kSocket };
+    /// (wall-clock time); kHybrid is kSocket with same-host peers routed
+    /// over shared-memory rings — see src/mp/transport/.
+    enum class Backend { kInProcess, kSocket, kHybrid };
 
     int num_ranks = 1;
     net::Machine machine = net::ideal_machine();
@@ -554,6 +562,18 @@ class World {
       int size = 0;
       double connect_timeout = 30.0;  // seconds to retry the rendezvous
     } socket;
+    /// Hybrid-backend parameters (ignored unless backend == kHybrid);
+    /// normally filled from the pac_launch environment (PACNET_HOST_TOKEN,
+    /// PACNET_SHM_FDS, PACNET_SHM_SPIN) by transport::apply_env_backend().
+    struct Shm {
+      /// Host identity advertised in the rendezvous (0 = socket-only).
+      std::uint64_t host_token = 0;
+      /// (peer world rank, inherited segment fd) pairs; ownership passes
+      /// to the transport when the world forms.
+      std::vector<std::pair<int, int>> fds;
+      /// Ring-waiter spin iterations before parking (0 = default).
+      std::uint32_t spin_iters = 0;
+    } shm;
   };
 
   explicit World(Config config);

@@ -1,6 +1,7 @@
 #include "mp/transport/env.hpp"
 
 #include <cstdlib>
+#include <string>
 
 #include "mp/status.hpp"
 
@@ -23,6 +24,48 @@ int int_env(const char* name) {
   return static_cast<int>(value);
 }
 
+std::uint64_t u64_env(const char* name) {
+  const char* v = get_env(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0')
+    throw TransportError(std::string("pacnet: malformed ") + name + "='" + v +
+                         "'");
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Parse PACNET_SHM_FDS: "peer:fd,peer:fd,..." (empty/unset -> none).
+std::vector<std::pair<int, int>> parse_shm_fds(const char* v) {
+  std::vector<std::pair<int, int>> out;
+  if (v == nullptr || *v == '\0') return out;
+  const std::string s(v);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string entry = s.substr(pos, comma - pos);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size())
+      throw TransportError("pacnet: malformed PACNET_SHM_FDS entry '" +
+                           entry + "' (want peer:fd)");
+    char* end = nullptr;
+    const long peer = std::strtol(entry.c_str(), &end, 10);
+    if (end != entry.c_str() + colon)
+      throw TransportError("pacnet: malformed PACNET_SHM_FDS entry '" +
+                           entry + "'");
+    const char* fd_text = entry.c_str() + colon + 1;
+    const long fd = std::strtol(fd_text, &end, 10);
+    if (end == fd_text || *end != '\0' || fd < 0)
+      throw TransportError("pacnet: malformed PACNET_SHM_FDS entry '" +
+                           entry + "'");
+    out.emplace_back(static_cast<int>(peer), static_cast<int>(fd));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 bool pacnet_launched() { return get_env("PACNET_RANK") != nullptr; }
@@ -41,7 +84,20 @@ std::string pacnet_address() {
 
 bool apply_env_backend(World::Config& config) {
   if (!pacnet_launched()) return false;
-  config.backend = World::Config::Backend::kSocket;
+  const char* backend = get_env("PACNET_BACKEND");
+  const std::string name = backend == nullptr ? "socket" : backend;
+  if (name == "socket" || name.empty()) {
+    config.backend = World::Config::Backend::kSocket;
+  } else if (name == "hybrid") {
+    config.backend = World::Config::Backend::kHybrid;
+    config.shm.host_token = u64_env("PACNET_HOST_TOKEN");
+    config.shm.fds = parse_shm_fds(get_env("PACNET_SHM_FDS"));
+    const std::uint64_t spin = u64_env("PACNET_SHM_SPIN");
+    config.shm.spin_iters = static_cast<std::uint32_t>(spin);
+  } else {
+    throw TransportError("pacnet: unknown PACNET_BACKEND='" + name +
+                         "' (want socket or hybrid)");
+  }
   config.socket.rank = pacnet_rank();
   config.socket.size = pacnet_size();
   config.socket.address = pacnet_address();

@@ -6,12 +6,20 @@
 //   PACNET_SIZE  — world size N
 //   PACNET_ADDR  — rendezvous address ("unix:/path" or "host:port")
 //
+// With `pac_launch --backend hybrid` the contract grows a shared-memory
+// layer (same-host peers over SPSC rings, see hybrid_transport.hpp):
+//
+//   PACNET_BACKEND    — "socket" (default when unset) or "hybrid"
+//   PACNET_HOST_TOKEN — nonzero host-identity token minted per launch
+//   PACNET_SHM_FDS    — "peer:fd,peer:fd,..." inherited segment fds
+//   PACNET_SHM_SPIN   — optional ring spin-iteration override
+//
 // A program opts in by calling apply_env_backend(config) on its
 // World::Config before constructing the World: when the variables are
-// present the config is switched to the socket backend with the
-// environment's rank/size/address; otherwise the config is left untouched
-// (the default modeled backend).  is_primary() gates output so an
-// N-process run prints once.
+// present the config is switched to the socket (or hybrid) backend with
+// the environment's rank/size/address; otherwise the config is left
+// untouched (the default modeled backend).  is_primary() gates output so
+// an N-process run prints once.
 #pragma once
 
 #include <string>
@@ -29,9 +37,11 @@ int pacnet_rank();
 int pacnet_size();
 std::string pacnet_address();
 
-/// Switch `config` to the socket backend from the environment.  Returns
-/// true when applied (PACNET_RANK present), false when the environment
-/// requests no distributed run.
+/// Switch `config` to the distributed backend named by the environment
+/// (PACNET_BACKEND: socket by default, hybrid with shm parameters).
+/// Returns true when applied (PACNET_RANK present), false when the
+/// environment requests no distributed run.  Throws TransportError on an
+/// unknown backend name or malformed shm variables.
 bool apply_env_backend(World::Config& config);
 
 /// True when this process should produce user-facing output: either not a

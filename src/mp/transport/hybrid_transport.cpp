@@ -1,0 +1,161 @@
+#include "mp/transport/hybrid_transport.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace pac::mp::transport {
+
+HybridTransport::HybridTransport(HybridOptions options)
+    : SocketTransport(options.socket, /*start_reader_threads=*/false) {
+  const int p = opts_.size;
+  const int rank = opts_.rank;
+  channels_.resize(static_cast<std::size_t>(p));
+  open_streams_ = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    open_streams_[static_cast<std::size_t>(r)].store(
+        r == rank ? 0 : 1, std::memory_order_relaxed);
+
+  // Take ownership of every handed-down fd up front so an error below
+  // cannot leak the rest of the list.
+  std::vector<std::pair<int, Fd>> segs;
+  segs.reserve(options.shm_fds.size());
+  for (const auto& [peer, fd] : options.shm_fds) segs.emplace_back(peer, Fd(fd));
+
+  ShmChannelOptions ch_opts;
+  ch_opts.max_frame_payload = opts_.max_frame_payload;
+  if (options.shm_spin != 0) ch_opts.spin_iters = options.shm_spin;
+
+  for (auto& [peer, fd] : segs) {
+    if (peer < 0 || peer >= p || peer == rank)
+      throw TransportError("hybrid: shm segment for invalid peer rank " +
+                           std::to_string(peer));
+    if (channels_[static_cast<std::size_t>(peer)] != nullptr)
+      throw TransportError("hybrid: duplicate shm segment for peer rank " +
+                           std::to_string(peer));
+    // Routing rule: shm only when both ends advertised the same nonzero
+    // host token during rendezvous.  Otherwise drop the fd and keep the
+    // socket — a mixed-host launch degrades silently, not fatally.
+    if (opts_.host_token == 0 || peer_host_token(peer) != opts_.host_token)
+      continue;  // Fd destructor closes the segment
+    channels_[static_cast<std::size_t>(peer)] = std::make_unique<ShmChannel>(
+        std::move(fd), /*lower=*/rank < peer, ch_opts,
+        "rank " + std::to_string(rank) + " shm to rank " +
+            std::to_string(peer));
+    open_streams_[static_cast<std::size_t>(peer)].store(
+        2, std::memory_order_relaxed);
+  }
+
+  // Channels are in place: frames (and shutdown/death events routed through
+  // the virtual hooks) may start flowing now.
+  start_readers();
+  shm_readers_.reserve(channels_.size());
+  for (int peer = 0; peer < p; ++peer)
+    if (channels_[static_cast<std::size_t>(peer)] != nullptr)
+      shm_readers_.emplace_back([this, peer] { shm_reader_loop(peer); });
+}
+
+HybridTransport::~HybridTransport() {
+  // Clean close, mirroring the socket protocol on both streams.  Order
+  // matters for deadlock freedom: every rank first SENDS end-of-stream on
+  // every stream it owns, and only then joins its readers — so no rank
+  // can be waiting for a shutdown the sender has not issued yet.
+  for (auto& ch : channels_) {
+    if (ch == nullptr) continue;
+    try {
+      ch->send_shutdown();
+    } catch (const pac::Error&) {
+      // Channel already failed (peer died); its reader has been woken.
+    }
+  }
+  shutdown_streams();  // socket shutdowns + join socket readers
+  for (std::thread& t : shm_readers_)
+    if (t.joinable()) t.join();
+}
+
+void HybridTransport::send(int dest_world_rank, Message msg) {
+  if (dest_world_rank == opts_.rank) {
+    inbox_.push(std::move(msg));
+    return;
+  }
+  ShmChannel* ch =
+      dest_world_rank >= 0 && dest_world_rank < opts_.size
+          ? channels_[static_cast<std::size_t>(dest_world_rank)].get()
+          : nullptr;
+  if (ch == nullptr) {
+    SocketTransport::send(dest_world_rank, std::move(msg));
+    return;
+  }
+  const std::size_t payload_bytes = msg.payload.size();
+  ch->send_message(msg);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(sizeof(FrameHeader) + payload_bytes,
+                        std::memory_order_relaxed);
+}
+
+void HybridTransport::shm_reader_loop(int peer) {
+  ShmChannel* ch = channels_[static_cast<std::size_t>(peer)].get();
+  const std::string what = "shm recv from rank " + std::to_string(peer);
+  try {
+    Message m;
+    while (ch->recv_message(m)) {
+      if (m.source != peer)
+        throw TransportError(what + ": frame claims source rank " +
+                             std::to_string(m.source));
+      messages_received_.fetch_add(1, std::memory_order_relaxed);
+      bytes_received_.fetch_add(sizeof(FrameHeader) + m.payload.size(),
+                                std::memory_order_relaxed);
+      inbox_.push(std::move(m));
+    }
+    stream_closed(peer);  // clean shm end-of-stream
+  } catch (const pac::Error& e) {
+    // Ring corrupt or peer dead: wake anything parked on the ring, poison
+    // the mailbox, and close the source outright (no countdown — there is
+    // no healthy stream left to wait for).
+    ch->fail(e.what());
+    inbox_.fail(e.what());
+    inbox_.mark_source_closed(peer);
+  }
+}
+
+void HybridTransport::stream_closed(int peer) {
+  if (open_streams_[static_cast<std::size_t>(peer)].fetch_sub(
+          1, std::memory_order_acq_rel) == 1)
+    SocketTransport::on_peer_shutdown(peer);
+}
+
+void HybridTransport::on_peer_shutdown(int peer) { stream_closed(peer); }
+
+void HybridTransport::on_peer_death(int peer, const std::string& reason) {
+  // The socket noticed the death (EOF / bad frame).  Fail the shm channel
+  // first so a sender blocked on a full ring — or our shm reader parked on
+  // an empty one — wakes and throws instead of waiting out the futex
+  // timeout; then let the base poison the mailbox.
+  ShmChannel* ch = channels_[static_cast<std::size_t>(peer)].get();
+  if (ch != nullptr) ch->fail(reason);
+  SocketTransport::on_peer_death(peer, reason);
+}
+
+bool HybridTransport::routes_shm(int rank) const noexcept {
+  return rank >= 0 && rank < opts_.size &&
+         channels_[static_cast<std::size_t>(rank)] != nullptr;
+}
+
+TransportStats HybridTransport::stats() const noexcept {
+  TransportStats s = SocketTransport::stats();
+  for (const auto& ch : channels_) {
+    if (ch == nullptr) continue;
+    const ShmChannelStats cs = ch->stats();
+    s.shm_messages_sent += cs.frames_sent;
+    s.shm_bytes_sent += cs.bytes_sent;
+    s.shm_messages_received += cs.frames_received;
+    s.shm_bytes_received += cs.bytes_received;
+    s.shm_wakeups += cs.wakeups_sent;
+    s.shm_waits += cs.waits;
+    ++s.shm_peers;
+  }
+  return s;
+}
+
+}  // namespace pac::mp::transport

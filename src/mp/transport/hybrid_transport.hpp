@@ -1,0 +1,82 @@
+// HybridTransport: same-host rank pairs over shared-memory SPSC rings,
+// cross-host pairs over the socket mesh.
+//
+// The hybrid backend IS a SocketTransport — the full mesh is always formed
+// (rendezvous, handshake, reader threads), because the sockets remain the
+// control plane: rendezvous, peer-death detection (EOF), and the shutdown
+// countdown all ride on them.  On top of that, each peer whose rendezvous
+// host token matches ours AND for whom the launcher supplied a segment fd
+// gets a ShmChannel; data frames to such peers bypass the socket entirely.
+//
+// Routing is decided once, per peer, at world bootstrap:
+//
+//     shm   iff  own token != 0  and  peer token == own token
+//                and a segment fd was provided for that peer
+//     socket otherwise (silently — a mixed-host world just works)
+//
+// Each shm peer therefore has TWO ordered streams and the clean-close
+// protocol counts both: the destructor sends a shutdown frame down each
+// stream, and a peer is marked closed in the mailbox only after both its
+// socket stream and its shm stream have delivered end-of-stream.  Peer
+// death is detected on the socket (EOF without shutdown) and propagated to
+// the shm channel with fail(), which wakes any sender/receiver parked on a
+// futex in the ring.
+//
+// Determinism: the shm path carries the exact same FrameHeader+payload
+// frames, per-peer sequence numbers, and Mailbox matching as the socket
+// path, so collectives and everything above them are bit-identical across
+// in-process, socket, and hybrid backends (DESIGN.md §9).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mp/transport/shm_ring.hpp"
+#include "mp/transport/socket_transport.hpp"
+
+namespace pac::mp::transport {
+
+struct HybridOptions {
+  SocketOptions socket;
+  /// Segment fds keyed by peer world rank, as handed down by pac_launch
+  /// (PACNET_SHM_FDS) or a test harness.  Ownership transfers to the
+  /// transport.  Peers without an entry use the socket.
+  std::vector<std::pair<int, int>> shm_fds;
+  /// Spin iterations before a ring waiter parks on its futex
+  /// (0 = kDefaultShmSpin).
+  std::uint32_t shm_spin = 0;
+};
+
+class HybridTransport final : public SocketTransport {
+ public:
+  /// Forms the socket mesh, then attaches one ShmChannel per same-host
+  /// peer.  Fds in `options.shm_fds` are consumed (closed) even on error.
+  explicit HybridTransport(HybridOptions options);
+  ~HybridTransport() override;
+
+  const char* name() const noexcept override { return "hybrid"; }
+
+  void send(int dest_world_rank, Message msg) override;
+  TransportStats stats() const noexcept override;
+
+  /// True if data frames to `rank` travel over a shared-memory ring.
+  bool routes_shm(int rank) const noexcept;
+
+ protected:
+  void on_peer_shutdown(int peer) override;
+  void on_peer_death(int peer, const std::string& reason) override;
+
+ private:
+  void shm_reader_loop(int peer);
+  /// One stream of `peer` reached clean end-of-stream; the peer is marked
+  /// closed once all its streams (2 for shm peers, 1 otherwise) have.
+  void stream_closed(int peer);
+
+  std::vector<std::unique_ptr<ShmChannel>> channels_;  // by world rank
+  // Remaining open streams per peer (2 socket+shm, 1 socket-only).
+  std::unique_ptr<std::atomic<int>[]> open_streams_;
+  std::vector<std::thread> shm_readers_;
+};
+
+}  // namespace pac::mp::transport

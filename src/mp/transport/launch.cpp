@@ -1,6 +1,7 @@
 #include "mp/transport/launch.hpp"
 
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -11,10 +12,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <random>
 #include <sstream>
 #include <thread>
 
 #include "mp/status.hpp"
+#include "mp/transport/shm_ring.hpp"
 
 namespace pac::mp::transport {
 
@@ -105,6 +108,40 @@ void reap_stragglers(std::map<pid_t, int>& rank_of,
   }
 }
 
+/// Tuning variables forwarded explicitly from the launcher's environment to
+/// every rank, so a rank's kernel configuration is pinned at launch time
+/// rather than depending on whatever exec happens to inherit.
+constexpr const char* kForwardedEnv[] = {"PAC_SIMD", "PAC_EM_THREADS",
+                                         "PAC_FAST_MATH"};
+
+/// Nonzero per-launch host identity: ranks of one launch share a host by
+/// construction, so one token for all of them is exactly right.
+std::uint64_t mint_host_token() {
+  std::random_device rd;
+  std::uint64_t token =
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      (static_cast<std::uint64_t>(rd()) << 16) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  if (token == 0) token = 1;
+  return token;
+}
+
+/// Hybrid launches hold one segment fd per rank pair until the forks are
+/// done; fail early with a real diagnosis instead of a mid-launch EMFILE.
+void check_fd_budget(int nprocs) {
+  struct rlimit rl {};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  const std::uint64_t pairs = static_cast<std::uint64_t>(nprocs) *
+                              (static_cast<std::uint64_t>(nprocs) - 1) / 2;
+  if (rl.rlim_cur != RLIM_INFINITY && pairs + 64 > rl.rlim_cur)
+    throw TransportError(
+        "pac_launch: hybrid backend needs " + std::to_string(pairs) +
+        " shm segment fds for " + std::to_string(nprocs) +
+        " ranks but RLIMIT_NOFILE is " + std::to_string(rl.rlim_cur) +
+        "; raise the limit (ulimit -n) or use --backend socket");
+}
+
 }  // namespace
 
 LaunchResult launch(const std::vector<std::string>& command,
@@ -114,6 +151,10 @@ LaunchResult launch(const std::vector<std::string>& command,
   if (options.nprocs < 1 || options.nprocs > 1024)
     throw TransportError("pac_launch: nprocs must be in [1, 1024], got " +
                          std::to_string(options.nprocs));
+  const bool hybrid = options.backend == "hybrid";
+  if (!hybrid && options.backend != "socket" && !options.backend.empty())
+    throw TransportError("pac_launch: unknown backend '" + options.backend +
+                         "' (want socket or hybrid)");
 
   std::string address = options.address;
   bool generated_unix = false;
@@ -127,6 +168,62 @@ LaunchResult launch(const std::vector<std::string>& command,
   for (const std::string& a : command)
     argv.push_back(const_cast<char*>(a.c_str()));
   argv.push_back(nullptr);
+
+  // Snapshot the forwarded tuning variables once, in the parent, so every
+  // rank sees the same values even if the environment changes mid-launch.
+  std::vector<std::pair<std::string, std::string>> forwarded;
+  for (const char* name : kForwardedEnv)
+    if (const char* value = std::getenv(name); value != nullptr)
+      forwarded.emplace_back(name, value);
+
+  // Hybrid: one shm segment per rank pair, created before the first fork so
+  // every child inherits the fds (memfds are created without close-on-exec
+  // and fd numbers survive fork+exec).  Each child keeps only its own
+  // pairs' fds and closes the rest; the parent closes all of them once the
+  // forks are done.
+  std::uint64_t host_token = 0;
+  std::vector<std::pair<std::pair<int, int>, Fd>> segments;
+  std::vector<std::string> shm_spec(
+      static_cast<std::size_t>(options.nprocs));
+  if (hybrid) {
+    host_token = mint_host_token();
+    check_fd_budget(options.nprocs);
+    const std::size_t ring = options.shm_ring_bytes != 0
+                                 ? options.shm_ring_bytes
+                                 : kDefaultShmRingBytes;
+    for (int i = 0; i < options.nprocs; ++i) {
+      for (int j = i + 1; j < options.nprocs; ++j) {
+        Fd seg = ShmChannel::create_segment(ring);
+        const std::string fd_text = std::to_string(seg.get());
+        auto& spec_i = shm_spec[static_cast<std::size_t>(i)];
+        auto& spec_j = shm_spec[static_cast<std::size_t>(j)];
+        if (!spec_i.empty()) spec_i += ',';
+        spec_i += std::to_string(j) + ':' + fd_text;
+        if (!spec_j.empty()) spec_j += ',';
+        spec_j += std::to_string(i) + ':' + fd_text;
+        segments.emplace_back(std::make_pair(i, j), std::move(seg));
+      }
+    }
+  }
+
+  if (options.verbose && options.show_env) {
+    for (int rank = 0; rank < options.nprocs; ++rank) {
+      std::ostringstream os;
+      os << "pac_launch: rank " << rank << " env:"
+         << " PACNET_RANK=" << rank << " PACNET_SIZE=" << options.nprocs
+         << " PACNET_ADDR=" << address;
+      if (hybrid) {
+        os << " PACNET_BACKEND=hybrid PACNET_HOST_TOKEN=" << host_token
+           << " PACNET_SHM_FDS="
+           << shm_spec[static_cast<std::size_t>(rank)];
+      }
+      for (const auto& [name, value] : forwarded)
+        os << ' ' << name << '=' << value;
+      for (const auto& [name, value] : options.extra_env)
+        os << ' ' << name << '=' << value;
+      std::fprintf(stderr, "%s\n", os.str().c_str());
+    }
+  }
 
   std::map<pid_t, int> rank_of;
   for (int rank = 0; rank < options.nprocs; ++rank) {
@@ -143,6 +240,18 @@ LaunchResult launch(const std::vector<std::string>& command,
       ::setenv("PACNET_RANK", std::to_string(rank).c_str(), 1);
       ::setenv("PACNET_SIZE", std::to_string(options.nprocs).c_str(), 1);
       ::setenv("PACNET_ADDR", address.c_str(), 1);
+      if (hybrid) {
+        ::setenv("PACNET_BACKEND", "hybrid", 1);
+        ::setenv("PACNET_HOST_TOKEN", std::to_string(host_token).c_str(), 1);
+        ::setenv("PACNET_SHM_FDS",
+                 shm_spec[static_cast<std::size_t>(rank)].c_str(), 1);
+        // Keep only this rank's pair segments; the rest belong to other
+        // pairs and must not leak into the exec'd image.
+        for (const auto& [pair, fd] : segments)
+          if (pair.first != rank && pair.second != rank) ::close(fd.get());
+      }
+      for (const auto& [name, value] : forwarded)
+        ::setenv(name.c_str(), value.c_str(), 1);
       for (const auto& [name, value] : options.extra_env)
         ::setenv(name.c_str(), value.c_str(), 1);
       ::execvp(argv[0], argv.data());
@@ -152,6 +261,9 @@ LaunchResult launch(const std::vector<std::string>& command,
     }
     rank_of.emplace(pid, rank);
   }
+  // Every child inherited the fds it needs; drop the parent's references so
+  // segment memory is owned by the ranks alone from here on.
+  segments.clear();
 
   LaunchResult result;
   const ScopedInterruptGuard interrupt_guard;

@@ -31,6 +31,18 @@ struct LaunchOptions {
   std::vector<std::pair<std::string, std::string>> extra_env;
   /// Print per-rank failure diagnostics to stderr.
   bool verbose = true;
+  /// Transport backend: "socket" (the default mesh) or "hybrid" (same-host
+  /// rank pairs over shared-memory rings).  All ranks of one launch share a
+  /// host, so with "hybrid" the launcher creates one memfd segment per rank
+  /// pair before forking, passes the inherited fds via PACNET_SHM_FDS, and
+  /// mints a per-launch PACNET_HOST_TOKEN.
+  std::string backend = "socket";
+  /// Per-direction shm ring capacity in bytes (0 = kDefaultShmRingBytes);
+  /// only meaningful with backend "hybrid".
+  std::size_t shm_ring_bytes = 0;
+  /// With verbose: print every rank's resolved environment (PACNET_* plus
+  /// the forwarded PAC_* tuning variables) before the ranks start.
+  bool show_env = false;
 };
 
 /// Result of a launch: the shell-style exit status plus which rank failed

@@ -1,0 +1,395 @@
+#include "mp/transport/shm_ring.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#else
+#include <chrono>
+#endif
+
+namespace pac::mp::transport {
+
+namespace {
+
+constexpr std::uint32_t kShmMagic = 0x70616353;  // "pacS"
+constexpr std::uint32_t kShmVersion = 1;
+constexpr std::size_t kHeaderBytes = 64;
+
+struct SegmentHeader {
+  std::uint32_t magic = kShmMagic;
+  std::uint32_t version = kShmVersion;
+  std::uint64_t ring_bytes = 0;
+};
+static_assert(sizeof(SegmentHeader) <= kHeaderBytes);
+
+std::string errno_text(int err) {
+  char buf[256] = {};
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  strerror_r(err, buf, sizeof(buf));
+  return std::string(buf);
+#endif
+}
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Park on `word` while it still holds `expected`.  Bounded by a 100 ms
+/// timeout so a waiter orphaned by a dead peer re-checks the failed flag
+/// even if nobody ever wakes it.  The futex is process-shared (the word
+/// lives in the mmap'd segment), so no FUTEX_PRIVATE_FLAG.
+void futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected) {
+#ifdef __linux__
+  timespec timeout{};
+  timeout.tv_nsec = 100 * 1000 * 1000;
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAIT,
+            expected, &timeout, nullptr, 0);
+#else
+  if (word->load(std::memory_order_seq_cst) == expected)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+#endif
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>* word) {
+#ifdef __linux__
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE,
+            INT_MAX, nullptr, nullptr, 0);
+#else
+  (void)word;  // sleep-poll fallback needs no wake
+#endif
+}
+
+}  // namespace
+
+/// Producer/consumer state of one ring direction, laid out in the shared
+/// mapping.  head/tail get their own cache lines so the producer's store
+/// stream never bounces the consumer's; the wakeup words share a third.
+struct alignas(64) ShmChannel::RingControl {
+  std::atomic<std::uint64_t> head{0};  // bytes ever produced
+  char pad0[56];
+  std::atomic<std::uint64_t> tail{0};  // bytes ever consumed
+  char pad1[56];
+  std::atomic<std::uint32_t> data_seq{0};    // futex word: bumped on publish
+  std::atomic<std::uint32_t> space_seq{0};   // futex word: bumped on consume
+  std::atomic<std::uint32_t> consumer_waiting{0};
+  std::atomic<std::uint32_t> producer_waiting{0};
+  std::atomic<std::uint32_t> failed{0};
+  char pad2[44];
+};
+
+std::size_t ShmChannel::segment_bytes(std::size_t ring_bytes) {
+  static_assert(sizeof(RingControl) == 192);
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+  static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+  return kHeaderBytes + 2 * (sizeof(RingControl) + ring_bytes);
+}
+
+Fd ShmChannel::create_segment(std::size_t ring_bytes) {
+  ring_bytes = (ring_bytes + 63) & ~std::size_t{63};
+  if (ring_bytes < kMinShmRingBytes || ring_bytes > kMaxShmRingBytes)
+    throw TransportError("shm ring size " + std::to_string(ring_bytes) +
+                         " out of range [" + std::to_string(kMinShmRingBytes) +
+                         ", " + std::to_string(kMaxShmRingBytes) + "]");
+#ifdef __linux__
+  // No MFD_CLOEXEC: pac_launch's rank children must inherit the fd across
+  // fork + execvp (the launcher closes its own copies after forking).
+  Fd fd(static_cast<int>(::syscall(SYS_memfd_create, "pacnet-shm", 0u)));
+  if (!fd.valid())
+    throw TransportError("memfd_create failed: " + errno_text(errno));
+#else
+  char path[] = "/tmp/pacnet-shm-XXXXXX";
+  Fd fd(::mkstemp(path));
+  if (!fd.valid())
+    throw TransportError("mkstemp failed: " + errno_text(errno));
+  ::unlink(path);
+#endif
+  const std::size_t total = segment_bytes(ring_bytes);
+  if (::ftruncate(fd.get(), static_cast<off_t>(total)) != 0)
+    throw TransportError("shm segment ftruncate(" + std::to_string(total) +
+                         ") failed: " + errno_text(errno));
+  void* map = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd.get(), 0);
+  if (map == MAP_FAILED)
+    throw TransportError("shm segment mmap failed: " + errno_text(errno));
+  auto* base = static_cast<std::byte*>(map);
+  auto* header = new (base) SegmentHeader;
+  header->ring_bytes = ring_bytes;
+  const std::size_t stride = sizeof(RingControl) + ring_bytes;
+  new (base + kHeaderBytes) RingControl;
+  new (base + kHeaderBytes + stride) RingControl;
+  ::munmap(map, total);
+  return fd;
+}
+
+ShmChannel::ShmChannel(Fd fd, bool lower, const ShmChannelOptions& options,
+                       std::string label)
+    : opts_(options), label_(std::move(label)) {
+  if (opts_.spin_iters == kShmSpinAuto)
+    opts_.spin_iters =
+        std::thread::hardware_concurrency() > 1 ? kDefaultShmSpin : 0;
+  if (!fd.valid())
+    throw TransportError(label_ + ": invalid shm segment descriptor");
+  attach(fd.get());
+  const std::size_t stride = sizeof(RingControl) + ring_bytes_;
+  auto* base = static_cast<std::byte*>(map_);
+  auto ctrl = [&](int i) {
+    return reinterpret_cast<RingControl*>(base + kHeaderBytes +
+                                          static_cast<std::size_t>(i) * stride);
+  };
+  auto data = [&](int i) {
+    return base + kHeaderBytes + static_cast<std::size_t>(i) * stride +
+           sizeof(RingControl);
+  };
+  // Ring 0: lower rank -> higher rank; ring 1: the reverse.
+  send_ctrl_ = ctrl(lower ? 0 : 1);
+  send_data_ = data(lower ? 0 : 1);
+  recv_ctrl_ = ctrl(lower ? 1 : 0);
+  recv_data_ = data(lower ? 1 : 0);
+  // `fd` closes here; the mapping keeps the segment alive.
+}
+
+void ShmChannel::attach(int fd) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0)
+    throw TransportError(label_ + ": fstat on shm segment failed: " +
+                         errno_text(errno));
+  const auto total = static_cast<std::size_t>(st.st_size);
+  if (total < segment_bytes(kMinShmRingBytes))
+    throw TransportError(label_ + ": shm segment too small (" +
+                         std::to_string(st.st_size) + " bytes)");
+  void* map = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED)
+    throw TransportError(label_ + ": shm segment mmap failed: " +
+                         errno_text(errno));
+  const auto* header = static_cast<const SegmentHeader*>(map);
+  if (header->magic != kShmMagic || header->version != kShmVersion ||
+      header->ring_bytes < kMinShmRingBytes ||
+      segment_bytes(header->ring_bytes) != total) {
+    ::munmap(map, total);
+    throw TransportError(label_ + ": not a pacnet shm segment (bad header)");
+  }
+  map_ = map;
+  map_bytes_ = total;
+  ring_bytes_ = static_cast<std::size_t>(header->ring_bytes);
+}
+
+ShmChannel::~ShmChannel() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+void ShmChannel::throw_failed() const {
+  std::lock_guard<std::mutex> lock(fail_mutex_);
+  throw TransportError(fail_reason_.empty()
+                           ? label_ + ": shm channel failed (peer reported "
+                                      "a transport failure)"
+                           : fail_reason_);
+}
+
+void ShmChannel::check_failed(const RingControl* c) const {
+  if (c->failed.load(std::memory_order_acquire) != 0) throw_failed();
+}
+
+bool ShmChannel::failed() const noexcept {
+  return send_ctrl_->failed.load(std::memory_order_acquire) != 0;
+}
+
+void ShmChannel::fail(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(fail_mutex_);
+    if (fail_reason_.empty())
+      fail_reason_ = label_ + ": shm channel failed: " + reason;
+  }
+  for (RingControl* c : {send_ctrl_, recv_ctrl_}) {
+    c->failed.store(1, std::memory_order_seq_cst);
+    // Bump both futex words so any wait armed against the old values
+    // returns immediately, then wake current sleepers on both sides.
+    c->data_seq.fetch_add(1, std::memory_order_seq_cst);
+    c->space_seq.fetch_add(1, std::memory_order_seq_cst);
+    futex_wake_all(&c->data_seq);
+    futex_wake_all(&c->space_seq);
+  }
+}
+
+void ShmChannel::wait_for_space(RingControl* c, std::uint64_t head) {
+  const std::size_t cap = ring_bytes_;
+  for (std::uint32_t i = 0; i < opts_.spin_iters; ++i) {
+    check_failed(c);
+    if (head - c->tail.load(std::memory_order_acquire) < cap) return;
+    cpu_relax();
+  }
+  waits_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    check_failed(c);
+    const std::uint32_t seen = c->space_seq.load(std::memory_order_seq_cst);
+    if (head - c->tail.load(std::memory_order_acquire) < cap) return;
+    c->producer_waiting.store(1, std::memory_order_seq_cst);
+    // Re-check after advertising: the consumer may have freed space (or
+    // the channel failed) between our check and the store, in which case
+    // its wake may already be spent.
+    if (head - c->tail.load(std::memory_order_seq_cst) < cap ||
+        c->failed.load(std::memory_order_seq_cst) != 0)
+      continue;
+    futex_wait(&c->space_seq, seen);
+  }
+}
+
+void ShmChannel::wait_for_data(RingControl* c, std::uint64_t tail) {
+  for (std::uint32_t i = 0; i < opts_.spin_iters; ++i) {
+    check_failed(c);
+    if (c->head.load(std::memory_order_acquire) != tail) return;
+    cpu_relax();
+  }
+  waits_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    check_failed(c);
+    const std::uint32_t seen = c->data_seq.load(std::memory_order_seq_cst);
+    if (c->head.load(std::memory_order_acquire) != tail) return;
+    c->consumer_waiting.store(1, std::memory_order_seq_cst);
+    if (c->head.load(std::memory_order_seq_cst) != tail ||
+        c->failed.load(std::memory_order_seq_cst) != 0)
+      continue;
+    futex_wait(&c->data_seq, seen);
+  }
+}
+
+void ShmChannel::write_bytes(const void* src_v, std::size_t n) {
+  RingControl* c = send_ctrl_;
+  const std::size_t cap = ring_bytes_;
+  const auto* src = static_cast<const std::byte*>(src_v);
+  std::uint64_t head = c->head.load(std::memory_order_relaxed);
+  std::size_t left = n;
+  while (left > 0) {
+    check_failed(c);
+    const std::uint64_t tail = c->tail.load(std::memory_order_acquire);
+    const std::size_t space = cap - static_cast<std::size_t>(head - tail);
+    if (space == 0) {
+      wait_for_space(c, head);
+      continue;
+    }
+    const std::size_t chunk = left < space ? left : space;
+    const std::size_t pos = static_cast<std::size_t>(head % cap);
+    const std::size_t first = chunk < cap - pos ? chunk : cap - pos;
+    std::memcpy(send_data_ + pos, src, first);
+    if (chunk > first) std::memcpy(send_data_, src + first, chunk - first);
+    head += chunk;
+    c->head.store(head, std::memory_order_release);
+    c->data_seq.fetch_add(1, std::memory_order_seq_cst);
+    if (c->consumer_waiting.exchange(0, std::memory_order_seq_cst) != 0) {
+      wakeups_sent_.fetch_add(1, std::memory_order_relaxed);
+      futex_wake_all(&c->data_seq);
+    }
+    src += chunk;
+    left -= chunk;
+  }
+}
+
+void ShmChannel::read_bytes(void* dst_v, std::size_t n) {
+  RingControl* c = recv_ctrl_;
+  const std::size_t cap = ring_bytes_;
+  auto* dst = static_cast<std::byte*>(dst_v);
+  std::uint64_t tail = c->tail.load(std::memory_order_relaxed);
+  std::size_t left = n;
+  while (left > 0) {
+    check_failed(c);
+    const std::uint64_t head = c->head.load(std::memory_order_acquire);
+    const std::size_t avail = static_cast<std::size_t>(head - tail);
+    if (avail == 0) {
+      wait_for_data(c, tail);
+      continue;
+    }
+    const std::size_t chunk = left < avail ? left : avail;
+    const std::size_t pos = static_cast<std::size_t>(tail % cap);
+    const std::size_t first = chunk < cap - pos ? chunk : cap - pos;
+    std::memcpy(dst, recv_data_ + pos, first);
+    if (chunk > first) std::memcpy(dst + first, recv_data_, chunk - first);
+    tail += chunk;
+    c->tail.store(tail, std::memory_order_release);
+    c->space_seq.fetch_add(1, std::memory_order_seq_cst);
+    if (c->producer_waiting.exchange(0, std::memory_order_seq_cst) != 0) {
+      wakeups_sent_.fetch_add(1, std::memory_order_relaxed);
+      futex_wake_all(&c->space_seq);
+    }
+    dst += chunk;
+    left -= chunk;
+  }
+}
+
+void ShmChannel::send_message(const Message& msg) {
+  FrameHeader h;
+  h.kind = kFrameData;
+  h.context = msg.context;
+  h.source = msg.source;
+  h.tag = msg.tag;
+  h.nbytes = msg.payload.size();
+  const FrameLimits limits{opts_.max_frame_payload, true};
+  validate_frame_header(h, limits, label_);
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  h.seq = send_seq_++;
+  write_bytes(&h, sizeof(h));
+  if (!msg.payload.empty()) write_bytes(msg.payload.data(), msg.payload.size());
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(sizeof(h) + msg.payload.size(),
+                        std::memory_order_relaxed);
+}
+
+void ShmChannel::send_shutdown() {
+  FrameHeader h;
+  h.kind = kFrameShutdown;
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  h.seq = send_seq_++;
+  write_bytes(&h, sizeof(h));
+}
+
+bool ShmChannel::recv_message(Message& out) {
+  FrameHeader h;
+  read_bytes(&h, sizeof(h));
+  const FrameLimits limits{opts_.max_frame_payload, true};
+  validate_frame_header(h, limits, label_);
+  if (h.seq != recv_expected_)
+    throw TransportError(label_ + ": sequence gap (expected " +
+                         std::to_string(recv_expected_) + ", got " +
+                         std::to_string(h.seq) + ") — ring corrupt");
+  ++recv_expected_;
+  if (h.kind == kFrameShutdown) return false;
+  out.context = h.context;
+  out.source = h.source;
+  out.tag = h.tag;
+  out.send_time = 0.0;
+  out.payload.resize(static_cast<std::size_t>(h.nbytes));
+  if (h.nbytes > 0)
+    read_bytes(out.payload.data(), static_cast<std::size_t>(h.nbytes));
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  bytes_received_.fetch_add(sizeof(h) + h.nbytes, std::memory_order_relaxed);
+  return true;
+}
+
+ShmChannelStats ShmChannel::stats() const noexcept {
+  ShmChannelStats s;
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.wakeups_sent = wakeups_sent_.load(std::memory_order_relaxed);
+  s.waits = waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pac::mp::transport

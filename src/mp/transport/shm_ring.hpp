@@ -1,0 +1,159 @@
+// Shared-memory SPSC ring channel for the pacnet hybrid backend.
+//
+// One memfd segment per same-host rank pair, created by pac_launch before
+// fork (or by a test harness) and mmap'd by both ends:
+//
+//   [ SegmentHeader | RingControl 0 | data 0 | RingControl 1 | data 1 ]
+//
+// Ring 0 carries lower-rank -> higher-rank traffic, ring 1 the reverse, so
+// each ring has exactly one producer and one consumer process.  A ring is a
+// fixed-capacity ordered byte stream: `head` counts bytes ever produced,
+// `tail` bytes ever consumed (free-running 64-bit, position = counter mod
+// capacity), and frames are the same 40-byte FrameHeader + payload layout
+// the socket mesh uses (mp/transport/frame.hpp) written into the stream.
+//
+// Because the stream is ordered and flow-controlled, large frames need no
+// extra chunk headers: the producer streams the payload through the ring in
+// capacity-sized chunks as the consumer frees space (the "chained-chunk"
+// protocol), so a frame larger than the ring works — throughput degrades to
+// ping-ponging chunks, correctness is unaffected.
+//
+// Wakeup is spin-then-sleep: the hot path spins `spin_iters` times on the
+// peer's counter (by default 4096 iterations on multi-core hosts, 0 on a
+// single-core host where spinning starves the peer), then parks on a futex
+// word (`data_seq` for consumers,
+// `space_seq` for producers) that the other side bumps after every publish
+// or consume.  Waiters advertise themselves in consumer_waiting /
+// producer_waiting so the fast path pays one relaxed load, not a syscall.
+// Futex waits use a 100 ms timeout as a backstop: a peer that dies while
+// we are parked cannot wake us, but the socket mesh notices the death (EOF)
+// and calls fail(), which every wait loop re-checks on wake.  Non-Linux
+// builds fall back to short sleeps instead of futexes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "mp/mailbox.hpp"
+#include "mp/transport/frame.hpp"
+#include "mp/transport/socket.hpp"
+
+namespace pac::mp::transport {
+
+/// Per-direction ring capacity default; pac_launch --shm-ring / the
+/// PACNET_SHM_RING environment variable override it.
+inline constexpr std::size_t kDefaultShmRingBytes = std::size_t{1} << 20;
+inline constexpr std::size_t kMinShmRingBytes = 1024;
+inline constexpr std::size_t kMaxShmRingBytes = std::size_t{1} << 30;
+
+/// Spin iterations before parking on the futex (PACNET_SHM_SPIN overrides).
+inline constexpr std::uint32_t kDefaultShmSpin = 4096;
+
+/// `spin_iters` sentinel: resolve at construction to kDefaultShmSpin on
+/// multi-core hosts and 0 on single-core ones, where spinning only starves
+/// the peer out of the one CPU it needs to make progress.
+inline constexpr std::uint32_t kShmSpinAuto = ~std::uint32_t{0};
+
+struct ShmChannelOptions {
+  std::uint64_t max_frame_payload = kDefaultMaxFramePayload;
+  std::uint32_t spin_iters = kShmSpinAuto;
+};
+
+/// Process-local traffic counters of one channel (this end's view).
+struct ShmChannelStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;  // headers + payloads
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t wakeups_sent = 0;  // futex wakes issued to the peer
+  std::uint64_t waits = 0;         // times a spin gave up and parked
+};
+
+/// Both directions of one rank pair's segment, as seen from one end.
+class ShmChannel {
+ public:
+  /// Total segment size for a given per-direction ring capacity.
+  static std::size_t segment_bytes(std::size_t ring_bytes);
+
+  /// Create and initialize a fresh segment (memfd on Linux, an unlinked
+  /// temp file elsewhere) sized for `ring_bytes` per direction.  The fd is
+  /// inheritable across fork/exec (no close-on-exec flag).  `ring_bytes`
+  /// is rounded up to a multiple of 64 and must land in
+  /// [kMinShmRingBytes, kMaxShmRingBytes].
+  static Fd create_segment(std::size_t ring_bytes);
+
+  /// Attach one end.  `lower` selects the direction convention: the lower
+  /// world rank of the pair sends on ring 0 and receives on ring 1.  Takes
+  /// ownership of `fd` (closed once the mapping is established — the
+  /// mapping keeps the segment alive).  Throws TransportError if the
+  /// segment fails validation (wrong magic/version, truncated file).
+  ShmChannel(Fd fd, bool lower, const ShmChannelOptions& options,
+             std::string label);
+  ~ShmChannel();
+
+  ShmChannel(const ShmChannel&) = delete;
+  ShmChannel& operator=(const ShmChannel&) = delete;
+
+  /// Write `msg` as one data frame (blocking while the ring is full).
+  /// Sequence numbers are assigned internally; concurrent senders are
+  /// serialized.  Throws FrameError if the payload exceeds
+  /// max_frame_payload, TransportError if the channel has failed.
+  void send_message(const Message& msg);
+
+  /// Write the clean end-of-stream marker.
+  void send_shutdown();
+
+  /// Read the next frame (blocking while the ring is empty).  Returns
+  /// false on a clean shutdown frame.  Throws TransportError on sequence
+  /// gaps, malformed frames, or channel failure.
+  bool recv_message(Message& out);
+
+  /// Mark both directions failed and wake every parked waiter (ours and
+  /// the peer's).  Called when the socket mesh detects the peer's death;
+  /// every blocked or future send/recv on either end throws.
+  void fail(const std::string& reason);
+
+  bool failed() const noexcept;
+
+  std::size_t ring_bytes() const noexcept { return ring_bytes_; }
+  ShmChannelStats stats() const noexcept;
+
+ private:
+  struct RingControl;
+
+  void attach(int fd);
+  void write_bytes(const void* src, std::size_t n);
+  void read_bytes(void* dst, std::size_t n);
+  void wait_for_space(RingControl* c, std::uint64_t head);
+  void wait_for_data(RingControl* c, std::uint64_t tail);
+  [[noreturn]] void throw_failed() const;
+  void check_failed(const RingControl* c) const;
+
+  ShmChannelOptions opts_;
+  std::string label_;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t ring_bytes_ = 0;
+  RingControl* send_ctrl_ = nullptr;
+  std::byte* send_data_ = nullptr;
+  RingControl* recv_ctrl_ = nullptr;
+  std::byte* recv_data_ = nullptr;
+
+  std::mutex send_mutex_;
+  std::uint64_t send_seq_ = 0;        // guarded by send_mutex_
+  std::uint64_t recv_expected_ = 0;   // single consumer thread
+  mutable std::mutex fail_mutex_;
+  std::string fail_reason_;           // guarded by fail_mutex_
+
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> wakeups_sent_{0};
+  std::atomic<std::uint64_t> waits_{0};
+};
+
+}  // namespace pac::mp::transport

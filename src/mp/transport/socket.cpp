@@ -175,8 +175,7 @@ Fd connect_to(const Endpoint& ep, double timeout_seconds) {
         Fd fd(::socket(a->ai_family, a->ai_socktype, a->ai_protocol));
         if (!fd.valid()) continue;
         if (::connect(fd.get(), a->ai_addr, a->ai_addrlen) == 0) {
-          const int one = 1;
-          ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          set_nodelay(fd, true);
           return fd;
         }
         last_error = errno_text(errno);
@@ -195,13 +194,18 @@ Fd accept_from(const Fd& listener) {
     const int fd = ::accept(listener.get(), nullptr, nullptr);
     if (fd >= 0) {
       Fd out(fd);
-      const int one = 1;
-      ::setsockopt(out.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      set_nodelay(out, true);
       return out;
     }
     if (errno == EINTR) continue;
     raise("accept failed: " + errno_text(errno));
   }
+}
+
+void set_nodelay(const Fd& fd, bool enable) noexcept {
+  const int flag = enable ? 1 : 0;
+  // Fails with ENOTSUP/EOPNOTSUPP on unix-domain sockets — by design.
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
 }
 
 void write_full(const Fd& fd, const void* data, std::size_t n,

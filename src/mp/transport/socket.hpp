@@ -68,6 +68,12 @@ Fd connect_to(const Endpoint& ep, double timeout_seconds);
 /// Accept one connection; throws on error.
 Fd accept_from(const Fd& listener);
 
+/// Set or clear TCP_NODELAY on a stream socket.  Small frames (barrier
+/// tokens, scalar reductions) must not sit in Nagle's coalescing buffer, so
+/// connect_to/accept_from enable it by default; SocketOptions::nodelay can
+/// turn it back off.  Silently a no-op for non-TCP sockets.
+void set_nodelay(const Fd& fd, bool enable) noexcept;
+
 /// Write exactly `n` bytes; loops over partial writes and EINTR.  Throws
 /// TransportError naming `what` on failure (EPIPE, ECONNRESET, ...).
 void write_full(const Fd& fd, const void* data, std::size_t n,

@@ -10,7 +10,9 @@ namespace pac::mp::transport {
 namespace {
 
 constexpr std::uint32_t kMagic = kFrameMagic;
-constexpr std::uint32_t kVersion = 1;
+// v2 added the host token to HelloFrame and the token table to the
+// rendezvous reply (hybrid same-host routing).
+constexpr std::uint32_t kVersion = 2;
 constexpr std::size_t kAddrBytes = 120;
 // Message frames (header layout, validation, payload-size hardening) live
 // in mp/transport/frame.{hpp,cpp}; this file keeps only the rendezvous
@@ -23,6 +25,7 @@ struct HelloFrame {
   std::int32_t rank = -1;
   std::int32_t size = 0;
   char listen_addr[kAddrBytes] = {};
+  std::uint64_t host_token = 0;
 };
 static_assert(std::is_trivially_copyable_v<HelloFrame>);
 
@@ -44,17 +47,26 @@ void copy_addr(char (&dst)[kAddrBytes], const std::string& addr) {
 }  // namespace
 
 SocketTransport::SocketTransport(const SocketOptions& options)
+    : SocketTransport(options, /*start_reader_threads=*/true) {}
+
+SocketTransport::SocketTransport(const SocketOptions& options,
+                                 bool start_reader_threads)
     : opts_(options) {
   if (opts_.size < 1 || opts_.rank < 0 || opts_.rank >= opts_.size)
     throw TransportError("invalid socket world: rank " +
                          std::to_string(opts_.rank) + " of " +
                          std::to_string(opts_.size));
   peers_.resize(static_cast<std::size_t>(opts_.size));
+  peer_tokens_.assign(static_cast<std::size_t>(opts_.size), 0);
   send_mutexes_.resize(static_cast<std::size_t>(opts_.size));
   for (auto& m : send_mutexes_) m = std::make_unique<std::mutex>();
   send_seq_.assign(static_cast<std::size_t>(opts_.size), 0);
   inbox_.set_expected_sources(opts_.size - 1);
   rendezvous();
+  if (start_reader_threads) start_readers();
+}
+
+void SocketTransport::start_readers() {
   readers_.reserve(static_cast<std::size_t>(opts_.size));
   for (int peer = 0; peer < opts_.size; ++peer) {
     if (peer == opts_.rank) continue;
@@ -66,6 +78,7 @@ void SocketTransport::rendezvous() {
   const Endpoint rv = parse_endpoint(opts_.address);
   const int p = opts_.size;
   const int rank = opts_.rank;
+  peer_tokens_[static_cast<std::size_t>(rank)] = opts_.host_token;
   if (p == 1) return;  // single-rank world: no peers, no listener
 
   // 1. Open this rank's listener.
@@ -84,8 +97,12 @@ void SocketTransport::rendezvous() {
   std::vector<std::string> table(static_cast<std::size_t>(p));
   table[0] = rank == 0 ? advertised : opts_.address;
 
+  // The rendezvous reply: p address entries followed by p host tokens.
+  const std::size_t wire_bytes = static_cast<std::size_t>(p) * kAddrBytes +
+                                 static_cast<std::size_t>(p) * sizeof(std::uint64_t);
+
   if (rank == 0) {
-    // 2/3. Collect hellos, then distribute the address table.
+    // 2/3. Collect hellos, then distribute the address + token tables.
     for (int i = 1; i < p; ++i) {
       Fd conn = accept_from(listener);
       HelloFrame hello;
@@ -114,15 +131,19 @@ void SocketTransport::rendezvous() {
                              std::to_string(hello.rank));
       hello.listen_addr[kAddrBytes - 1] = '\0';
       table[static_cast<std::size_t>(hello.rank)] = hello.listen_addr;
+      peer_tokens_[static_cast<std::size_t>(hello.rank)] = hello.host_token;
       slot = std::move(conn);
     }
-    std::vector<char> wire(static_cast<std::size_t>(p) * kAddrBytes, '\0');
+    std::vector<char> wire(wire_bytes, '\0');
     for (int r = 0; r < p; ++r) {
       char entry[kAddrBytes] = {};
       copy_addr(entry, table[static_cast<std::size_t>(r)]);
       std::memcpy(wire.data() + static_cast<std::size_t>(r) * kAddrBytes,
                   entry, kAddrBytes);
     }
+    std::memcpy(wire.data() + static_cast<std::size_t>(p) * kAddrBytes,
+                peer_tokens_.data(),
+                static_cast<std::size_t>(p) * sizeof(std::uint64_t));
     for (int r = 1; r < p; ++r)
       write_full(peers_[static_cast<std::size_t>(r)], wire.data(),
                  wire.size(), "rendezvous address table");
@@ -140,8 +161,9 @@ void SocketTransport::rendezvous() {
     hello.rank = rank;
     hello.size = p;
     copy_addr(hello.listen_addr, advertised);
+    hello.host_token = opts_.host_token;
     write_full(conn, &hello, sizeof(hello), "rendezvous hello");
-    std::vector<char> wire(static_cast<std::size_t>(p) * kAddrBytes);
+    std::vector<char> wire(wire_bytes);
     if (!read_full(conn, wire.data(), wire.size(),
                    "rendezvous address table"))
       throw TransportError(
@@ -153,6 +175,9 @@ void SocketTransport::rendezvous() {
       table[static_cast<std::size_t>(r)] =
           std::string(entry, strnlen(entry, kAddrBytes));
     }
+    std::memcpy(peer_tokens_.data(),
+                wire.data() + static_cast<std::size_t>(p) * kAddrBytes,
+                static_cast<std::size_t>(p) * sizeof(std::uint64_t));
     peers_[0] = std::move(conn);
 
     // 4. Complete the mesh: connect to every lower-ranked peer, accept
@@ -193,12 +218,27 @@ void SocketTransport::rendezvous() {
   }
   listener.close();
   cleanup_endpoint(listen_ep_);
+  // connect_to/accept_from enable TCP_NODELAY by default; honour an explicit
+  // opt-out (measurement / debugging) by clearing it on every peer stream.
+  if (!opts_.nodelay)
+    for (auto& fd : peers_)
+      if (fd.valid()) set_nodelay(fd, false);
 }
 
-SocketTransport::~SocketTransport() {
+std::uint64_t SocketTransport::peer_host_token(int rank) const noexcept {
+  if (rank < 0 || rank >= opts_.size) return 0;
+  return peer_tokens_[static_cast<std::size_t>(rank)];
+}
+
+SocketTransport::~SocketTransport() { shutdown_streams(); }
+
+void SocketTransport::shutdown_streams() noexcept {
   // Clean shutdown: tell every peer no more frames are coming, then wait
   // for their matching shutdown (the reader threads exit on it).  A peer
   // that died instead produces an EOF, which also ends its reader.
+  // Idempotent so a derived destructor can run it early, before its own
+  // members (and vtable) disappear.
+  if (streams_shut_.exchange(true)) return;
   for (int peer = 0; peer < opts_.size; ++peer) {
     if (peer == opts_.rank || !peers_[static_cast<std::size_t>(peer)].valid())
       continue;
@@ -210,6 +250,15 @@ SocketTransport::~SocketTransport() {
   }
   for (std::thread& t : readers_)
     if (t.joinable()) t.join();
+}
+
+void SocketTransport::on_peer_shutdown(int peer) {
+  inbox_.mark_source_closed(peer);
+}
+
+void SocketTransport::on_peer_death(int peer, const std::string& reason) {
+  inbox_.fail(reason);
+  inbox_.mark_source_closed(peer);
 }
 
 void SocketTransport::send_frame(int peer, std::uint32_t kind,
@@ -252,14 +301,14 @@ void SocketTransport::reader_loop(int peer) {
       Message m;
       if (!read_frame(peers_[idx], limits, h, m.payload, what)) {
         // EOF with no shutdown frame: the peer process died.
-        inbox_.fail("rank " + std::to_string(peer) +
-                    " closed its connection without shutdown (process "
-                    "died?)");
-        inbox_.mark_source_closed(peer);
+        on_peer_death(peer,
+                      "rank " + std::to_string(peer) +
+                          " closed its connection without shutdown (process "
+                          "died?)");
         return;
       }
       if (h.kind == kFrameShutdown) {
-        inbox_.mark_source_closed(peer);
+        on_peer_shutdown(peer);
         return;
       }
       if (h.source != peer)
@@ -281,8 +330,7 @@ void SocketTransport::reader_loop(int peer) {
       inbox_.push(std::move(m));
     }
   } catch (const TransportError& e) {
-    inbox_.fail(e.what());
-    inbox_.mark_source_closed(peer);
+    on_peer_death(peer, e.what());
   }
 }
 

@@ -10,6 +10,9 @@
 //   * SocketTransport    — ranks as separate OS processes exchanging
 //     length-prefixed frames over TCP or Unix-domain sockets (see
 //     socket_transport.hpp).  Wall-clock time.
+//   * HybridTransport    — SocketTransport whose same-host peers (matching
+//     host tokens from the rendezvous) exchange data frames over shared-
+//     memory SPSC rings instead of the socket (hybrid_transport.hpp).
 //
 // Comm's pt2pt core is written against this interface only; collectives on
 // the socket backend are layered on pt2pt (comm_dist.cpp) while the
@@ -32,6 +35,17 @@ struct TransportStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
+
+  // Per-route breakdown of the totals above, filled by the hybrid backend
+  // only: traffic that went over shared-memory rings rather than sockets.
+  // (socket traffic = totals minus the shm_* fields.)
+  std::uint64_t shm_messages_sent = 0;
+  std::uint64_t shm_bytes_sent = 0;
+  std::uint64_t shm_messages_received = 0;
+  std::uint64_t shm_bytes_received = 0;
+  std::uint64_t shm_wakeups = 0;  // futex wakes issued to peers
+  std::uint64_t shm_waits = 0;    // spins that gave up and parked
+  std::uint64_t shm_peers = 0;    // peers routed over shm at bootstrap
 };
 
 class Transport {

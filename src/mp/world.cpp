@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "mp/comm.hpp"
+#include "mp/transport/hybrid_transport.hpp"
 #include "mp/transport/inprocess.hpp"
 #include "mp/transport/socket_transport.hpp"
 #include "util/log.hpp"
@@ -24,7 +25,8 @@ World::~World() = default;
 
 RunStats World::run(const std::function<void(Comm&)>& fn) {
   PAC_REQUIRE(fn != nullptr);
-  if (config_.backend == Config::Backend::kSocket)
+  if (config_.backend == Config::Backend::kSocket ||
+      config_.backend == Config::Backend::kHybrid)
     return run_distributed(fn);
   return run_modeled(fn);
 }
@@ -189,7 +191,20 @@ RunStats World::run_distributed(const std::function<void(Comm&)>& fn) {
     opts.rank = sock.rank;
     opts.size = sock.size;
     opts.connect_timeout = sock.connect_timeout;
-    socket_transport_ = std::make_unique<transport::SocketTransport>(opts);
+    if (config_.backend == Config::Backend::kHybrid) {
+      transport::HybridOptions hopts;
+      opts.host_token = config_.shm.host_token;
+      hopts.socket = opts;
+      hopts.shm_fds = config_.shm.fds;
+      hopts.shm_spin = config_.shm.spin_iters;
+      // Segment fds transfer to the transport; a second world formation in
+      // this process must not hand them over again.
+      config_.shm.fds.clear();
+      socket_transport_ =
+          std::make_unique<transport::HybridTransport>(std::move(hopts));
+    } else {
+      socket_transport_ = std::make_unique<transport::SocketTransport>(opts);
+    }
   }
   const int p = sock.size;
   const int me = sock.rank;
@@ -276,6 +291,26 @@ RunStats World::run_distributed(const std::function<void(Comm&)>& fn) {
     if (config_.instrument && context.ranks[0].recorder != nullptr) {
       stats.instrumented = true;
       trace::Recorder& rec = *context.ranks[0].recorder;
+      // Wire-level route breakdown from the transport (cumulative since
+      // world formation — the recorder is fresh per run, so these read as
+      // totals at the end of this run).
+      const transport::TransportStats ts = socket_transport_->stats();
+      auto& reg = rec.metrics();
+      reg.counter("mp.transport.messages_sent").add(ts.messages_sent);
+      reg.counter("mp.transport.bytes_sent").add(ts.bytes_sent);
+      reg.counter("mp.transport.messages_received").add(ts.messages_received);
+      reg.counter("mp.transport.bytes_received").add(ts.bytes_received);
+      if (ts.shm_peers > 0) {
+        reg.counter("mp.transport.shm.peers").add(ts.shm_peers);
+        reg.counter("mp.transport.shm.messages_sent").add(ts.shm_messages_sent);
+        reg.counter("mp.transport.shm.bytes_sent").add(ts.shm_bytes_sent);
+        reg.counter("mp.transport.shm.messages_received")
+            .add(ts.shm_messages_received);
+        reg.counter("mp.transport.shm.bytes_received")
+            .add(ts.shm_bytes_received);
+        reg.counter("mp.transport.shm.wakeups").add(ts.shm_wakeups);
+        reg.counter("mp.transport.shm.waits").add(ts.shm_waits);
+      }
       stats.metrics.merge_from(rec.metrics());
       stats.events = rec.events().snapshot();
       stats.events_dropped = rec.events().dropped();

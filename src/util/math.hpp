@@ -71,7 +71,18 @@ class KahanSum {
 
 /// Natural log of the gamma function (thin wrapper; centralizes the choice
 /// of implementation for reproducibility audits).
-inline double log_gamma(double x) noexcept { return std::lgamma(x); }
+///
+/// Plain lgamma() writes the process-global `signgam`, which is a data race
+/// when several worlds run as threads; the reentrant lgamma_r returns the
+/// same value with the sign in a local.
+inline double log_gamma(double x) noexcept {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 /// Digamma function psi(x) for x > 0 (asymptotic series with recurrence).
 double digamma(double x) noexcept;

@@ -26,6 +26,7 @@
 #include "mp/comm.hpp"
 #include "mp/transport/env.hpp"
 #include "mp/transport/launch.hpp"
+#include "mp/transport/transport.hpp"
 
 namespace {
 
@@ -139,6 +140,36 @@ int worker_die() {
   return rank == 1 ? 0 : 8;  // a survivor finishing normally is a bug
 }
 
+int worker_shmcheck() {
+  // Hybrid-specific: all ranks share this host, so after a ring pass every
+  // rank must report size-1 shm peers and ALL data traffic routed over the
+  // rings (the true memfd-inheritance-across-exec path, which the threaded
+  // loopback tests cannot exercise).
+  using namespace pac;
+  mp::World::Config cfg;
+  cfg.num_ranks = 1;
+  if (!mp::transport::apply_env_backend(cfg)) return 11;
+  mp::World world(cfg);
+  int bad = 0;
+  world.run([&bad](mp::Comm& comm) {
+    if (std::string(comm.backend_name()) != "hybrid") bad = 31;
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    if (comm.rank() == 0) {
+      comm.send_value<int>(next, 0, 1);
+      if (comm.recv_value<int>(prev, 0) != comm.size()) bad = 32;
+    } else {
+      comm.send_value<int>(next, 0, comm.recv_value<int>(prev, 0) + 1);
+    }
+    comm.barrier();
+    const mp::transport::TransportStats ts = comm.transport_stats();
+    if (ts.shm_peers != static_cast<std::uint64_t>(comm.size() - 1)) bad = 33;
+    if (ts.shm_messages_sent == 0) bad = 34;
+    if (ts.messages_sent != ts.shm_messages_sent) bad = 35;
+  });
+  return bad;
+}
+
 int worker_exitcode() { return pac::mp::transport::pacnet_rank() == 0 ? 9 : 0; }
 
 int worker_sleep() {
@@ -158,6 +189,7 @@ int worker_sleep() {
 int worker_main(const std::string& mode) {
   if (mode == "quickstart") return worker_quickstart();
   if (mode == "ring") return worker_ring();
+  if (mode == "shmcheck") return worker_shmcheck();
   if (mode == "die") return worker_die();
   if (mode == "exitcode") return worker_exitcode();
   if (mode == "sleep") return worker_sleep();
@@ -215,6 +247,77 @@ TEST(TransportLaunch, RingPassesTokenAcrossProcesses) {
   const LaunchResult result = launch({self_path()}, options_for("ring", ""));
   EXPECT_EQ(result.exit_status, 0) << result.diagnosis;
   EXPECT_EQ(result.failed_rank, -1);
+}
+
+TEST(TransportLaunch, HybridRanksRouteOverInheritedSegments) {
+  // The real fd-inheritance path: the launcher memfd's one segment per rank
+  // pair before forking, the exec'd workers attach via PACNET_SHM_FDS, and
+  // every data frame must route over the rings (checked rank-side).
+  LaunchOptions opts = options_for("shmcheck", "");
+  opts.backend = "hybrid";
+  const LaunchResult result = launch({self_path()}, opts);
+  EXPECT_EQ(result.exit_status, 0) << result.diagnosis;
+  EXPECT_EQ(result.failed_rank, -1);
+}
+
+TEST(TransportLaunch, HybridTinyRingRoundTrips) {
+  // Minimum-size rings force the chained-chunk path across real processes.
+  LaunchOptions opts = options_for("shmcheck", "");
+  opts.backend = "hybrid";
+  opts.shm_ring_bytes = 1024;
+  const LaunchResult result = launch({self_path()}, opts);
+  EXPECT_EQ(result.exit_status, 0) << result.diagnosis;
+}
+
+TEST(TransportLaunch, HybridQuickstartEquivalentToInProcess) {
+  // The ISSUE acceptance bar, hybrid leg: same search, third backend, same
+  // classification as the modeled in-process world.
+  const std::string out = out_path_for("hquickstart");
+  LaunchOptions opts = options_for("quickstart", out);
+  opts.backend = "hybrid";
+  const LaunchResult result = launch({self_path()}, opts);
+  ASSERT_EQ(result.exit_status, 0) << result.diagnosis;
+
+  std::ifstream is(out);
+  ASSERT_TRUE(is.good()) << "worker rank 0 wrote no result file";
+  std::size_t classes = 0;
+  double cs_score = 0.0;
+  is >> classes >> cs_score;
+  std::vector<double> weights(classes, 0.0);
+  for (double& w : weights) is >> w;
+  ASSERT_TRUE(is.good());
+  ::unlink(out.c_str());
+
+  pac::mp::World::Config cfg;
+  cfg.num_ranks = kProcs;
+  cfg.machine = pac::net::ideal_machine();
+  pac::mp::World world(cfg);
+  const pac::core::ParallelOutcome reference = run_search(world);
+  const pac::ac::Classification& best = reference.search.top();
+  ASSERT_EQ(best.num_classes(), classes);
+  EXPECT_NEAR(best.cs_score, cs_score, 1e-6 * std::abs(best.cs_score));
+  for (std::size_t j = 0; j < classes; ++j)
+    EXPECT_NEAR(best.weight(j), weights[j], 1e-9) << "class " << j;
+}
+
+TEST(TransportLaunch, HybridRankDeathFailsTheWorldCleanly) {
+  // Rank death on the hybrid backend: the socket EOF is still the death
+  // signal, and it must also wake peers blocked inside shm rings.
+  const std::string out = out_path_for("hdie");
+  LaunchOptions opts = options_for("die", out);
+  opts.backend = "hybrid";
+  opts.nprocs = 3;
+  opts.kill_grace = 10.0;
+  const LaunchResult result = launch({self_path()}, opts);
+  EXPECT_NE(result.exit_status, 0);
+  EXPECT_GE(result.failed_rank, 0);
+  for (const int rank : {0, 2}) {
+    const std::string marker = out + ".rank" + std::to_string(rank);
+    std::ifstream is(marker);
+    ASSERT_TRUE(is.good()) << "survivor rank " << rank
+                           << " left no TransportError marker";
+    ::unlink(marker.c_str());
+  }
 }
 
 TEST(TransportLaunch, RankDeathFailsTheWorldCleanly) {

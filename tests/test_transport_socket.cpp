@@ -23,58 +23,20 @@
 #include "mp/comm.hpp"
 #include "mp/transport/env.hpp"
 #include "mp/transport/frame.hpp"
+#include "transport_test_util.hpp"
 #include "util/error.hpp"
 
 namespace pac::mp {
 namespace {
 
-/// Fresh rendezvous address per world: unix sockets need paths that do not
-/// collide across tests (or across parallel ctest shards of this binary).
-std::string unique_address() {
-  static std::atomic<int> counter{0};
-  return "unix:/tmp/pacnet_test." + std::to_string(::getpid()) + "." +
-         std::to_string(counter.fetch_add(1)) + ".sock";
-}
-
-World::Config socket_config(const std::string& address, int rank, int size) {
-  World::Config cfg;
-  cfg.num_ranks = size;
-  cfg.backend = World::Config::Backend::kSocket;
-  cfg.socket.address = address;
-  cfg.socket.rank = rank;
-  cfg.socket.size = size;
-  return cfg;
-}
-
-/// Run `fn` on an n-rank socket world, one thread per rank, each with its
-/// own World (exactly what n pac_launch'd processes would do).  Rethrows
-/// the first rank failure; returns every rank's RunStats.
-template <class Fn>
-std::vector<RunStats> run_socket_world(int n, Fn fn,
-                                       bool kahan_reductions = false) {
-  const std::string address = unique_address();
-  std::vector<RunStats> stats(static_cast<std::size_t>(n));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
-  std::vector<std::thread> ranks;
-  ranks.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    ranks.emplace_back([&, r] {
-      try {
-        World::Config cfg = socket_config(address, r, n);
-        cfg.kahan_reductions = kahan_reductions;
-        World world(cfg);
-        stats[static_cast<std::size_t>(r)] =
-            world.run([&](Comm& comm) { fn(comm); });
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& t : ranks) t.join();
-  for (const std::exception_ptr& e : errors)
-    if (e) std::rethrow_exception(e);
-  return stats;
-}
+using testutil::collective_suite;
+using testutil::cycle_suite;
+using testutil::estep_suite;
+using testutil::expect_bit_identical;
+using testutil::fast_math_cycle_suite;
+using testutil::run_socket_world;
+using testutil::socket_config;
+using testutil::unique_address;
 
 TEST(TransportSocket, ValueRoundTripAndStatus) {
   run_socket_world(2, [](Comm& comm) {
@@ -177,88 +139,6 @@ TEST(TransportSocket, NonblockingSendRecvWaitAndTest) {
   });
 }
 
-/// Per-rank deterministic inputs for the collective equivalence suite.
-double input_value(int rank, std::size_t i) {
-  // Not associativity-friendly: different fold orders give different bits.
-  return (static_cast<double>(rank) + 1.0) * 0.1 +
-         static_cast<double>(i) * 0.7;
-}
-
-/// Every collective once, results appended to `sink` (identical call
-/// sequence on every backend, so the sinks must match bit for bit).
-void collective_suite(Comm& comm, std::vector<double>& sink) {
-  const int p = comm.size();
-  const std::size_t n = 5;
-  const auto up = static_cast<std::size_t>(p);
-  std::vector<double> in(n), out(n, -7.0);
-  for (std::size_t i = 0; i < n; ++i)
-    in[i] = input_value(comm.rank(), i);
-
-  comm.barrier();
-  std::vector<double> bcast = in;
-  comm.broadcast<double>(bcast, /*root=*/p - 1);
-  sink.insert(sink.end(), bcast.begin(), bcast.end());
-
-  for (const ReduceOp op :
-       {ReduceOp::kSum, ReduceOp::kMin, ReduceOp::kMax, ReduceOp::kProd}) {
-    std::fill(out.begin(), out.end(), -7.0);
-    comm.reduce<double>(in, out, op, /*root=*/0);
-    if (comm.rank() == 0) sink.insert(sink.end(), out.begin(), out.end());
-    std::fill(out.begin(), out.end(), -7.0);
-    comm.allreduce<double>(in, out, op);
-    sink.insert(sink.end(), out.begin(), out.end());
-  }
-  sink.push_back(comm.allreduce_scalar(in[0]));
-  sink.push_back(comm.allreduce_scalar(in[1], ReduceOp::kMax));
-
-  std::vector<double> gathered(up * n, -7.0);
-  comm.gather<double>(in, gathered, /*root=*/0);
-  if (comm.rank() == 0)
-    sink.insert(sink.end(), gathered.begin(), gathered.end());
-  std::fill(gathered.begin(), gathered.end(), -7.0);
-  comm.allgather<double>(in, gathered);
-  sink.insert(sink.end(), gathered.begin(), gathered.end());
-  const std::vector<int> ranks = comm.allgather_value<int>(comm.rank() * 3);
-  for (const int r : ranks) sink.push_back(static_cast<double>(r));
-
-  std::vector<double> root_blocks(up * n);
-  for (std::size_t i = 0; i < root_blocks.size(); ++i)
-    root_blocks[i] = static_cast<double>(i) * 0.3 - 1.0;
-  std::fill(out.begin(), out.end(), -7.0);
-  comm.scatter<double>(root_blocks, out, /*root=*/0);
-  sink.insert(sink.end(), out.begin(), out.end());
-
-  std::fill(out.begin(), out.end(), -7.0);
-  comm.scan<double>(in, out, ReduceOp::kSum);
-  sink.insert(sink.end(), out.begin(), out.end());
-  std::fill(out.begin(), out.end(), -7.0);
-  comm.exscan<double>(in, out, ReduceOp::kSum);
-  if (comm.rank() > 0) sink.insert(sink.end(), out.begin(), out.end());
-
-  std::vector<double> a2a_in(up * n), a2a_out(up * n, -7.0);
-  for (std::size_t i = 0; i < a2a_in.size(); ++i)
-    a2a_in[i] = input_value(comm.rank(), i);
-  comm.alltoall<double>(a2a_in, a2a_out, n);
-  sink.insert(sink.end(), a2a_out.begin(), a2a_out.end());
-
-  std::fill(out.begin(), out.end(), -7.0);
-  comm.reduce_scatter<double>(a2a_in, out, ReduceOp::kSum);
-  sink.insert(sink.end(), out.begin(), out.end());
-  comm.barrier();
-}
-
-void expect_bit_identical(const std::vector<std::vector<double>>& socket,
-                          const std::vector<std::vector<double>>& modeled) {
-  ASSERT_EQ(socket.size(), modeled.size());
-  for (std::size_t r = 0; r < socket.size(); ++r) {
-    ASSERT_EQ(socket[r].size(), modeled[r].size()) << "rank " << r;
-    EXPECT_EQ(std::memcmp(socket[r].data(), modeled[r].data(),
-                          socket[r].size() * sizeof(double)),
-              0)
-        << "rank " << r << " diverged from the in-process backend";
-  }
-}
-
 TEST(TransportSocket, CollectivesBitIdenticalToInProcess) {
   constexpr int kRanks = 4;
   std::vector<std::vector<double>> socket_sink(kRanks), modeled_sink(kRanks);
@@ -325,7 +205,9 @@ TEST(TransportSocket, SplitFormsWorkingSubgroups) {
     // Opting out with a negative color must not desync the others.
     Comm none = comm.split(comm.rank() == 0 ? -1 : 0, comm.rank());
     EXPECT_EQ(none.valid(), comm.rank() != 0);
-    if (none.valid()) EXPECT_EQ(none.size(), 3);
+    if (none.valid()) {
+      EXPECT_EQ(none.size(), 3);
+    }
     comm.barrier();
   });
 }
@@ -380,28 +262,6 @@ TEST(TransportSocket, WorldIsReusableAcrossRuns) {
   EXPECT_EQ(failures.load(), 0);
 }
 
-/// One rank's E-step for the kernel-equality smoke: init + M-step + E-step
-/// over this rank's block partition, appending the local membership weights,
-/// the global class weights W_j, and the global log-likelihood to `sink`.
-void estep_suite(Comm& comm, const ac::Model& model, bool scalar,
-                 std::vector<double>& sink) {
-  core::ParallelConfig pc;
-  pc.charge_costs = false;
-  core::ParallelReducer reducer(comm, model, pc);
-  const data::ItemRange part = data::block_partition(
-      model.dataset().num_items(), comm.size(), comm.rank());
-  ac::EmWorker worker(model, part, reducer);
-  ac::Classification c(model, 3);
-  worker.random_init(c, 2026, 0, ac::EmConfig{});
-  worker.update_parameters(c);
-  const double loglike =
-      scalar ? worker.update_wts_scalar(c) : worker.update_wts(c);
-  const std::span<const double> w = worker.local_weights();
-  sink.insert(sink.end(), w.begin(), w.end());
-  for (std::size_t j = 0; j < c.num_classes(); ++j) sink.push_back(c.weight(j));
-  sink.push_back(loglike);
-}
-
 TEST(TransportSocket, EStepKernelBitIdenticalToScalarAndInProcess) {
   // Kernel-vs-scalar smoke on the real transport: the batched E-step and the
   // per-item scalar oracle must agree bit for bit over socket reductions AND
@@ -436,36 +296,6 @@ TEST(TransportSocket, EStepKernelBitIdenticalToScalarAndInProcess) {
   });
   expect_bit_identical(kernel, scalar);
   expect_bit_identical(kernel, modeled);
-}
-
-/// One rank's full cycle for the M-step-kernel / thread smoke: init, M-step
-/// (batch kernels or the scalar oracle), E-step — at a given intra-rank
-/// thread count — appending the global statistics, the parameters, and the
-/// E-step outputs to `sink`.
-void cycle_suite(Comm& comm, const ac::Model& model, bool scalar, int threads,
-                 std::vector<double>& sink) {
-  core::ParallelConfig pc;
-  pc.charge_costs = false;
-  core::ParallelReducer reducer(comm, model, pc);
-  const data::ItemRange part = data::block_partition(
-      model.dataset().num_items(), comm.size(), comm.rank());
-  ac::EmWorker worker(model, part, reducer);
-  ac::Classification c(model, 3);
-  ac::EmConfig config;
-  config.threads = threads;
-  worker.random_init(c, 2027, 0, config);
-  if (scalar) {
-    worker.update_parameters_scalar(c);
-  } else {
-    worker.update_parameters(c);
-  }
-  const std::span<const double> stats = worker.statistics();
-  sink.insert(sink.end(), stats.begin(), stats.end());
-  const std::span<const double> params = c.all_params();
-  sink.insert(sink.end(), params.begin(), params.end());
-  sink.push_back(worker.update_wts(c));
-  const std::span<const double> w = worker.local_weights();
-  sink.insert(sink.end(), w.begin(), w.end());
 }
 
 TEST(TransportSocket, MStepKernelAndThreadsBitIdenticalAcrossBackends) {
@@ -507,31 +337,6 @@ TEST(TransportSocket, MStepKernelAndThreadsBitIdenticalAcrossBackends) {
   expect_bit_identical(kernel, scalar);
   expect_bit_identical(kernel, threaded);
   expect_bit_identical(kernel, modeled);
-}
-
-/// One rank's full cycle under the opt-in fast-math tier (reassociated
-/// folds): statistics, parameters, and E-step outputs appended to `sink`.
-void fast_math_cycle_suite(Comm& comm, const ac::Model& model, int threads,
-                           std::vector<double>& sink) {
-  core::ParallelConfig pc;
-  pc.charge_costs = false;
-  core::ParallelReducer reducer(comm, model, pc);
-  const data::ItemRange part = data::block_partition(
-      model.dataset().num_items(), comm.size(), comm.rank());
-  ac::EmWorker worker(model, part, reducer);
-  ac::Classification c(model, 3);
-  ac::EmConfig config;
-  config.threads = threads;
-  config.fast_math = 1;
-  worker.random_init(c, 2028, 0, config);
-  worker.update_parameters(c);
-  const std::span<const double> stats = worker.statistics();
-  sink.insert(sink.end(), stats.begin(), stats.end());
-  const std::span<const double> params = c.all_params();
-  sink.insert(sink.end(), params.begin(), params.end());
-  sink.push_back(worker.update_wts(c));
-  const std::span<const double> w = worker.local_weights();
-  sink.insert(sink.end(), w.begin(), w.end());
 }
 
 TEST(TransportSocket, FastMathTierDeterministicAcrossBackendsAndThreads) {

@@ -1,10 +1,14 @@
 // pac_launch: run a program as an N-rank pacnet world.
 //
 //   pac_launch -n 4 ./build/examples/quickstart
+//   pac_launch -n 4 --backend hybrid ./build/examples/quickstart
 //   pac_launch -n 8 --addr 127.0.0.1:7777 ./build/examples/pautoclass_cli ...
 //
 // Each rank is a separate OS process started with PACNET_RANK / PACNET_SIZE /
-// PACNET_ADDR set; programs opt in with transport::apply_env_backend().  The
+// PACNET_ADDR set; programs opt in with transport::apply_env_backend().  With
+// --backend hybrid the launcher additionally creates one shared-memory
+// segment per rank pair before forking and passes the inherited fds down via
+// PACNET_SHM_FDS, so same-host pairs exchange frames over SPSC rings.  The
 // launcher's exit status mirrors the first failing rank (128+signo for signal
 // deaths), and stragglers are SIGTERM'd (then SIGKILL'd) after a failure so a
 // broken world never hangs the shell.
@@ -30,11 +34,36 @@ void usage(std::FILE* out) {
       "  -n, --nprocs N     number of ranks (default 1)\n"
       "  --addr ADDR        rendezvous address: unix:/path or host:port\n"
       "                     (default: a fresh unix socket under /tmp)\n"
+      "  --backend NAME     transport: socket (default) or hybrid\n"
+      "                     (same-host rank pairs over shared-memory rings)\n"
+      "  --shm-ring BYTES   hybrid per-direction ring capacity; accepts k/m\n"
+      "                     suffixes, e.g. 256k, 4m (default 1m)\n"
       "  --kill-grace SEC   SIGTERM->SIGKILL grace after a failure "
       "(default 5)\n"
+      "  -v, --verbose      print every rank's resolved environment\n"
       "  -q, --quiet        suppress per-rank failure diagnostics\n"
       "  -h, --help         show this help\n",
       out);
+}
+
+/// Parse a byte count with an optional k/K or m/M suffix ("256k", "4M").
+std::size_t parse_bytes(const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  std::size_t scale = 1;
+  if (end != text && *end != '\0') {
+    if ((*end == 'k' || *end == 'K') && end[1] == '\0')
+      scale = 1024;
+    else if ((*end == 'm' || *end == 'M') && end[1] == '\0')
+      scale = 1024 * 1024;
+    else
+      end = const_cast<char*>(text);  // flag as malformed
+  }
+  if (end == text) {
+    std::fprintf(stderr, "pac_launch: malformed byte count '%s'\n", text);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value) * scale;
 }
 
 }  // namespace
@@ -57,8 +86,15 @@ int main(int argc, char** argv) {
       options.nprocs = std::atoi(value(arg.c_str()));
     } else if (arg == "--addr") {
       options.address = value("--addr");
+    } else if (arg == "--backend") {
+      options.backend = value("--backend");
+    } else if (arg == "--shm-ring") {
+      options.shm_ring_bytes = parse_bytes(value("--shm-ring"));
     } else if (arg == "--kill-grace") {
       options.kill_grace = std::atof(value("--kill-grace"));
+    } else if (arg == "-v" || arg == "--verbose") {
+      options.verbose = true;
+      options.show_env = true;
     } else if (arg == "-q" || arg == "--quiet") {
       options.verbose = false;
     } else if (arg == "-h" || arg == "--help") {
