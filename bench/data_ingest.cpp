@@ -1,0 +1,140 @@
+// Ingest-path benchmarks for the .pacb out-of-core data path (DESIGN.md
+// §10): how fast rows get from disk into kernel-consumable columns.
+//
+//   BM_IngestAscii        parse the .hd2/.db2 decimal text pair (the
+//                         pre-.pacb loader, kept as a compatibility shim)
+//   BM_IngestBinary       load the same rows from .pacb fully resident —
+//                         one pass of CRC-checked memcpy-width reads
+//   BM_IngestChunkedScan  open the .pacb chunk-backed under a budget that
+//                         covers ~half the file and stream every column
+//                         in kernel-sized 256-item blocks (one full
+//                         E-step's worth of data motion, evictions
+//                         included)
+//
+// The gated ratio (scripts/bench_diff.py) is binary-over-ascii: the binary
+// loader must stay well ahead of text parsing, since that gap is the whole
+// reason pac_convert exists.  The chunked scan is tracked unpaired — its
+// cost is dominated by pread + CRC, and the interesting check (bounded
+// memory, identical bits) lives in the tests, not the timer.
+//
+// Refreshing the committed baseline (bench/baselines/):
+//   build/bench/data_ingest --benchmark_out_format=json
+//       --benchmark_out=BENCH_<date>_data_ingest.json
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/format.hpp"
+#include "data/io.hpp"
+#include "data/synth.hpp"
+
+namespace {
+
+using namespace pac;
+
+constexpr std::size_t kRows = 20000;
+
+/// One fixture dataset on disk in both formats, written once per process.
+struct Files {
+  std::string hd2, db2, pacb;
+  std::size_t rows;
+
+  Files() {
+    const std::string prefix =
+        "/tmp/pac_bench_ingest_" + std::to_string(::getpid());
+    hd2 = prefix + ".hd2";
+    db2 = prefix + ".db2";
+    pacb = prefix + ".pacb";
+    rows = kRows;
+    const data::Dataset dataset = data::paper_dataset(rows, 7).dataset;
+    data::write_header_file(hd2, dataset.schema());
+    data::write_data_file(db2, dataset);
+    data::format::write_pacb_file(pacb, dataset);
+  }
+  ~Files() {
+    std::remove(hd2.c_str());
+    std::remove(db2.c_str());
+    std::remove(pacb.c_str());
+  }
+};
+
+const Files& files() {
+  static Files f;
+  return f;
+}
+
+void BM_IngestAscii(benchmark::State& state) {
+  const Files& f = files();
+  for (auto _ : state) {
+    data::OpenOptions options;
+    options.header_path = f.hd2;
+    benchmark::DoNotOptimize(data::open_dataset(f.db2, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.rows));
+}
+BENCHMARK(BM_IngestAscii);
+
+void BM_IngestBinary(benchmark::State& state) {
+  const Files& f = files();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(data::open_dataset(f.pacb));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.rows));
+}
+BENCHMARK(BM_IngestBinary);
+
+void BM_IngestChunkedScan(benchmark::State& state) {
+  const Files& f = files();
+  // Budget of half the file: every full scan must evict and reload.
+  const std::size_t budget = f.rows * 2 * sizeof(double) / 2;
+  double sink = 0.0;
+  for (auto _ : state) {
+    const data::Dataset dataset(data::ChunkedStore::open(f.pacb, budget));
+    for (std::size_t a = 0; a < dataset.num_attributes(); ++a)
+      for (std::size_t begin = 0; begin < f.rows; begin += 256) {
+        const data::ItemRange range{begin, std::min(begin + 256, f.rows)};
+        const auto view = dataset.real_block(a, range);
+        sink += view[view.size() - 1];
+      }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.rows));
+}
+BENCHMARK(BM_IngestChunkedScan);
+
+}  // namespace
+
+// Same harness contract as micro_kernels: --smoke maps to a minimal
+// measurement time so every loader path still executes under sanitizers.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+#ifdef NDEBUG
+  benchmark::AddCustomContext("pac_build", "release");
+#else
+  benchmark::AddCustomContext("pac_build", "debug");
+#endif
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
                  "       (or --data FILE.pacb / FILE.csv, self-contained)\n"
                  "       [--procs N] [--machine meiko-cs2] [--jlist 2,4,8]\n"
                  "       [--tries 5] [--max-cycles 100] [--seed 1234]\n"
+                 "       [--data-budget-mb N]  # stream a .pacb out of core\n"
                  "       [--try-groups G]      # try-parallel: G sub-worlds\n"
                  "       [--labels-out FILE] [--report-out FILE]\n"
                  "       [--checkpoint FILE]   # save/resume search state\n"
@@ -88,14 +89,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // 1. Load.  .pacb (binary) and .csv (type-inferred) are self-contained;
-  //    the ASCII .db2 path needs the header file.
+  // 1. Load through the unified entry point: open_dataset sniffs .pacb /
+  //    .csv / ASCII and switches to the chunk-backed out-of-core backend
+  //    when a budget is configured (--data-budget-mb or PAC_DATA_BUDGET_MB).
   const data::Dataset dataset = [&] {
-    if (have_binary) return data::read_binary_file(data_path);
-    if (have_csv) return data::read_csv_file(data_path).dataset;
-    return data::read_data_file(data_path,
-                                data::read_header_file(header_path));
+    data::OpenOptions options;
+    options.header_path = header_path;
+    options.budget_mb =
+        static_cast<std::size_t>(cli.get_int("data-budget-mb", 0));
+    return data::open_dataset(data_path, options);
   }();
+  if (!dataset.resident())
+    std::cout << "out-of-core: streaming " << data_path
+              << " under the chunk-cache budget\n";
   const data::Schema& schema = dataset.schema();
   std::cout << "loaded " << dataset.num_items() << " tuples x "
             << dataset.num_attributes() << " attributes ("

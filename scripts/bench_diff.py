@@ -57,6 +57,10 @@ PAIRS = [
     # seconds (UseManualTime), so the ratio is machine-independent and the
     # acceptance bar (>= 1.5x) survives any runner.
     ("search-tries-g2-over-g1", "BM_SearchTriesG1/manual_time", "BM_SearchTriesG2/manual_time"),
+    # Ingest path (bench/data_ingest): binary .pacb load vs ASCII .db2
+    # parse of the same rows.  Within-run ratio, so it survives machine
+    # changes; a collapse means the binary loader grew a parse-shaped cost.
+    ("ingest-binary-over-ascii", "BM_IngestAscii", "BM_IngestBinary"),
     # Hybrid shm transport (bench/transport_throughput standalone mode):
     # same-host rank pairs over SPSC shm rings vs the full socket mesh, on
     # loopback 2-rank worlds.  Small-message round trips are the headline

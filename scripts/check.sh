@@ -164,6 +164,31 @@ else
   esac
 fi
 
+# Ingest path (bench/data_ingest): binary .pacb load vs ASCII parse of the
+# same rows.  Sanitizer instrumentation hits the text parser and the
+# memcpy-width binary reader very differently, so the gate skips there.
+PERF_INGEST_JSON="$BUILD_DIR/BENCH_data_ingest.json"
+echo "== perf smoke: bench/data_ingest $SMOKE -> $PERF_INGEST_JSON =="
+if ! "$BUILD_DIR"/bench/data_ingest $SMOKE \
+    --benchmark_out="$PERF_INGEST_JSON" --benchmark_out_format=json \
+    >/dev/null 2>&1; then
+  echo "!! FAILED: perf smoke (bench/data_ingest)" >&2
+  failures=$((failures + 1))
+else
+  case "${PAC_CMAKE_ARGS:-}" in
+    *sanitize*)
+      echo "== ingest perf gate skipped (sanitized build) =="
+      ;;
+    *)
+      echo "== perf gate: scripts/bench_diff.py $PERF_INGEST_JSON =="
+      if ! python3 scripts/bench_diff.py "$PERF_INGEST_JSON"; then
+        echo "!! FAILED: perf gate (scripts/bench_diff.py, ingest)" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
+fi
+
 # Try-parallel search throughput (bench/search_tries): the reported times
 # are *modeled* virtual seconds, so the G2-over-G1 ratio is deterministic
 # and machine-independent — the gate runs on every tier (no simd/sanitizer
@@ -229,6 +254,41 @@ if [ "$DISTRIBUTED" = 1 ]; then
       fi
     done
   done
+fi
+
+if [ "$DISTRIBUTED" = 1 ]; then
+  # Out-of-core smoke: the determinism contract end to end.  Convert a
+  # generated dataset to .pacb, cluster it fully resident, then again
+  # chunk-backed under a 1 MB budget (the 1.28 MB of column data cannot all
+  # fit, so chunks really evict mid-E-step), then once more chunk-backed on
+  # 2 real socket-backend processes.  All three checkpoints must be
+  # byte-identical — same trajectories, same leaderboard, same bits.
+  echo "== out-of-core smoke: pac_convert + budgeted runs =="
+  tmp=$(mktemp -d)
+  ooc_args="--jlist 3 --tries 1 --max-cycles 5 --procs 2"
+  # shellcheck disable=SC2086  # intentional word splitting of $ooc_args
+  if "$BUILD_DIR"/examples/pautoclass_cli --generate "$tmp/ooc" \
+        --items 80000 >/dev/null &&
+     "$BUILD_DIR"/tools/pac_convert --in "$tmp/ooc.db2" \
+        --header "$tmp/ooc.hd2" --out "$tmp/ooc.pacb" \
+        --chunk-rows 4096 >/dev/null &&
+     "$BUILD_DIR"/examples/pautoclass_cli --data "$tmp/ooc.pacb" \
+        $ooc_args --checkpoint "$tmp/resident.ckpt" >/dev/null &&
+     "$BUILD_DIR"/examples/pautoclass_cli --data "$tmp/ooc.pacb" \
+        $ooc_args --data-budget-mb 1 \
+        --checkpoint "$tmp/chunked.ckpt" >/dev/null &&
+     PAC_DATA_BUDGET_MB=1 "$BUILD_DIR"/tools/pac_launch -n 2 \
+        --backend socket "$BUILD_DIR"/examples/pautoclass_cli \
+        --data "$tmp/ooc.pacb" $ooc_args \
+        --checkpoint "$tmp/launched.ckpt" >/dev/null &&
+     cmp -s "$tmp/resident.ckpt" "$tmp/chunked.ckpt" &&
+     cmp -s "$tmp/resident.ckpt" "$tmp/launched.ckpt"; then
+    echo ok
+  else
+    echo "!! FAILED: out-of-core smoke (resident/chunked checkpoints differ or a run failed)" >&2
+    failures=$((failures + 1))
+  fi
+  rm -rf "$tmp"
 fi
 
 if [ "$SERVE" = 1 ]; then

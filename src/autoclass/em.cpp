@@ -166,22 +166,50 @@ void EmWorker::random_init(Classification& c, std::uint64_t seed,
   const std::vector<std::size_t> seeds =
       detail::draw_seed_items(rng, n, j, try_index);
 
-  std::vector<double> wj_and_loglike(j + 1, 0.0);
-  for (std::size_t i = range_.begin; i < range_.end; ++i) {
-    std::size_t home_class = 0;
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t k = 0; k < j; ++k) {
-      double dist = 0.0;
-      for (std::size_t t = 0; t < model_->num_terms(); ++t)
-        dist += model_->term(t).seed_distance(i, seeds[k]);
-      if (dist < best) {
-        best = dist;
-        home_class = k;
+  // Blocked nearest-seed assignment: per block, each (term, seed) pair
+  // accumulates one distance column across the whole item block — the same
+  // column-major kernel shape as the E-step, fed by per-block column views
+  // on either storage backend.  Per (item, seed) the additions happen in
+  // term order from 0.0 and the strict < argmin keeps the first minimum, so
+  // the assignment is bit-identical to a per-item scalar loop — and, like
+  // the E-step, a pure function of kEStepBlock, never of the thread count.
+  const std::size_t blocks = block_count(range_.begin, range_.end);
+  std::vector<std::exception_ptr> block_error(blocks);
+  run_blocks(blocks, [&](std::size_t b) {
+    const data::ItemRange block = block_range(range_.begin, range_.end, b);
+    try {
+      std::vector<double> dist(block.size() * j, 0.0);
+      for (std::size_t k = 0; k < j; ++k)
+        for (std::size_t t = 0; t < model_->num_terms(); ++t)
+          model_->term(t).seed_distance_batch(block, seeds[k],
+                                              dist.data() + k, j);
+      for (std::size_t r = 0; r < block.size(); ++r) {
+        const double* row_dist = dist.data() + r * j;
+        std::size_t home_class = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t k = 0; k < j; ++k) {
+          if (row_dist[k] < best) {
+            best = row_dist[k];
+            home_class = k;
+          }
+        }
+        double* row =
+            weights_.data() + (block.begin - range_.begin + r) * j;
+        for (std::size_t k = 0; k < j; ++k) row[k] = rest;
+        row[home_class] = home;
       }
+    } catch (...) {
+      block_error[b] = std::current_exception();
     }
-    double* row = weights_.data() + (i - range_.begin) * j;
-    for (std::size_t k = 0; k < j; ++k) row[k] = rest;
-    row[home_class] = home;
+  });
+  for (std::size_t b = 0; b < blocks; ++b)
+    if (block_error[b]) std::rethrow_exception(block_error[b]);
+
+  // W_j fold in plain item order over the filled rows — the same sequential
+  // additions the old per-item loop performed.
+  std::vector<double> wj_and_loglike(j + 1, 0.0);
+  for (std::size_t r = 0; r < range_.size(); ++r) {
+    const double* row = weights_.data() + r * j;
     for (std::size_t k = 0; k < j; ++k) wj_and_loglike[k] += row[k];
   }
   reducer_->charge(PhaseWork{Phase::kTryOverhead, range_.size(), j, 0});

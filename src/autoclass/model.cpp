@@ -41,6 +41,12 @@ void Term::accumulate_batch(data::ItemRange range, const double* weights,
   }
 }
 
+void Term::seed_distance_batch(data::ItemRange range, std::size_t seed_item,
+                               double* out, std::size_t stride) const {
+  for (std::size_t i = range.begin; i < range.end; ++i, out += stride)
+    *out += seed_distance(i, seed_item);
+}
+
 std::unique_ptr<Term> Term::rebind(const data::Dataset&) const {
   PAC_REQUIRE_MSG(false, "term family '" << to_string(spec_.kind)
                                          << "' does not support rebinding");

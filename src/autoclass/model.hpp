@@ -16,7 +16,9 @@
 // global column statistics at Model construction.
 //
 // A Model is immutable after construction and bound to its Dataset (terms
-// hold column spans); it is shared read-only by all SPMD ranks.
+// consume it through per-block column views, with a zero-copy whole-column
+// fast path on the resident backend); it is shared read-only by all SPMD
+// ranks.
 #pragma once
 
 #include <memory>
@@ -166,6 +168,20 @@ class Term {
   /// mismatch).  Pure function of the two items — partition-invariant.
   virtual double seed_distance(std::size_t item,
                                std::size_t seed_item) const = 0;
+
+  /// Batched seed-distance kernel: for every item i in `range`, *accumulate*
+  /// this term's seed_distance(i, seed_item) into
+  /// out[(i - range.begin) * stride].  Same column-of-a-row-major-buffer
+  /// calling convention as log_prob_batch (stride = number of seeds).
+  ///
+  /// Contract: the value added per item must be bit-identical to
+  /// seed_distance(item, seed_item).  Overrides may hoist the seed item's
+  /// values and the column fetch out of the loop but must not rearrange the
+  /// per-item floating-point expression.  The default loops over
+  /// seed_distance.
+  virtual void seed_distance_batch(data::ItemRange range,
+                                   std::size_t seed_item, double* out,
+                                   std::size_t stride) const;
 
   /// log p(item of a *foreign* dataset | params): evaluates the same
   /// density on data that was not used to build the model (AutoClass's

@@ -48,7 +48,8 @@ class SingleNormalTerm final : public Term {
     const auto& attr = data.schema().at(a);
     PAC_REQUIRE_MSG(attr.kind == data::AttributeKind::kReal,
                     "single_normal needs a real attribute");
-    column_ = data.real_column(a);
+    data_ = &data;
+    if (data.resident()) column_ = data.real_column(a);
     error_ = attr.rel_error;
     const auto stats = data.real_stats(a);
     PAC_REQUIRE_MSG(stats.known > 0, "attribute '" << attr.name
@@ -67,7 +68,7 @@ class SingleNormalTerm final : public Term {
 
   double log_prob(std::size_t item,
                   std::span<const double> params) const override {
-    const double x = column_[item];
+    const double x = value(item);
     if (data::is_missing_real(x)) return 0.0;
     const double z = (x - params[0]) / params[1];
     return -0.5 * (kLog2Pi + z * z) - params[2] + std::log(error_);
@@ -75,23 +76,25 @@ class SingleNormalTerm final : public Term {
 
   void log_prob_batch(data::ItemRange range, std::span<const double> params,
                       double* out, std::size_t stride) const override {
-    // Hoisted per class-column: the parameter loads and log(error_) — the
-    // scalar path pays that transcendental per item.  The per-item
-    // expression is log_prob's, unchanged, so the column stays bit-identical.
+    // Hoisted per class-column: the parameter loads, log(error_) — the
+    // scalar path pays that transcendental per item — and the block fetch.
+    // The per-item expression is log_prob's, unchanged, so the column stays
+    // bit-identical on either storage backend.
     const double mean = params[0];
     const double sigma = params[1];
     const double log_sigma = params[2];
     const double log_error = std::log(error_);
-    const double* x = column_.data();
+    const auto view = block(range);
+    const double* x = view.data();
     if (simd::active()) {
-      simd::gaussian_log_prob(x + range.begin, range.size(), mean, sigma,
-                              log_sigma, log_error, out, stride);
+      simd::gaussian_log_prob(x, view.size(), mean, sigma, log_sigma,
+                              log_error, out, stride);
       return;
     }
-    for (std::size_t i = range.begin; i < range.end; ++i, out += stride) {
+    for (std::size_t r = 0; r < view.size(); ++r, out += stride) {
       double lp = 0.0;
-      if (!data::is_missing_real(x[i])) {
-        const double z = (x[i] - mean) / sigma;
+      if (!data::is_missing_real(x[r])) {
+        const double z = (x[r] - mean) / sigma;
         lp = -0.5 * (kLog2Pi + z * z) - log_sigma + log_error;
       }
       *out += lp;
@@ -100,7 +103,7 @@ class SingleNormalTerm final : public Term {
 
   void accumulate(std::size_t item, double w,
                   std::span<double> stats) const override {
-    const double x = column_[item];
+    const double x = value(item);
     if (data::is_missing_real(x)) return;
     stats[0] += w;
     stats[1] += w * x;
@@ -114,15 +117,16 @@ class SingleNormalTerm final : public Term {
     // stats span (and the virtual dispatch happens once per block, not per
     // item); the per-item additions are accumulate's, in item order, so
     // the folded block is bit-identical to the scalar chain.
-    const double* x = column_.data();
+    const auto view = block(range);
+    const double* x = view.data();
     double sw = stats[0], swx = stats[1], swx2 = stats[2];
-    for (std::size_t i = range.begin; i < range.end; ++i, weights += stride) {
+    for (std::size_t r = 0; r < view.size(); ++r, weights += stride) {
       const double w = *weights;
       if (w <= 0.0) continue;
-      if (data::is_missing_real(x[i])) continue;
+      if (data::is_missing_real(x[r])) continue;
       sw += w;
-      swx += w * x[i];
-      swx2 += w * x[i] * x[i];
+      swx += w * x[r];
+      swx2 += w * x[r] * x[r];
     }
     stats[0] = sw;
     stats[1] = swx;
@@ -134,8 +138,9 @@ class SingleNormalTerm final : public Term {
   void accumulate_batch_fast(data::ItemRange range, const double* weights,
                              std::size_t stride,
                              std::span<double> stats) const override {
-    simd::gaussian_accumulate_fast(column_.data() + range.begin, weights,
-                                   stride, range.size(), stats.data());
+    const auto view = block(range);
+    simd::gaussian_accumulate_fast(view.data(), weights, stride, view.size(),
+                                   stats.data());
   }
 
   void update_params(std::span<const double> stats,
@@ -205,10 +210,23 @@ class SingleNormalTerm final : public Term {
   }
 
   double seed_distance(std::size_t item, std::size_t seed_item) const override {
-    const double a = column_[item];
-    const double b = column_[seed_item];
+    const double a = value(item);
+    const double b = value(seed_item);
     if (data::is_missing_real(a) || data::is_missing_real(b)) return 0.5;
     return sq(a - b) / prior_var_;
+  }
+
+  void seed_distance_batch(data::ItemRange range, std::size_t seed_item,
+                           double* out, std::size_t stride) const override {
+    // Hoists the seed value and the block fetch; the per-item expression is
+    // seed_distance's, so the column stays bit-identical.
+    const double b = value(seed_item);
+    const auto view = block(range);
+    const double* x = view.data();
+    for (std::size_t r = 0; r < view.size(); ++r, out += stride)
+      *out += data::is_missing_real(x[r]) || data::is_missing_real(b)
+                  ? 0.5
+                  : sq(x[r] - b) / prior_var_;
   }
 
   double log_prob_foreign(const data::Dataset& foreign, std::size_t item,
@@ -221,14 +239,33 @@ class SingleNormalTerm final : public Term {
 
   std::unique_ptr<Term> rebind(const data::Dataset& target) const override {
     // Copy keeps the trained priors (error_, prior_*, strengths); only the
-    // column span moves, so log_prob on the clone is the same expression
+    // data binding moves, so log_prob on the clone is the same expression
     // over the same constants.
     auto clone = std::make_unique<SingleNormalTerm>(*this);
-    clone->column_ = target.real_column(spec_.attributes[0]);
+    clone->data_ = &target;
+    clone->column_ = target.resident()
+                         ? target.real_column(spec_.attributes[0])
+                         : std::span<const double>();
     return clone;
   }
 
  private:
+  /// One block of the attribute's column: a zero-copy slice of the resident
+  /// span, or a pinned chunk window from the out-of-core backend.
+  data::ColumnBlockView<double> block(data::ItemRange range) const {
+    if (!column_.empty())
+      return data::ColumnBlockView<double>(column_.data() + range.begin,
+                                           range.size());
+    return data_->real_block(spec_.attributes[0], range);
+  }
+
+  double value(std::size_t item) const {
+    return column_.empty() ? data_->real_value(item, spec_.attributes[0])
+                           : column_[item];
+  }
+
+  const data::Dataset* data_ = nullptr;
+  /// Resident fast path; empty on the chunk-backed backend.
   std::span<const double> column_;
   std::string name_;
   double error_ = 1e-2;
@@ -251,25 +288,24 @@ class SingleMultinomialTerm final : public Term {
     const auto& attr = data.schema().at(a);
     PAC_REQUIRE_MSG(attr.kind == data::AttributeKind::kDiscrete,
                     "single_multinomial needs a discrete attribute");
-    column_ = data.discrete_column(a);
+    data_ = &data;
+    if (data.resident()) column_ = data.discrete_column(a);
     missing_as_value_ = config.missing_as_extra_value;
     num_values_ = static_cast<std::size_t>(attr.num_values) +
                   (missing_as_value_ ? 1 : 0);
     alpha_ = config.dirichlet_scale / static_cast<double>(num_values_);
-    // Global frequencies under the same prior, for influence values.
+    // Global frequencies under the same prior, for influence values.  The
+    // cached column profile holds the per-symbol and missing counts, so no
+    // column scan happens here; the counts are exact integers in doubles,
+    // identical to what an incremental += 1.0 scan would accumulate.
     global_log_theta_.assign(num_values_, 0.0);
+    const data::ColumnProfile& prof = data.profile(a);
     std::vector<double> counts(num_values_, 0.0);
-    double total = 0.0;
-    for (const std::int32_t v : column_) {
-      if (v == data::kMissingDiscrete) {
-        if (missing_as_value_) {
-          counts.back() += 1.0;
-          total += 1.0;
-        }
-        continue;
-      }
-      counts[static_cast<std::size_t>(v)] += 1.0;
-      total += 1.0;
+    std::copy(prof.counts.begin(), prof.counts.end(), counts.begin());
+    double total = static_cast<double>(prof.known);
+    if (missing_as_value_) {
+      counts.back() = static_cast<double>(prof.missing);
+      total += static_cast<double>(prof.missing);
     }
     const double denom = total + alpha_ * static_cast<double>(num_values_);
     for (std::size_t l = 0; l < num_values_; ++l)
@@ -282,7 +318,7 @@ class SingleMultinomialTerm final : public Term {
 
   double log_prob(std::size_t item,
                   std::span<const double> params) const override {
-    const std::int32_t v = column_[item];
+    const std::int32_t v = value(item);
     if (v == data::kMissingDiscrete) {
       return missing_as_value_ ? params[num_values_ - 1] : 0.0;
     }
@@ -292,24 +328,26 @@ class SingleMultinomialTerm final : public Term {
   void log_prob_batch(data::ItemRange range, std::span<const double> params,
                       double* out, std::size_t stride) const override {
     // The class's params block *is* the log-probability lookup table; the
-    // batch path is a pure table walk with the missing policy hoisted.
+    // batch path is a pure table walk with the missing policy and the block
+    // fetch hoisted.
     const double missing_lp =
         missing_as_value_ ? params[num_values_ - 1] : 0.0;
-    const std::int32_t* v = column_.data();
+    const auto view = block(range);
+    const std::int32_t* v = view.data();
     if (simd::active()) {
-      simd::multinomial_log_prob(v + range.begin, range.size(), params.data(),
-                                 missing_lp, out, stride);
+      simd::multinomial_log_prob(v, view.size(), params.data(), missing_lp,
+                                 out, stride);
       return;
     }
-    for (std::size_t i = range.begin; i < range.end; ++i, out += stride)
-      *out += v[i] == data::kMissingDiscrete
+    for (std::size_t r = 0; r < view.size(); ++r, out += stride)
+      *out += v[r] == data::kMissingDiscrete
                   ? missing_lp
-                  : params[static_cast<std::size_t>(v[i])];
+                  : params[static_cast<std::size_t>(v[r])];
   }
 
   void accumulate(std::size_t item, double w,
                   std::span<double> stats) const override {
-    const std::int32_t v = column_[item];
+    const std::int32_t v = value(item);
     if (v == data::kMissingDiscrete) {
       if (missing_as_value_) stats[num_values_ - 1] += w;
       return;
@@ -324,18 +362,19 @@ class SingleMultinomialTerm final : public Term {
     // uses, with the missing policy and the counts pointer hoisted out of
     // the item loop.  Each count slot receives accumulate's additions in
     // item order.
-    const std::int32_t* v = column_.data();
+    const auto view = block(range);
+    const std::int32_t* v = view.data();
     double* counts = stats.data();
     double* missing_slot = missing_as_value_ ? counts + num_values_ - 1
                                              : nullptr;
-    for (std::size_t i = range.begin; i < range.end; ++i, weights += stride) {
+    for (std::size_t r = 0; r < view.size(); ++r, weights += stride) {
       const double w = *weights;
       if (w <= 0.0) continue;
-      if (v[i] == data::kMissingDiscrete) {
+      if (v[r] == data::kMissingDiscrete) {
         if (missing_slot != nullptr) *missing_slot += w;
         continue;
       }
-      counts[static_cast<std::size_t>(v[i])] += w;
+      counts[static_cast<std::size_t>(v[r])] += w;
     }
   }
 
@@ -388,10 +427,23 @@ class SingleMultinomialTerm final : public Term {
   }
 
   double seed_distance(std::size_t item, std::size_t seed_item) const override {
-    const std::int32_t a = column_[item];
-    const std::int32_t b = column_[seed_item];
+    const std::int32_t a = value(item);
+    const std::int32_t b = value(seed_item);
     if (a == data::kMissingDiscrete || b == data::kMissingDiscrete) return 0.5;
     return a == b ? 0.0 : 1.0;
+  }
+
+  void seed_distance_batch(data::ItemRange range, std::size_t seed_item,
+                           double* out, std::size_t stride) const override {
+    const std::int32_t b = value(seed_item);
+    const auto view = block(range);
+    const std::int32_t* v = view.data();
+    for (std::size_t r = 0; r < view.size(); ++r, out += stride) {
+      const std::int32_t a = v[r];
+      *out += a == data::kMissingDiscrete || b == data::kMissingDiscrete
+                  ? 0.5
+                  : (a == b ? 0.0 : 1.0);
+    }
   }
 
   double log_prob_foreign(const data::Dataset& foreign, std::size_t item,
@@ -409,14 +461,31 @@ class SingleMultinomialTerm final : public Term {
 
   std::unique_ptr<Term> rebind(const data::Dataset& target) const override {
     // Symbol range safety comes from schema equality (checked by
-    // Model::rebound) plus Dataset::set_discrete's range validation: every
-    // value in the target column already indexes the param table.
+    // Model::rebound) plus the loaders' range validation: every value in
+    // the target column already indexes the param table.
     auto clone = std::make_unique<SingleMultinomialTerm>(*this);
-    clone->column_ = target.discrete_column(spec_.attributes[0]);
+    clone->data_ = &target;
+    clone->column_ = target.resident()
+                         ? target.discrete_column(spec_.attributes[0])
+                         : std::span<const std::int32_t>();
     return clone;
   }
 
  private:
+  data::ColumnBlockView<std::int32_t> block(data::ItemRange range) const {
+    if (!column_.empty())
+      return data::ColumnBlockView<std::int32_t>(column_.data() + range.begin,
+                                                 range.size());
+    return data_->discrete_block(spec_.attributes[0], range);
+  }
+
+  std::int32_t value(std::size_t item) const {
+    return column_.empty() ? data_->discrete_value(item, spec_.attributes[0])
+                           : column_[item];
+  }
+
+  const data::Dataset* data_ = nullptr;
+  /// Resident fast path; empty on the chunk-backed backend.
   std::span<const std::int32_t> column_;
   std::string name_;
   std::size_t num_values_ = 0;
@@ -443,7 +512,9 @@ class MultiNormalTerm final : public Term {
       : Term(std::move(spec)) {
     const std::size_t d = spec_.attributes.size();
     PAC_REQUIRE_MSG(d >= 2, "multi_normal blocks need >= 2 attributes");
-    columns_.reserve(d);
+    data_ = &data;
+    const bool resident = data.resident();
+    if (resident) columns_.reserve(d);
     double log_error_sum = 0.0;
     for (const std::size_t a : spec_.attributes) {
       const auto& attr = data.schema().at(a);
@@ -453,7 +524,7 @@ class MultiNormalTerm final : public Term {
                       "multi_normal does not support missing values "
                       "(attribute '"
                           << attr.name << "')");
-      columns_.push_back(data.real_column(a));
+      if (resident) columns_.push_back(data.real_column(a));
       const auto stats = data.real_stats(a);
       prior_mean_.push_back(stats.mean);
       prior_var_.push_back(std::max(stats.variance, sq(attr.rel_error)));
@@ -478,7 +549,7 @@ class MultiNormalTerm final : public Term {
     PAC_CHECK(d <= 32);
     std::span<double> diff(diff_stack, d);
     for (std::size_t k = 0; k < d; ++k)
-      diff[k] = columns_[k][item] - params[k];
+      diff[k] = value(k, item) - params[k];
     const std::span<const double> chol(params.data() + d, d * d);
     const double logdet = params[d + d * d];
     const double maha = spd::mahalanobis2(chol, d, diff);
@@ -498,16 +569,20 @@ class MultiNormalTerm final : public Term {
     const std::span<const double> chol(params.data() + d, d * d);
     const double logdet = params[d + d * d];
     const double dd = static_cast<double>(d);
+    data::ColumnBlockView<double> views[32];
+    const double* cols[32];
+    fetch_blocks(range, views, cols);
+    const std::size_t n = range.size();
     if (simd::active()) {
-      const double* cols[32];
-      for (std::size_t k = 0; k < d; ++k) cols[k] = columns_[k].data();
-      simd::multinormal_log_prob(cols, d, range.begin, range.size(),
-                                 params.data(), log_error_sum_, out, stride);
+      // Per-block base pointers with i0 = 0 read the exact addresses the
+      // whole-column call would; the kernel's lane structure depends only
+      // on the in-block index, so the output is unchanged.
+      simd::multinormal_log_prob(cols, d, 0, n, params.data(),
+                                 log_error_sum_, out, stride);
       return;
     }
-    for (std::size_t i = range.begin; i < range.end; ++i, out += stride) {
-      for (std::size_t k = 0; k < d; ++k)
-        diff[k] = columns_[k][i] - params[k];
+    for (std::size_t r = 0; r < n; ++r, out += stride) {
+      for (std::size_t k = 0; k < d; ++k) diff[k] = cols[k][r] - params[k];
       const double maha = spd::mahalanobis2(chol, d, diff);
       *out += -0.5 * (dd * kLog2Pi + logdet + maha) + log_error_sum_;
     }
@@ -516,34 +591,38 @@ class MultiNormalTerm final : public Term {
   void accumulate(std::size_t item, double w,
                   std::span<double> stats) const override {
     const std::size_t d = dim_;
+    double xs[32];
+    PAC_CHECK(d <= 32);
+    for (std::size_t k = 0; k < d; ++k) xs[k] = value(k, item);
     stats[0] += w;
     for (std::size_t k = 0; k < d; ++k) {
-      const double xk = columns_[k][item];
+      const double xk = xs[k];
       stats[1 + k] += w * xk;
       for (std::size_t l = 0; l <= k; ++l)
-        stats[1 + d + k * d + l] += w * xk * columns_[l][item];
+        stats[1 + d + k * d + l] += w * xk * xs[l];
     }
   }
 
   void accumulate_batch(data::ItemRange range, const double* weights,
                         std::size_t stride,
                         std::span<double> stats) const override {
-    // Weighted outer-product accumulation with the span indirections
+    // Weighted outer-product accumulation with the view indirections
     // hoisted: raw column pointers and the item's row cached once, then the
     // same lower-triangle additions as accumulate, in the same order.
     // (w * xk) is reused across the row — a pure recomputation hoist; the
     // per-slot expression (w * xk) * xl is unchanged.
     const std::size_t d = dim_;
     PAC_CHECK(d <= 32);
+    data::ColumnBlockView<double> views[32];
     const double* cols[32];
     double xs[32];
-    for (std::size_t k = 0; k < d; ++k) cols[k] = columns_[k].data();
+    fetch_blocks(range, views, cols);
     double* s = stats.data();
-    for (std::size_t i = range.begin; i < range.end; ++i, weights += stride) {
+    for (std::size_t r = 0; r < range.size(); ++r, weights += stride) {
       const double w = *weights;
       if (w <= 0.0) continue;
       s[0] += w;
-      for (std::size_t k = 0; k < d; ++k) xs[k] = cols[k][i];
+      for (std::size_t k = 0; k < d; ++k) xs[k] = cols[k][r];
       for (std::size_t k = 0; k < d; ++k) {
         const double wxk = w * xs[k];
         s[1 + k] += wxk;
@@ -560,10 +639,11 @@ class MultiNormalTerm final : public Term {
                              std::span<double> stats) const override {
     const std::size_t d = dim_;
     PAC_CHECK(d <= 32);
+    data::ColumnBlockView<double> views[32];
     const double* cols[32];
-    for (std::size_t k = 0; k < d; ++k) cols[k] = columns_[k].data();
-    simd::multinormal_accumulate_fast(cols, d, range.begin, range.size(),
-                                      weights, stride, stats.data());
+    fetch_blocks(range, views, cols);
+    simd::multinormal_accumulate_fast(cols, d, 0, range.size(), weights,
+                                      stride, stats.data());
   }
 
   void update_params(std::span<const double> stats,
@@ -716,8 +796,25 @@ class MultiNormalTerm final : public Term {
   double seed_distance(std::size_t item, std::size_t seed_item) const override {
     double d2 = 0.0;
     for (std::size_t k = 0; k < dim_; ++k)
-      d2 += sq(columns_[k][item] - columns_[k][seed_item]) / prior_var_[k];
+      d2 += sq(value(k, item) - value(k, seed_item)) / prior_var_[k];
     return d2;
+  }
+
+  void seed_distance_batch(data::ItemRange range, std::size_t seed_item,
+                           double* out, std::size_t stride) const override {
+    const std::size_t d = dim_;
+    PAC_CHECK(d <= 32);
+    double seed_vals[32];
+    for (std::size_t k = 0; k < d; ++k) seed_vals[k] = value(k, seed_item);
+    data::ColumnBlockView<double> views[32];
+    const double* cols[32];
+    fetch_blocks(range, views, cols);
+    for (std::size_t r = 0; r < range.size(); ++r, out += stride) {
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < d; ++k)
+        d2 += sq(cols[k][r] - seed_vals[k]) / prior_var_[k];
+      *out += d2;
+    }
   }
 
   double log_prob_foreign(const data::Dataset& foreign, std::size_t item,
@@ -741,6 +838,7 @@ class MultiNormalTerm final : public Term {
 
   std::unique_ptr<Term> rebind(const data::Dataset& target) const override {
     auto clone = std::make_unique<MultiNormalTerm>(*this);
+    clone->data_ = &target;
     clone->columns_.clear();
     for (const std::size_t a : spec_.attributes) {
       // The training-time completeness requirement applies to query rows
@@ -749,12 +847,35 @@ class MultiNormalTerm final : public Term {
                       "multi_normal prediction needs complete rows "
                       "(attribute '"
                           << target.schema().at(a).name << "')");
-      clone->columns_.push_back(target.real_column(a));
+      if (target.resident())
+        clone->columns_.push_back(target.real_column(a));
     }
     return clone;
   }
 
  private:
+  /// Fill the block's d column windows: cols[k]'s element 0 is item
+  /// range.begin; `views` owns any chunk pins for the duration of the call.
+  void fetch_blocks(data::ItemRange range,
+                    data::ColumnBlockView<double>* views,
+                    const double** cols) const {
+    for (std::size_t k = 0; k < dim_; ++k) {
+      if (!columns_.empty()) {
+        cols[k] = columns_[k].data() + range.begin;
+      } else {
+        views[k] = data_->real_block(spec_.attributes[k], range);
+        cols[k] = views[k].data();
+      }
+    }
+  }
+
+  double value(std::size_t k, std::size_t item) const {
+    return columns_.empty() ? data_->real_value(item, spec_.attributes[k])
+                            : columns_[k][item];
+  }
+
+  const data::Dataset* data_ = nullptr;
+  /// Resident fast path; empty on the chunk-backed backend.
   std::vector<std::span<const double>> columns_;
   std::vector<std::string> names_;
   std::vector<double> prior_mean_;
@@ -783,19 +904,27 @@ class SingleLognormalTerm final : public Term {
     const auto& attr = data.schema().at(a);
     PAC_REQUIRE_MSG(attr.kind == data::AttributeKind::kReal,
                     "single_lognormal needs a real attribute");
-    const auto raw = data.real_column(a);
-    log_column_.resize(raw.size());
+    data_ = &data;
     WeightedMoments moments;
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-      if (data::is_missing_real(raw[i])) {
-        log_column_[i] = data::missing_real();
-        continue;
+    if (data.resident()) {
+      const auto raw = data.real_column(a);
+      log_column_.resize(raw.size());
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (data::is_missing_real(raw[i])) {
+          log_column_[i] = data::missing_real();
+          continue;
+        }
+        PAC_REQUIRE_MSG(raw[i] > 0.0,
+                        "single_lognormal needs strictly positive values; '"
+                            << attr.name << "' has " << raw[i]);
+        log_column_[i] = std::log(raw[i]);
+        moments.add(log_column_[i], 1.0);
       }
-      PAC_REQUIRE_MSG(raw[i] > 0.0,
-                      "single_lognormal needs strictly positive values; '"
-                          << attr.name << "' has " << raw[i]);
-      log_column_[i] = std::log(raw[i]);
-      moments.add(log_column_[i], 1.0);
+    } else {
+      // Out-of-core: stream the column once in item order.  The positivity
+      // checks and the moment fold see exactly the values and order the
+      // resident path sees, so the priors come out bit-identical.
+      stream_logs(data, a, attr.name, &moments);
     }
     PAC_REQUIRE_MSG(moments.weight() > 0.0,
                     "attribute '" << attr.name << "' has no known values");
@@ -813,7 +942,7 @@ class SingleLognormalTerm final : public Term {
 
   double log_prob(std::size_t item,
                   std::span<const double> params) const override {
-    const double lx = log_column_[item];
+    const double lx = log_value(item);
     if (data::is_missing_real(lx)) return 0.0;
     const double z = (lx - params[0]) / params[1];
     // Density of x: N(log x | m, s) / x; relative-error correction.
@@ -823,22 +952,27 @@ class SingleLognormalTerm final : public Term {
   void log_prob_batch(data::ItemRange range, std::span<const double> params,
                       double* out, std::size_t stride) const override {
     // Same hoists as the normal kernel (parameter loads, log(rel_error_));
-    // log x itself is already precomputed in log_column_.
+    // log x is precomputed in log_column_ on the resident backend, or
+    // recomputed into a per-call scratch block on the chunked one —
+    // std::log is a pure function, so the two agree bit for bit.
     const double mean = params[0];
     const double sigma = params[1];
     const double log_sigma = params[2];
     const double log_error = std::log(rel_error_);
-    const double* lx = log_column_.data();
+    double scratch[kScratchBlock];
+    std::vector<double> heap;
+    const double* lx = log_block(range, scratch, heap);
+    const std::size_t n = range.size();
     if (simd::active()) {
-      simd::lognormal_log_prob(lx + range.begin, range.size(), mean, sigma,
-                               log_sigma, log_error, out, stride);
+      simd::lognormal_log_prob(lx, n, mean, sigma, log_sigma, log_error, out,
+                               stride);
       return;
     }
-    for (std::size_t i = range.begin; i < range.end; ++i, out += stride) {
+    for (std::size_t r = 0; r < n; ++r, out += stride) {
       double lp = 0.0;
-      if (!data::is_missing_real(lx[i])) {
-        const double z = (lx[i] - mean) / sigma;
-        lp = -0.5 * (kLog2Pi + z * z) - log_sigma - lx[i] + log_error;
+      if (!data::is_missing_real(lx[r])) {
+        const double z = (lx[r] - mean) / sigma;
+        lp = -0.5 * (kLog2Pi + z * z) - log_sigma - lx[r] + log_error;
       }
       *out += lp;
     }
@@ -846,7 +980,7 @@ class SingleLognormalTerm final : public Term {
 
   void accumulate(std::size_t item, double w,
                   std::span<double> stats) const override {
-    const double lx = log_column_[item];
+    const double lx = log_value(item);
     if (data::is_missing_real(lx)) return;
     stats[0] += w;
     stats[1] += w * lx;
@@ -856,17 +990,18 @@ class SingleLognormalTerm final : public Term {
   void accumulate_batch(data::ItemRange range, const double* weights,
                         std::size_t stride,
                         std::span<double> stats) const override {
-    // Same register fold as the normal kernel over the precomputed log x
-    // column.
-    const double* lx = log_column_.data();
+    // Same register fold as the normal kernel over the log x block.
+    double scratch[kScratchBlock];
+    std::vector<double> heap;
+    const double* lx = log_block(range, scratch, heap);
     double sw = stats[0], swl = stats[1], swl2 = stats[2];
-    for (std::size_t i = range.begin; i < range.end; ++i, weights += stride) {
+    for (std::size_t r = 0; r < range.size(); ++r, weights += stride) {
       const double w = *weights;
       if (w <= 0.0) continue;
-      if (data::is_missing_real(lx[i])) continue;
+      if (data::is_missing_real(lx[r])) continue;
       sw += w;
-      swl += w * lx[i];
-      swl2 += w * lx[i] * lx[i];
+      swl += w * lx[r];
+      swl2 += w * lx[r] * lx[r];
     }
     stats[0] = sw;
     stats[1] = swl;
@@ -877,8 +1012,11 @@ class SingleLognormalTerm final : public Term {
   void accumulate_batch_fast(data::ItemRange range, const double* weights,
                              std::size_t stride,
                              std::span<double> stats) const override {
-    simd::gaussian_accumulate_fast(log_column_.data() + range.begin, weights,
-                                   stride, range.size(), stats.data());
+    double scratch[kScratchBlock];
+    std::vector<double> heap;
+    const double* lx = log_block(range, scratch, heap);
+    simd::gaussian_accumulate_fast(lx, weights, stride, range.size(),
+                                   stats.data());
   }
 
   void update_params(std::span<const double> stats,
@@ -946,10 +1084,22 @@ class SingleLognormalTerm final : public Term {
   }
 
   double seed_distance(std::size_t item, std::size_t seed_item) const override {
-    const double a = log_column_[item];
-    const double b = log_column_[seed_item];
+    const double a = log_value(item);
+    const double b = log_value(seed_item);
     if (data::is_missing_real(a) || data::is_missing_real(b)) return 0.5;
     return sq(a - b) / prior_var_;
+  }
+
+  void seed_distance_batch(data::ItemRange range, std::size_t seed_item,
+                           double* out, std::size_t stride) const override {
+    const double b = log_value(seed_item);
+    double scratch[kScratchBlock];
+    std::vector<double> heap;
+    const double* lx = log_block(range, scratch, heap);
+    for (std::size_t r = 0; r < range.size(); ++r, out += stride)
+      *out += data::is_missing_real(lx[r]) || data::is_missing_real(b)
+                  ? 0.5
+                  : sq(lx[r] - b) / prior_var_;
   }
 
   double log_prob_foreign(const data::Dataset& foreign, std::size_t item,
@@ -967,19 +1117,76 @@ class SingleLognormalTerm final : public Term {
     // trained priors stay.  Positivity is a hard precondition, as at
     // training time.
     auto clone = std::make_unique<SingleLognormalTerm>(*this);
-    const auto raw = target.real_column(spec_.attributes[0]);
-    clone->log_column_.assign(raw.size(), data::missing_real());
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-      if (data::is_missing_real(raw[i])) continue;
-      PAC_REQUIRE_MSG(raw[i] > 0.0,
-                      "single_lognormal needs strictly positive values; '"
-                          << name_ << "' has " << raw[i]);
-      clone->log_column_[i] = std::log(raw[i]);
+    clone->data_ = &target;
+    clone->log_column_.clear();
+    if (target.resident()) {
+      const auto raw = target.real_column(spec_.attributes[0]);
+      clone->log_column_.assign(raw.size(), data::missing_real());
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (data::is_missing_real(raw[i])) continue;
+        PAC_REQUIRE_MSG(raw[i] > 0.0,
+                        "single_lognormal needs strictly positive values; '"
+                            << name_ << "' has " << raw[i]);
+        clone->log_column_[i] = std::log(raw[i]);
+      }
+    } else {
+      clone->stream_logs(target, spec_.attributes[0], name_, nullptr);
     }
     return clone;
   }
 
  private:
+  /// Scratch capacity matching the E-step/report block size; larger ranges
+  /// spill to a per-call heap buffer.
+  static constexpr std::size_t kScratchBlock = 256;
+
+  /// Stream a chunk-backed column in item order: validate positivity and,
+  /// when `moments` is given, fold the prior moments of log x.
+  void stream_logs(const data::Dataset& data, std::size_t a,
+                   const std::string& attr_name,
+                   WeightedMoments* moments) const {
+    const std::size_t n = data.num_items();
+    constexpr std::size_t kScan = 4096;
+    for (std::size_t begin = 0; begin < n; begin += kScan) {
+      const data::ItemRange r{begin, std::min(begin + kScan, n)};
+      const auto view = data.real_block(a, r);
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        const double v = view[i];
+        if (data::is_missing_real(v)) continue;
+        PAC_REQUIRE_MSG(v > 0.0,
+                        "single_lognormal needs strictly positive values; '"
+                            << attr_name << "' has " << v);
+        if (moments != nullptr) moments->add(std::log(v), 1.0);
+      }
+    }
+  }
+
+  /// The block's log-x values: the precomputed resident column, or logs
+  /// recomputed into caller scratch from the chunked backend (positivity
+  /// was validated at construction).
+  const double* log_block(data::ItemRange range, double* stack,
+                          std::vector<double>& heap) const {
+    if (!log_column_.empty()) return log_column_.data() + range.begin;
+    const auto view = data_->real_block(spec_.attributes[0], range);
+    double* dst = stack;
+    if (view.size() > kScratchBlock) {
+      heap.resize(view.size());
+      dst = heap.data();
+    }
+    for (std::size_t r = 0; r < view.size(); ++r)
+      dst[r] = data::is_missing_real(view[r]) ? data::missing_real()
+                                              : std::log(view[r]);
+    return dst;
+  }
+
+  double log_value(std::size_t item) const {
+    if (!log_column_.empty()) return log_column_[item];
+    const double v = data_->real_value(item, spec_.attributes[0]);
+    return data::is_missing_real(v) ? data::missing_real() : std::log(v);
+  }
+
+  const data::Dataset* data_ = nullptr;
+  /// Resident fast path; empty on the chunk-backed backend.
   std::vector<double> log_column_;
   std::string name_;
   double rel_error_ = 1e-2;

@@ -3,158 +3,163 @@
 #include <algorithm>
 
 #include "util/error.hpp"
-#include "util/math.hpp"
 
 namespace pac::data {
 
+Dataset::Dataset() : store_(std::make_shared<ResidentStore>(Schema(), 0)) {}
+
 Dataset::Dataset(Schema schema, std::size_t num_items)
-    : schema_(std::move(schema)), num_items_(num_items) {
-  columns_.reserve(schema_.size());
-  for (const Attribute& a : schema_.attributes()) {
-    if (a.kind == AttributeKind::kReal) {
-      columns_.emplace_back(std::vector<double>(num_items, missing_real()));
-    } else {
-      columns_.emplace_back(
-          std::vector<std::int32_t>(num_items, kMissingDiscrete));
-    }
-  }
+    : store_(std::make_shared<ResidentStore>(std::move(schema), num_items)) {}
+
+Dataset::Dataset(std::shared_ptr<ColumnStore> store)
+    : store_(std::move(store)) {
+  PAC_REQUIRE(store_ != nullptr);
 }
 
-void Dataset::check_real(std::size_t item, std::size_t attr) const {
-  PAC_REQUIRE_MSG(item < num_items_, "item " << item << " out of range");
-  PAC_REQUIRE_MSG(attr < schema_.size(), "attr " << attr << " out of range");
-  PAC_REQUIRE_MSG(schema_.at(attr).kind == AttributeKind::kReal,
-                  "attribute " << attr << " ('" << schema_.at(attr).name
-                               << "') is not real");
+Dataset::Dataset(const Dataset& other)
+    : store_(other.store_ ? other.store_->clone() : nullptr) {}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this != &other) store_ = other.store_ ? other.store_->clone() : nullptr;
+  return *this;
 }
 
-void Dataset::check_discrete(std::size_t item, std::size_t attr) const {
-  PAC_REQUIRE_MSG(item < num_items_, "item " << item << " out of range");
-  PAC_REQUIRE_MSG(attr < schema_.size(), "attr " << attr << " out of range");
-  PAC_REQUIRE_MSG(schema_.at(attr).kind == AttributeKind::kDiscrete,
-                  "attribute " << attr << " ('" << schema_.at(attr).name
-                               << "') is not discrete");
+void Dataset::check_attr(std::size_t attr, AttributeKind kind,
+                         const char* what) const {
+  PAC_REQUIRE_MSG(attr < schema().size(), "attr " << attr << " out of range");
+  PAC_REQUIRE_MSG(schema().at(attr).kind == kind,
+                  "attribute " << attr << " ('" << schema().at(attr).name
+                               << "') is not " << what);
+}
+
+void Dataset::check_item(std::size_t item, std::size_t attr) const {
+  PAC_REQUIRE_MSG(item < num_items(), "item " << item << " out of range");
+  PAC_REQUIRE_MSG(attr < schema().size(), "attr " << attr << " out of range");
+}
+
+ResidentStore& Dataset::require_resident(const char* what) {
+  PAC_REQUIRE_MSG(store_->resident(),
+                  what << " requires the resident backend (chunk-backed "
+                          "datasets are read-only)");
+  return static_cast<ResidentStore&>(*store_);
 }
 
 double Dataset::real_value(std::size_t item, std::size_t attr) const {
-  check_real(item, attr);
-  return std::get<std::vector<double>>(columns_[attr])[item];
+  check_item(item, attr);
+  check_attr(attr, AttributeKind::kReal, "real");
+  return store_->real_value(item, attr);
 }
 
 std::int32_t Dataset::discrete_value(std::size_t item,
                                      std::size_t attr) const {
-  check_discrete(item, attr);
-  return std::get<std::vector<std::int32_t>>(columns_[attr])[item];
+  check_item(item, attr);
+  check_attr(attr, AttributeKind::kDiscrete, "discrete");
+  return store_->discrete_value(item, attr);
 }
 
 bool Dataset::is_missing(std::size_t item, std::size_t attr) const {
-  PAC_REQUIRE(item < num_items_ && attr < schema_.size());
-  if (schema_.at(attr).kind == AttributeKind::kReal)
-    return is_missing_real(
-        std::get<std::vector<double>>(columns_[attr])[item]);
-  return std::get<std::vector<std::int32_t>>(columns_[attr])[item] ==
-         kMissingDiscrete;
+  check_item(item, attr);
+  if (schema().at(attr).kind == AttributeKind::kReal)
+    return is_missing_real(store_->real_value(item, attr));
+  return store_->discrete_value(item, attr) == kMissingDiscrete;
 }
 
 void Dataset::set_real(std::size_t item, std::size_t attr, double value) {
-  check_real(item, attr);
-  std::get<std::vector<double>>(columns_[attr])[item] = value;
+  check_item(item, attr);
+  check_attr(attr, AttributeKind::kReal, "real");
+  require_resident("set_real").set_real(item, attr, value);
 }
 
 void Dataset::set_discrete(std::size_t item, std::size_t attr,
                            std::int32_t value) {
-  check_discrete(item, attr);
-  PAC_REQUIRE_MSG(value >= 0 && value < schema_.at(attr).num_values,
+  check_item(item, attr);
+  check_attr(attr, AttributeKind::kDiscrete, "discrete");
+  PAC_REQUIRE_MSG(value >= 0 && value < schema().at(attr).num_values,
                   "discrete value " << value << " out of range for '"
-                                    << schema_.at(attr).name << "' with "
-                                    << schema_.at(attr).num_values
+                                    << schema().at(attr).name << "' with "
+                                    << schema().at(attr).num_values
                                     << " values");
-  std::get<std::vector<std::int32_t>>(columns_[attr])[item] = value;
+  require_resident("set_discrete").set_discrete(item, attr, value);
 }
 
 void Dataset::set_missing(std::size_t item, std::size_t attr) {
-  PAC_REQUIRE(item < num_items_ && attr < schema_.size());
-  if (schema_.at(attr).kind == AttributeKind::kReal) {
-    std::get<std::vector<double>>(columns_[attr])[item] = missing_real();
-  } else {
-    std::get<std::vector<std::int32_t>>(columns_[attr])[item] =
-        kMissingDiscrete;
-  }
+  check_item(item, attr);
+  require_resident("set_missing").set_missing(item, attr);
+}
+
+ColumnBlockView<double> Dataset::real_block(std::size_t attr,
+                                            ItemRange range) const {
+  check_attr(attr, AttributeKind::kReal, "real");
+  PAC_REQUIRE(range.begin <= range.end && range.end <= num_items());
+  return store_->real_block(attr, range);
+}
+
+ColumnBlockView<std::int32_t> Dataset::discrete_block(std::size_t attr,
+                                                      ItemRange range) const {
+  check_attr(attr, AttributeKind::kDiscrete, "discrete");
+  PAC_REQUIRE(range.begin <= range.end && range.end <= num_items());
+  return store_->discrete_block(attr, range);
 }
 
 std::span<const double> Dataset::real_column(std::size_t attr) const {
-  PAC_REQUIRE(attr < schema_.size());
-  PAC_REQUIRE(schema_.at(attr).kind == AttributeKind::kReal);
-  return std::get<std::vector<double>>(columns_[attr]);
+  check_attr(attr, AttributeKind::kReal, "real");
+  PAC_REQUIRE_MSG(store_->resident(),
+                  "whole-column access requires the resident backend; use "
+                  "real_block for chunk-backed datasets");
+  return static_cast<const ResidentStore&>(*store_).real_column(attr);
 }
 
 std::span<const std::int32_t> Dataset::discrete_column(
     std::size_t attr) const {
-  PAC_REQUIRE(attr < schema_.size());
-  PAC_REQUIRE(schema_.at(attr).kind == AttributeKind::kDiscrete);
-  return std::get<std::vector<std::int32_t>>(columns_[attr]);
+  check_attr(attr, AttributeKind::kDiscrete, "discrete");
+  PAC_REQUIRE_MSG(store_->resident(),
+                  "whole-column access requires the resident backend; use "
+                  "discrete_block for chunk-backed datasets");
+  return static_cast<const ResidentStore&>(*store_).discrete_column(attr);
+}
+
+const ColumnProfile& Dataset::profile(std::size_t attr) const {
+  PAC_REQUIRE_MSG(attr < schema().size(), "attr " << attr << " out of range");
+  return store_->profile(attr);
 }
 
 Dataset::RealStats Dataset::real_stats(std::size_t attr) const {
-  const auto column = real_column(attr);
-  RealStats s;
-  s.min = std::numeric_limits<double>::infinity();
-  s.max = -std::numeric_limits<double>::infinity();
-  WeightedMoments moments;
-  for (double v : column) {
-    if (is_missing_real(v)) continue;
-    moments.add(v, 1.0);
-    s.min = std::min(s.min, v);
-    s.max = std::max(s.max, v);
-    ++s.known;
-  }
-  if (s.known == 0) {
-    s.min = s.max = 0.0;
-    return s;
-  }
-  s.mean = moments.mean();
-  s.variance = moments.variance();
-  return s;
+  check_attr(attr, AttributeKind::kReal, "real");
+  return store_->profile(attr).stats;
 }
 
 std::vector<double> Dataset::discrete_frequencies(std::size_t attr) const {
-  const auto column = discrete_column(attr);
-  const int l = schema_.at(attr).num_values;
-  std::vector<double> freq(l, 0.0);
-  std::size_t known = 0;
-  for (std::int32_t v : column) {
-    if (v == kMissingDiscrete) continue;
-    freq[v] += 1.0;
-    ++known;
-  }
-  if (known == 0) {
-    std::fill(freq.begin(), freq.end(), 1.0 / static_cast<double>(l));
+  check_attr(attr, AttributeKind::kDiscrete, "discrete");
+  const ColumnProfile& p = store_->profile(attr);
+  std::vector<double> freq = p.counts;
+  if (p.known == 0) {
+    std::fill(freq.begin(), freq.end(),
+              1.0 / static_cast<double>(freq.size()));
     return freq;
   }
-  for (double& f : freq) f /= static_cast<double>(known);
+  for (double& f : freq) f /= static_cast<double>(p.known);
   return freq;
 }
 
 std::size_t Dataset::missing_count(std::size_t attr) const {
-  PAC_REQUIRE(attr < schema_.size());
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < num_items_; ++i)
-    if (is_missing(i, attr)) ++n;
-  return n;
+  PAC_REQUIRE(attr < schema().size());
+  return store_->profile(attr).missing;
 }
 
 Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
-  PAC_REQUIRE(begin <= end && end <= num_items_);
-  Dataset out(schema_, end - begin);
-  for (std::size_t a = 0; a < schema_.size(); ++a) {
-    if (schema_.at(a).kind == AttributeKind::kReal) {
-      const auto& src = std::get<std::vector<double>>(columns_[a]);
-      auto& dst = std::get<std::vector<double>>(out.columns_[a]);
-      std::copy(src.begin() + begin, src.begin() + end, dst.begin());
+  PAC_REQUIRE(begin <= end && end <= num_items());
+  Dataset out(schema(), end - begin);
+  auto& dst = static_cast<ResidentStore&>(*out.store_);
+  const ItemRange range{begin, end};
+  for (std::size_t a = 0; a < schema().size(); ++a) {
+    if (schema().at(a).kind == AttributeKind::kReal) {
+      const auto src = store_->real_block(a, range);
+      std::copy(src.data(), src.data() + src.size(),
+                dst.mutable_real_column(a).data());
     } else {
-      const auto& src = std::get<std::vector<std::int32_t>>(columns_[a]);
-      auto& dst = std::get<std::vector<std::int32_t>>(out.columns_[a]);
-      std::copy(src.begin() + begin, src.begin() + end, dst.begin());
+      const auto src = store_->discrete_block(a, range);
+      std::copy(src.data(), src.data() + src.size(),
+                dst.mutable_discrete_column(a).data());
     }
   }
   return out;

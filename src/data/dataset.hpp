@@ -1,46 +1,51 @@
-// Column-major typed dataset storage.
+// Column-major typed dataset facade over a pluggable ColumnStore backend.
 //
-// Real columns are vectors of double (NaN encodes a missing value); discrete
-// columns are vectors of int32_t in [0, num_values) (kMissingDiscrete encodes
-// missing).  Column-major layout keeps the per-attribute EM inner loops
-// contiguous, which is where nearly all cycles go (paper Sec. 3: base_cycle
-// is 99.5 % of the runtime).
+// Real columns hold double (NaN encodes a missing value); discrete columns
+// hold int32_t in [0, num_values) (kMissingDiscrete encodes missing).
+// Column-major layout keeps the per-attribute EM inner loops contiguous,
+// which is where nearly all cycles go (paper Sec. 3: base_cycle is 99.5 % of
+// the runtime).
 //
 // A Dataset is immutable once built in the clustering path; SPMD ranks hold a
 // shared const reference and each touches only its own partition's rows —
 // semantically identical to every node holding just its chunk, since access
-// is read-only (DESIGN.md, substitutions).
+// is read-only (DESIGN.md, substitutions).  Storage lives behind a
+// ColumnStore (column_store.hpp): the default ResidentStore keeps whole
+// columns in memory, while a ChunkedStore streams a .pacb file under a
+// bounded budget.  Kernels consume either through the same per-block
+// real_block / discrete_block views.
 #pragma once
 
-#include <cmath>
-#include <cstdint>
-#include <limits>
-#include <span>
-#include <variant>
-#include <vector>
+#include <memory>
 
-#include "data/schema.hpp"
+#include "data/column_store.hpp"
 
 namespace pac::data {
 
-inline constexpr std::int32_t kMissingDiscrete = -1;
-
-inline double missing_real() noexcept {
-  return std::numeric_limits<double>::quiet_NaN();
-}
-
-inline bool is_missing_real(double v) noexcept { return std::isnan(v); }
-
 class Dataset {
  public:
-  Dataset() = default;
+  /// Empty dataset (no attributes, no items).
+  Dataset();
 
-  /// Allocate `num_items` rows of `schema`, all values missing.
+  /// Allocate `num_items` resident rows of `schema`, all values missing.
   Dataset(Schema schema, std::size_t num_items);
 
-  const Schema& schema() const noexcept { return schema_; }
-  std::size_t num_items() const noexcept { return num_items_; }
-  std::size_t num_attributes() const noexcept { return schema_.size(); }
+  /// Wrap an existing backend (e.g. ChunkedStore::open).
+  explicit Dataset(std::shared_ptr<ColumnStore> store);
+
+  // Copies clone the backend (deep for resident, shared for chunked).
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&&) noexcept = default;
+  Dataset& operator=(Dataset&&) noexcept = default;
+
+  const Schema& schema() const noexcept { return store_->schema(); }
+  std::size_t num_items() const noexcept { return store_->num_items(); }
+  std::size_t num_attributes() const noexcept { return schema().size(); }
+
+  /// True when whole-column spans are available (in-memory backend).
+  bool resident() const noexcept { return store_->resident(); }
+  const ColumnStore& store() const noexcept { return *store_; }
 
   // ---- element access ----
 
@@ -48,9 +53,21 @@ class Dataset {
   std::int32_t discrete_value(std::size_t item, std::size_t attr) const;
   bool is_missing(std::size_t item, std::size_t attr) const;
 
+  // Mutation requires the resident backend.
   void set_real(std::size_t item, std::size_t attr, double value);
   void set_discrete(std::size_t item, std::size_t attr, std::int32_t value);
   void set_missing(std::size_t item, std::size_t attr);
+
+  // ---- block access (works on every backend) ----
+
+  /// View of a real column over `range` (NaN = missing); element 0 is item
+  /// range.begin.  The view keeps any backing chunk alive.
+  ColumnBlockView<double> real_block(std::size_t attr, ItemRange range) const;
+  /// Same for a discrete column (kMissingDiscrete = missing).
+  ColumnBlockView<std::int32_t> discrete_block(std::size_t attr,
+                                               ItemRange range) const;
+
+  // ---- whole-column access (resident backend only) ----
 
   /// Whole real column (NaN = missing); attr must be a real attribute.
   std::span<const double> real_column(std::size_t attr) const;
@@ -58,14 +75,14 @@ class Dataset {
   std::span<const std::int32_t> discrete_column(std::size_t attr) const;
 
   // ---- statistics used for empirical-Bayes priors ----
+  //
+  // Computed once per column (streaming single pass at load / first use)
+  // and cached; these no longer re-scan the column per call.
 
-  struct RealStats {
-    double mean = 0.0;
-    double variance = 0.0;
-    double min = 0.0;
-    double max = 0.0;
-    std::size_t known = 0;
-  };
+  using RealStats = data::RealStats;
+
+  /// Cached per-column profile (stats / symbol counts / missing count).
+  const ColumnProfile& profile(std::size_t attr) const;
 
   /// Mean/variance/range of a real column over known values.
   RealStats real_stats(std::size_t attr) const;
@@ -77,26 +94,15 @@ class Dataset {
   /// Count of missing entries in a column.
   std::size_t missing_count(std::size_t attr) const;
 
-  /// Copy rows [begin, end) into a new Dataset (used by tests and tools).
+  /// Copy rows [begin, end) into a new resident Dataset.
   Dataset slice(std::size_t begin, std::size_t end) const;
 
  private:
-  void check_real(std::size_t item, std::size_t attr) const;
-  void check_discrete(std::size_t item, std::size_t attr) const;
+  void check_attr(std::size_t attr, AttributeKind kind, const char* what) const;
+  void check_item(std::size_t item, std::size_t attr) const;
+  ResidentStore& require_resident(const char* what);
 
-  Schema schema_;
-  std::size_t num_items_ = 0;
-  // One entry per attribute; the variant alternative matches the kind.
-  std::vector<std::variant<std::vector<double>, std::vector<std::int32_t>>>
-      columns_;
-};
-
-/// Half-open range of item indices owned by one rank.
-struct ItemRange {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-  std::size_t size() const noexcept { return end - begin; }
-  bool empty() const noexcept { return begin >= end; }
+  std::shared_ptr<ColumnStore> store_;
 };
 
 /// Contiguous block partition of n items over p ranks: the first (n % p)

@@ -4,10 +4,12 @@
 #include <charconv>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "data/format.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -325,120 +327,73 @@ CsvResult read_csv_file(const std::string& path) {
   return read_csv(in);
 }
 
-namespace {
-
-constexpr char kBinaryMagic[4] = {'P', 'A', 'C', 'B'};
-constexpr std::uint32_t kBinaryVersion = 1;
-
-template <class T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void write_binary(std::ostream& out, const Dataset& dataset) {
+  format::write_pacb(out, dataset);
 }
 
-template <class T>
-T read_pod(std::istream& in, const char* what) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  PAC_REQUIRE_MSG(in.good(), "binary dataset truncated while reading "
-                                 << what);
-  return value;
+Dataset read_binary(std::istream& in) { return format::read_pacb(in); }
+
+void write_binary_file(const std::string& path, const Dataset& dataset) {
+  format::write_pacb_file(path, dataset);
+}
+
+Dataset read_binary_file(const std::string& path) {
+  return format::read_pacb_file(path);
+}
+
+namespace {
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when the file starts with the .pacb magic (sniffed, not by name, so
+/// converted files keep working under any extension).
+bool sniff_pacb(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PAC_REQUIRE_MSG(in.good(), "cannot open dataset '" << path << "'");
+  char magic[4] = {};
+  in.read(magic, 4);
+  return in.gcount() == 4 && magic[0] == 'P' && magic[1] == 'A' &&
+         magic[2] == 'C' && magic[3] == 'B';
+}
+
+std::string default_header_path(const std::string& data_path) {
+  const auto dot = data_path.rfind('.');
+  const auto slash = data_path.find_last_of('/');
+  const std::string stem =
+      (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+          ? data_path
+          : data_path.substr(0, dot);
+  return stem + ".hd2";
 }
 
 }  // namespace
 
-void write_binary(std::ostream& out, const Dataset& dataset) {
-  out.write(kBinaryMagic, 4);
-  write_pod<std::uint32_t>(out, kBinaryVersion);
-  // Endianness probe: readers on a different byte order must reject.
-  write_pod<std::uint32_t>(out, 0x01020304u);
-  write_pod<std::uint64_t>(out, dataset.num_items());
-  write_pod<std::uint32_t>(out,
-                           static_cast<std::uint32_t>(dataset.num_attributes()));
-  for (const Attribute& a : dataset.schema().attributes()) {
-    write_pod<std::uint8_t>(out, a.kind == AttributeKind::kReal ? 0 : 1);
-    write_pod<std::int32_t>(out, a.num_values);
-    write_pod<double>(out, a.rel_error);
-    write_pod<std::uint16_t>(out, static_cast<std::uint16_t>(a.name.size()));
-    out.write(a.name.data(), static_cast<std::streamsize>(a.name.size()));
+Dataset open_dataset(const std::string& path, const OpenOptions& options) {
+  const bool is_pacb = sniff_pacb(path);
+  const bool budget_configured =
+      options.budget_mb > 0 ||
+      (std::getenv("PAC_DATA_BUDGET_MB") != nullptr &&
+       *std::getenv("PAC_DATA_BUDGET_MB") != '\0');
+  const bool want_chunked =
+      options.backend == Backend::kChunked ||
+      (options.backend == Backend::kAuto && budget_configured);
+  if (want_chunked)
+    PAC_REQUIRE_MSG(is_pacb, "the chunked backend requires a .pacb file; '"
+                                 << path
+                                 << "' is not one (run pac_convert first)");
+  if (is_pacb) {
+    if (want_chunked)
+      return Dataset(ChunkedStore::open(path, options.budget_mb << 20));
+    return read_binary_file(path);
   }
-  for (std::size_t a = 0; a < dataset.num_attributes(); ++a) {
-    if (dataset.schema().at(a).kind == AttributeKind::kReal) {
-      const auto col = dataset.real_column(a);
-      out.write(reinterpret_cast<const char*>(col.data()),
-                static_cast<std::streamsize>(col.size_bytes()));
-    } else {
-      const auto col = dataset.discrete_column(a);
-      out.write(reinterpret_cast<const char*>(col.data()),
-                static_cast<std::streamsize>(col.size_bytes()));
-    }
-  }
-  PAC_REQUIRE_MSG(out.good(), "binary dataset write failed");
-}
-
-Dataset read_binary(std::istream& in) {
-  char magic[4] = {};
-  in.read(magic, 4);
-  PAC_REQUIRE_MSG(in.good() && std::equal(magic, magic + 4, kBinaryMagic),
-                  "not a pac binary dataset (bad magic)");
-  const auto version = read_pod<std::uint32_t>(in, "version");
-  PAC_REQUIRE_MSG(version == kBinaryVersion,
-                  "unsupported binary dataset version " << version);
-  const auto endian = read_pod<std::uint32_t>(in, "endianness probe");
-  PAC_REQUIRE_MSG(endian == 0x01020304u,
-                  "binary dataset written with a different byte order");
-  const auto num_items = read_pod<std::uint64_t>(in, "item count");
-  const auto num_attrs = read_pod<std::uint32_t>(in, "attribute count");
-  PAC_REQUIRE_MSG(num_attrs >= 1 && num_attrs < 100000,
-                  "implausible attribute count " << num_attrs);
-  std::vector<Attribute> attributes;
-  attributes.reserve(num_attrs);
-  for (std::uint32_t a = 0; a < num_attrs; ++a) {
-    const auto kind = read_pod<std::uint8_t>(in, "attribute kind");
-    PAC_REQUIRE_MSG(kind <= 1, "corrupt attribute kind");
-    const auto num_values = read_pod<std::int32_t>(in, "value count");
-    const auto error = read_pod<double>(in, "attribute error");
-    const auto name_len = read_pod<std::uint16_t>(in, "name length");
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    PAC_REQUIRE_MSG(in.good(), "binary dataset truncated in names");
-    if (kind == 0) {
-      attributes.push_back(Attribute::real(std::move(name), error));
-    } else {
-      attributes.push_back(Attribute::discrete(std::move(name), num_values));
-    }
-  }
-  Dataset out(Schema(std::move(attributes)),
-              static_cast<std::size_t>(num_items));
-  for (std::uint32_t a = 0; a < num_attrs; ++a) {
-    if (out.schema().at(a).kind == AttributeKind::kReal) {
-      std::vector<double> column(num_items);
-      in.read(reinterpret_cast<char*>(column.data()),
-              static_cast<std::streamsize>(column.size() * sizeof(double)));
-      PAC_REQUIRE_MSG(in.good(), "binary dataset truncated in columns");
-      for (std::size_t i = 0; i < num_items; ++i)
-        if (!is_missing_real(column[i])) out.set_real(i, a, column[i]);
-    } else {
-      std::vector<std::int32_t> column(num_items);
-      in.read(reinterpret_cast<char*>(column.data()),
-              static_cast<std::streamsize>(column.size() * sizeof(std::int32_t)));
-      PAC_REQUIRE_MSG(in.good(), "binary dataset truncated in columns");
-      for (std::size_t i = 0; i < num_items; ++i)
-        if (column[i] != kMissingDiscrete) out.set_discrete(i, a, column[i]);
-    }
-  }
-  return out;
-}
-
-void write_binary_file(const std::string& path, const Dataset& dataset) {
-  std::ofstream out(path, std::ios::binary);
-  PAC_REQUIRE_MSG(out.good(), "cannot open '" << path << "' for writing");
-  write_binary(out, dataset);
-}
-
-Dataset read_binary_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PAC_REQUIRE_MSG(in.good(), "cannot open binary dataset '" << path << "'");
-  return read_binary(in);
+  if (has_suffix(path, ".csv")) return read_csv_file(path).dataset;
+  const std::string header = options.header_path.empty()
+                                 ? default_header_path(path)
+                                 : options.header_path;
+  return read_data_file(path, read_header_file(header));
 }
 
 void write_header_file(const std::string& path, const Schema& schema) {

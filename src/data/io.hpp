@@ -23,10 +23,13 @@
 namespace pac::data {
 
 /// Parse a header stream; throws pac::Error with a line number on bad input.
+/// Deprecated shim for direct .db2 loading: new call sites should go through
+/// open_dataset() below, which handles every format and backend.
 Schema read_header(std::istream& in);
 Schema read_header_file(const std::string& path);
 
-/// Parse a data stream against `schema`.
+/// Parse a data stream against `schema`.  Deprecated shim — see
+/// open_dataset().
 Dataset read_data(std::istream& in, const Schema& schema);
 Dataset read_data_file(const std::string& path, const Schema& schema);
 
@@ -59,14 +62,45 @@ CsvResult read_csv_file(const std::string& path);
 //
 // A self-contained single-file format (schema + columns) for large
 // datasets: ~5x smaller and ~20x faster to load than the ASCII pair.
-// Layout: magic "PACB", u32 version, u8 endianness probe, item/attribute
-// counts, per-attribute descriptors, then raw column arrays (doubles with
-// NaN = missing; int32 with -1 = missing).  Readers validate the magic,
-// version, endianness, and every count; malformed input throws pac::Error.
+// Since v2 this is the chunked, checksummed .pacb layout of format.hpp
+// (magic/version header, CRC-guarded schema block, per-column chunked
+// segments with per-chunk row counts and checksums, cached column profiles,
+// trailer); these wrappers keep the original entry-point names.  Malformed
+// input throws format::FormatError (a pac::Error naming chunk and column
+// where applicable).
 
 void write_binary(std::ostream& out, const Dataset& dataset);
 Dataset read_binary(std::istream& in);
 void write_binary_file(const std::string& path, const Dataset& dataset);
 Dataset read_binary_file(const std::string& path);
+
+// ---- unified construction ----
+//
+// open_dataset() is the one entry point tools should use: it sniffs the
+// on-disk format and returns a Dataset on the right backend.  The older
+// read_header_file/read_data_file and read_binary_file functions above stay
+// as thin compatibility shims over the same readers.
+
+enum class Backend {
+  kAuto,      // resident, unless a .pacb file and a budget is configured
+  kResident,  // load everything into memory
+  kChunked,   // stream a .pacb under the PAC_DATA_BUDGET_MB byte budget
+};
+
+struct OpenOptions {
+  Backend backend = Backend::kAuto;
+  /// Chunk-cache budget in MiB for the chunked backend; 0 defers to the
+  /// PAC_DATA_BUDGET_MB environment variable (default 256 MiB).
+  std::size_t budget_mb = 0;
+  /// Header path for ASCII .db2 data; empty means "data path with its
+  /// extension swapped for .hd2".
+  std::string header_path;
+};
+
+/// Open `path` as a Dataset.  Files starting with the "PACB" magic load as
+/// binary (.pacb); a ".csv" suffix loads as CSV; anything else is ASCII
+/// .db2 + .hd2.  Backend::kChunked (or kAuto with a budget configured)
+/// requires a .pacb file.
+Dataset open_dataset(const std::string& path, const OpenOptions& options = {});
 
 }  // namespace pac::data

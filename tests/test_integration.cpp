@@ -34,9 +34,11 @@ TEST(Integration, FileRoundTripThenParallelClusterThenPredict) {
   data::write_header_file(header_path, generated.dataset.schema());
   data::write_data_file(data_path, generated.dataset);
 
-  // 2. Load it back and split train/test.
-  const data::Schema schema = data::read_header_file(header_path);
-  const data::Dataset loaded = data::read_data_file(data_path, schema);
+  // 2. Load it back (open_dataset sniffs the format and pairs the .db2
+  //    with its header) and split train/test.
+  data::OpenOptions open_options;
+  open_options.header_path = header_path;
+  const data::Dataset loaded = data::open_dataset(data_path, open_options);
   const data::SplitResult split = data::split_dataset(loaded, 0.2, 102);
 
   // 3. Cluster the training split on a modeled 6-processor machine.

@@ -20,20 +20,11 @@
 
 namespace {
 
-bool has_suffix(const std::string& s, const char* suffix) {
-  const std::string suf(suffix);
-  return s.size() > suf.size() &&
-         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
-}
-
 pac::data::Dataset load_rows(const pac::Cli& cli, const std::string& path) {
   using namespace pac;
-  if (has_suffix(path, ".pacb")) return data::read_binary_file(path);
-  if (has_suffix(path, ".csv")) return data::read_csv_file(path).dataset;
-  const std::string header_path = cli.get_string("header", "");
-  PAC_REQUIRE_MSG(!header_path.empty(),
-                  ".db2 input needs --header FILE.hd2");
-  return data::read_data_file(path, data::read_header_file(header_path));
+  data::OpenOptions options;
+  options.header_path = cli.get_string("header", "");
+  return data::open_dataset(path, options);
 }
 
 }  // namespace

@@ -62,12 +62,9 @@ int main(int argc, char** argv) {
 
   try {
     const data::Dataset dataset = [&] {
-      if (has_suffix(data_path, ".pacb"))
-        return data::read_binary_file(data_path);
-      if (has_suffix(data_path, ".csv"))
-        return data::read_csv_file(data_path).dataset;
-      return data::read_data_file(data_path,
-                                  data::read_header_file(header_path));
+      data::OpenOptions options;
+      options.header_path = header_path;
+      return data::open_dataset(data_path, options);
     }();
     const ac::Model model = ac::Model::default_model(dataset);
 
